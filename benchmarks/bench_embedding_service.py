@@ -1,0 +1,72 @@
+"""F3-inf — Figure 3 inference path: the embedding service's k-NN.
+
+Paper claim (§1): the embedding service "allows similarity calculations as
+well as efficient k-nearest-neighbour retrieval".  We sweep the IVF index's
+``nprobe`` against the exact index, reporting the latency/recall frontier.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.vector.index import ExactIndex, IVFIndex, recall_at_k
+
+CONFIGS = [
+    ("exact", None),
+    ("ivf-nprobe1", 1),
+    ("ivf-nprobe2", 2),
+    ("ivf-nprobe4", 4),
+    ("ivf-nprobe8", 8),
+]
+
+
+@pytest.mark.parametrize("name,nprobe", CONFIGS)
+def test_knn_latency_recall(benchmark, bench_trained, name, nprobe):
+    keys, matrix = bench_trained.trained.all_entity_vectors()
+    exact = ExactIndex()
+    exact.add(keys, matrix)
+    if nprobe is None:
+        index = exact
+        recall = 1.0
+    else:
+        index = IVFIndex(nlist=16, nprobe=nprobe, seed=2)
+        index.add(keys, matrix)
+        index.train()
+        recall = recall_at_k(index, exact, matrix[:50], k=10)
+
+    queries = matrix[:100]
+
+    def knn_batch():
+        for query in queries:
+            index.search(query, k=10)
+
+    benchmark(knn_batch)
+    per_query_us = benchmark.stats["mean"] / len(queries) * 1e6
+    benchmark.extra_info["recall_at_10"] = recall
+    record_result(
+        "F3-inf",
+        {
+            "index": name,
+            "recall_at_10": round(float(recall), 3),
+            "mean_query_us": round(per_query_us, 1),
+            "num_vectors": len(keys),
+        },
+    )
+
+
+def test_batch_inference_throughput(benchmark, bench_trained):
+    """Batch scoring throughput (the 'batch multi-GPU inference' stand-in)."""
+    from repro.embeddings.inference import BatchInference
+
+    dataset = bench_trained.dataset
+    inference = BatchInference(bench_trained.trained, batch_size=4096)
+    candidates = [
+        dataset.decode(*map(int, row)) for row in dataset.triples[:2000]
+    ]
+
+    benchmark(lambda: inference.score_triples(candidates))
+    per_sec = len(candidates) / benchmark.stats["mean"]
+    record_result(
+        "F3-inf-batch",
+        {"candidates": len(candidates), "scored_per_s": int(per_sec)},
+    )

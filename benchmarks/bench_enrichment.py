@@ -1,0 +1,85 @@
+"""F7-enrich — §5 global knowledge enrichment: coverage vs. cost vs. privacy.
+
+Paper claims: three enrichment paths trade coverage against transfer cost
+and privacy — the static asset reveals nothing, piggybacking costs almost
+nothing extra, private retrieval is "expensive … for high-value use
+cases".  Rows sweep the static-asset size and PIR budget and report what
+each path covered, at what byte cost, revealing which entities.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.common.rng import substream
+from repro.kg.store import TripleStore
+from repro.ondevice.enrichment import (
+    EnrichmentPlanner,
+    EnrichmentPlannerConfig,
+    GlobalKnowledgeServer,
+    dp_count_query,
+)
+
+
+@pytest.fixture(scope="module")
+def needed_entities(bench_kg):
+    """Entities the user 'needs' globally: popularity-biased sample."""
+    rng = substream(99, "needed")
+    records = sorted(bench_kg.store.entities(), key=lambda r: (-r.popularity, r.entity))
+    head = [r.entity for r in records[:150]]
+    tail = [r.entity for r in records[150:]]
+    chosen = head[:40] + [tail[int(i)] for i in rng.integers(0, len(tail), 20)]
+    return chosen
+
+
+CONFIGS = [
+    ("small-asset", EnrichmentPlannerConfig(static_asset_top_k=50, pir_budget_bytes=0)),
+    ("large-asset", EnrichmentPlannerConfig(static_asset_top_k=400, pir_budget_bytes=0)),
+    ("asset+piggyback+pir", EnrichmentPlannerConfig(static_asset_top_k=100, pir_budget_bytes=3_000_000)),
+]
+
+
+@pytest.mark.parametrize("name,config", CONFIGS)
+def test_enrichment_paths(benchmark, bench_kg, needed_entities, name, config):
+    server = GlobalKnowledgeServer(bench_kg.store)
+    interaction = set(needed_entities[10:25])
+
+    def enrich():
+        planner = EnrichmentPlanner(server, config)
+        return planner.enrich(
+            needed_entities, interaction_entities=interaction,
+            device_store=TripleStore("device"),
+        )
+
+    report = benchmark.pedantic(enrich, rounds=1, iterations=1)
+    row = {
+        "config": name,
+        "needed": report.needed,
+        "coverage": round(report.coverage, 3),
+        "covered_static": report.covered_static,
+        "covered_piggyback": report.covered_piggyback,
+        "covered_pir": report.covered_pir,
+        "kb_static": round(report.bytes_static / 1024, 1),
+        "kb_piggyback": round(report.bytes_piggyback / 1024, 1),
+        "kb_pir": round(report.bytes_pir / 1024, 1),
+        "entities_revealed": len(report.revealed_entities),
+    }
+    benchmark.extra_info.update(row)
+    record_result("F7-enrich", row)
+
+
+def test_dp_query_noise_scale(benchmark):
+    """Utility/privacy trade-off of the DP aggregate-count endpoint."""
+    def run():
+        rows = []
+        for epsilon in (0.1, 0.5, 1.0, 5.0):
+            errors = [
+                abs(dp_count_query(1000, epsilon, seed=s) - 1000) for s in range(200)
+            ]
+            rows.append((epsilon, sum(errors) / len(errors)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for epsilon, mean_error in rows:
+        record_result(
+            "F7-dp", {"epsilon": epsilon, "mean_abs_error": round(mean_error, 2)}
+        )

@@ -1,0 +1,125 @@
+"""F7 — Figure 7 "Personal knowledge graph construction on device".
+
+Paper claims (§5): multi-source person records consolidate into unified
+entities; the pipeline is incremental (pause/resume costs nothing);
+blocking is memory-bounded with disk spill; models compress for on-device
+deployment.  Rows report linking quality, per-profile build cost,
+budget-vs-residency, and the compression size/quality frontier.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.ondevice.blocking import MemoryBoundedBlocker
+from repro.ondevice.compression import sweep_compression
+from repro.ondevice.fusion import evaluate_clusters
+from repro.ondevice.incremental import IncrementalPipeline, IncrementalPipelineConfig
+from repro.ondevice.sources import (
+    PersonaWorldConfig,
+    generate_device_dataset,
+    generate_personas,
+)
+from repro.ondevice.sync import kg_signature
+
+
+@pytest.fixture(scope="module")
+def device_records():
+    config = PersonaWorldConfig(seed=21, num_personas=60, namesake_pairs=4)
+    personas = generate_personas(config)
+    dataset = generate_device_dataset("user", personas, config)
+    return dataset.all_records()
+
+
+@pytest.mark.parametrize("profile,step_budget", [("watch", 64), ("phone", 512), ("laptop", 4096)])
+def test_construction_by_device_profile(benchmark, device_records, profile, step_budget):
+    result_holder = {}
+
+    def build():
+        pipeline = IncrementalPipeline(device_records)
+        result_holder["result"] = pipeline.run_to_completion(step_budget)
+        result_holder["steps"] = pipeline.total_units
+
+    benchmark(build)
+    quality = evaluate_clusters(result_holder["result"].clusters)
+    row = {
+        "profile": profile,
+        "step_budget": step_budget,
+        "records": len(device_records),
+        "precision": round(quality.precision, 3),
+        "recall": round(quality.recall, 3),
+        "f1": round(quality.f1, 3),
+        "clusters": quality.num_clusters,
+        "true_persons": quality.num_true_persons,
+    }
+    benchmark.extra_info.update(row)
+    record_result("F7-construction", row)
+
+
+def test_pause_resume_overhead(benchmark, device_records):
+    """Checkpoint+restore at every step must cost little and change nothing."""
+    reference = kg_signature(
+        IncrementalPipeline(device_records).run_to_completion(100_000)
+    )
+
+    def interrupted_build():
+        pipeline = IncrementalPipeline(device_records)
+        while not pipeline.is_done:
+            pipeline = IncrementalPipeline.from_checkpoint(pipeline.checkpoint())
+            pipeline.step(256)
+        return pipeline.result()
+
+    result = benchmark.pedantic(interrupted_build, rounds=1, iterations=1)
+    assert kg_signature(result) == reference
+    record_result(
+        "F7-pause-resume",
+        {
+            "interrupted_s": round(benchmark.stats["mean"], 4),
+            "identical_output": True,
+        },
+    )
+
+
+@pytest.mark.parametrize("budget", [25, 100, 100_000])
+def test_blocking_memory_budget(benchmark, device_records, budget, tmp_path):
+    def block():
+        blocker = MemoryBoundedBlocker(
+            memory_budget_keys=budget, spill_dir=tmp_path
+        )
+        blocker.candidate_pairs(device_records)
+        return blocker.stats
+
+    stats = benchmark.pedantic(block, rounds=1, iterations=1)
+    row = {
+        "budget_keys": budget,
+        "peak_resident_keys": stats.peak_resident_keys,
+        "spilled_blocks": stats.spilled_blocks,
+        "pairs": stats.pairs,
+    }
+    benchmark.extra_info.update(row)
+    record_result("F7-blocking", row)
+
+
+def test_compression_frontier(benchmark, bench_trained):
+    """§5 model compression: fp16/int8 quantization + distilled widths."""
+    _keys, matrix = bench_trained.trained.all_entity_vectors()
+    matrix = np.asarray(matrix)[:300]
+
+    reports_holder = {}
+
+    def sweep():
+        reports_holder["reports"] = sweep_compression(
+            matrix, distill_dims=(16, 8), seed=1
+        )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for report in reports_holder["reports"]:
+        record_result(
+            "F7-compression",
+            {
+                "mode": report.mode,
+                "dim": report.dim,
+                "kilobytes": round(report.nbytes / 1024, 1),
+                "knn_overlap_at_5": round(report.overlap_at_5, 3),
+            },
+        )

@@ -1,0 +1,98 @@
+"""F7-sync — §5 cross-device sync and computation offloading.
+
+Paper claims: per-source sync preferences still yield consistent KGs on
+every device for the synced sources; expensive construction can be
+offloaded from weak devices to powerful ones "and syncing the result".
+Rows report convergence rounds, bytes moved, consistency checks and the
+offload traffic.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_result
+from repro.ondevice.device import Device, DeviceProfile
+from repro.ondevice.records import CALENDAR, CONTACTS, MESSAGES
+from repro.ondevice.sources import (
+    PersonaWorldConfig,
+    generate_device_dataset,
+    generate_personas,
+)
+from repro.ondevice.sync import SyncCoordinator, kg_signature, offload_construction
+
+
+def _fleet(num_personas=40, seed=17):
+    config = PersonaWorldConfig(seed=seed, num_personas=num_personas)
+    personas = generate_personas(config)
+    data = generate_device_dataset("user", personas, config)
+    phone = Device(
+        "phone", DeviceProfile.named("phone"),
+        records={CONTACTS: data.records[CONTACTS], MESSAGES: data.records[MESSAGES]},
+    )
+    laptop = Device(
+        "laptop", DeviceProfile.named("laptop"),
+        records={CONTACTS: [], CALENDAR: data.records[CALENDAR]},
+    )
+    watch = Device(
+        "watch", DeviceProfile.named("watch"),
+        records={MESSAGES: list(data.records[MESSAGES][:40])},
+    )
+    return phone, laptop, watch
+
+
+@pytest.mark.parametrize("opt_out", [None, MESSAGES])
+def test_sync_convergence(benchmark, opt_out):
+    def run_sync():
+        phone, laptop, watch = _fleet()
+        if opt_out:
+            laptop.sync_preferences[opt_out] = False
+        coordinator = SyncCoordinator([phone, laptop, watch])
+        reports = coordinator.sync_until_stable()
+        return phone, laptop, watch, coordinator, reports
+
+    phone, laptop, watch, coordinator, reports = benchmark.pedantic(
+        run_sync, rounds=1, iterations=1
+    )
+    total_bytes = sum(r.bytes_moved for r in reports)
+    row = {
+        "opt_out_source": opt_out or "none",
+        "rounds_to_converge": len(reports),
+        "bytes_moved": total_bytes,
+        "contacts_consistent": coordinator.consistency_check(CONTACTS),
+        "calendar_consistent": coordinator.consistency_check(CALENDAR),
+        "laptop_has_messages": bool(laptop.records.get(MESSAGES)),
+    }
+    benchmark.extra_info.update(row)
+    record_result("F7-sync", row)
+
+
+def test_synced_devices_build_identical_kgs(benchmark):
+    def run():
+        phone, laptop, _watch = _fleet()
+        phone.sync_preferences[CALENDAR] = True
+        laptop.sync_preferences[MESSAGES] = True
+        SyncCoordinator([phone, laptop]).sync_until_stable()
+        return phone.build_kg(), laptop.build_kg()
+
+    phone_kg, laptop_kg = benchmark.pedantic(run, rounds=1, iterations=1)
+    identical = kg_signature(phone_kg) == kg_signature(laptop_kg)
+    assert identical
+    record_result(
+        "F7-sync-consistency",
+        {"devices": 2, "identical_kg": identical, "people": len(phone_kg.people)},
+    )
+
+
+def test_offload_weak_device(benchmark):
+    def run():
+        _phone, laptop, watch = _fleet()
+        return offload_construction(watch, laptop)
+
+    result, bytes_moved = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        "F7-offload",
+        {
+            "people_built": len(result.people),
+            "offload_bytes": bytes_moved,
+            "watch_can_build_locally": False,
+        },
+    )

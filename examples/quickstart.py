@@ -1,0 +1,60 @@
+"""Quickstart: generate a KG, train embeddings, use every Figure 2 service.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.common import ids
+from repro.core import KnowledgePlatform
+from repro.embeddings.trainer import TrainConfig
+
+
+def main() -> None:
+    # 1. A synthetic open-domain KG (stands in for the production KG).
+    platform, kg = KnowledgePlatform.from_synthetic(scale=0.5, seed=7)
+    stats = platform.store.stats()
+    print(f"KG: {stats.num_entities} entities, {stats.num_facts} facts, "
+          f"{stats.num_predicates} predicates")
+
+    # 2. Train KG embeddings through the §2 pipeline (filtered view → model).
+    result = platform.train_embeddings(
+        TrainConfig(model="complex", dim=32, epochs=20, seed=1)
+    )
+    print(f"Embeddings: MRR={result.evaluation.mrr:.3f} "
+          f"Hits@10={result.evaluation.hits_at_10:.3f} "
+          f"(view kept {result.view.facts_kept}/{result.view.facts_in} facts)")
+
+    # 3. Fact ranking: order a person's occupations by importance.
+    person = next(
+        p for p, order in kg.truth.occupation_order.items() if len(order) >= 2
+    )
+    name = kg.store.entity(person).name
+    ranked = platform.fact_ranker().rank(person, ids.predicate_id("occupation"))
+    print(f"\nFact ranking — occupations of {name}:")
+    for position, item in enumerate(ranked, 1):
+        print(f"  {position}. {kg.store.entity(item.obj).name}  (score={item.score:.2f})")
+
+    # 4. Fact verification: is a candidate fact plausible?
+    verifier = platform.fact_verifier()
+    true_occ = kg.truth.occupation_order[person][0]
+    verdict = verifier.verify(person, ids.predicate_id("occupation"), true_occ)
+    print(f"\nFact verification — <{name}, occupation, "
+          f"{kg.store.entity(true_occ).name}>: "
+          f"{'plausible' if verdict.plausible else 'implausible'} "
+          f"(margin={verdict.margin:+.2f})")
+
+    # 5. Related entities via traversal-specialized embeddings.
+    related = platform.related_entities("traversal").related(person, k=5)
+    print(f"\nRelated to {name}:")
+    for item in related:
+        print(f"  {kg.store.entity(item.entity).name}  (score={item.score:.2f})")
+
+    # 6. Semantic annotation of a query.
+    links = platform.annotator("full").annotate(f"{name} stats this season")
+    print("\nAnnotation of the query:")
+    for link in links:
+        print(f"  '{link.mention.surface}' → {kg.store.entity(link.entity).name} "
+              f"[{link.entity_type}]")
+
+
+if __name__ == "__main__":
+    main()

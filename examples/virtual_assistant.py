@@ -1,0 +1,108 @@
+"""A toy virtual assistant over the platform (the Figure 2 scenarios).
+
+Answers the four query shapes the paper motivates — fact questions with
+ranking, fact checks, related-entity suggestions, and ambiguous-name
+queries — by composing the platform's services.
+
+Run:  python examples/virtual_assistant.py
+"""
+
+from repro.common import ids
+from repro.core import KnowledgePlatform
+from repro.embeddings.trainer import TrainConfig
+
+
+class Assistant:
+    """Minimal query router over platform services."""
+
+    def __init__(self, platform: KnowledgePlatform) -> None:
+        self.platform = platform
+        self.store = platform.store
+        self.ranker = platform.fact_ranker()
+        self.verifier = platform.fact_verifier()
+        self.related = platform.related_entities("traversal")
+        self.annotator = platform.annotator("full")
+
+    def _link(self, text: str) -> str | None:
+        links = self.annotator.annotate(text)
+        return links[0].entity if links else None
+
+    def occupation_of(self, query: str) -> str:
+        entity = self._link(query)
+        if entity is None:
+            return "I don't know who that is."
+        ranked = self.ranker.rank(entity, ids.predicate_id("occupation"))
+        if not ranked:
+            return "No occupation on record."
+        names = [self.store.entity(r.obj).name for r in ranked]
+        primary, *rest = names
+        answer = f"{self.store.entity(entity).name} is primarily a {primary}"
+        if rest:
+            answer += f" (also: {', '.join(rest)})"
+        return answer + "."
+
+    def check_fact(self, query: str, occupation_name: str) -> str:
+        entity = self._link(query)
+        if entity is None:
+            return "I don't know who that is."
+        occupation = next(
+            (r.entity for r in self.store.entities()
+             if r.name == occupation_name and "type:occupation" in r.types),
+            None,
+        )
+        if occupation is None:
+            return f"I don't know the occupation '{occupation_name}'."
+        verdict = self.verifier.verify(
+            entity, ids.predicate_id("occupation"), occupation
+        )
+        return ("Correct." if verdict.plausible else "That looks wrong.") + (
+            f" (margin {verdict.margin:+.2f})"
+        )
+
+    def similar_to(self, query: str) -> str:
+        entity = self._link(query)
+        if entity is None:
+            return "I don't know who that is."
+        suggestions = self.related.related(entity, k=3)
+        names = [self.store.entity(s.entity).name for s in suggestions]
+        return f"People also look at: {', '.join(names)}." if names else "Nobody similar."
+
+
+def main() -> None:
+    platform, kg = KnowledgePlatform.from_synthetic(scale=0.5, seed=7)
+    platform.train_embeddings(TrainConfig(model="complex", dim=32, epochs=20, seed=1))
+    assistant = Assistant(platform)
+
+    # Pick a multi-occupation celebrity and an ambiguous name from the world.
+    person = max(
+        (p for p, order in kg.truth.occupation_order.items() if len(order) >= 2),
+        key=lambda p: kg.store.entity(p).popularity,
+    )
+    name = kg.store.entity(person).name
+    ambiguous_name, members = next(iter(kg.truth.ambiguous_names.items()))
+
+    print(f"Q: What is the occupation of {name}?")
+    print("A:", assistant.occupation_of(f"{name} occupation"))
+
+    true_occ = kg.store.entity(kg.truth.occupation_order[person][0]).name
+    print(f"\nQ: Is {name} a {true_occ}?")
+    print("A:", assistant.check_fact(f"{name}", true_occ))
+
+    print(f"\nQ: Who is similar to {name}?")
+    print("A:", assistant.similar_to(f"{name} news"))
+
+    # Ambiguity: same surface, different contexts (the Michael Jordan case).
+    contexts = {
+        members[0]: "game stats points team",
+        members[1]: "research students university lecture",
+    }
+    print(f"\nThe name '{ambiguous_name}' is shared by {len(members)} entities:")
+    for entity, context in contexts.items():
+        links = assistant.annotator.annotate(f"{ambiguous_name} {context}")
+        resolved = links[0].entity if links else None
+        label = kg.store.entity(resolved).description if resolved else "(no link)"
+        print(f"  '{ambiguous_name} {context.split()[0]} …' → {label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — a reproduction of "Growing and Serving Large Open-domain
+Knowledge Graphs" (Ilyas et al., SIGMOD-Companion 2023).
+
+The package implements the paper's four extensions to the Saga knowledge
+platform on top of a fully synthetic, deterministic substrate:
+
+* :mod:`repro.kg` — triple store, ontology, graph engine, views, synthetic
+  open-domain KG generator (the substrate standing in for Apple's KG);
+* :mod:`repro.embeddings` — the §2 embedding pipeline (view filtering,
+  shallow contrastive models, out-of-core partitioned training, inference);
+* :mod:`repro.vector` + :mod:`repro.services` — embedding service, fact
+  ranking/verification, related entities;
+* :mod:`repro.annotation` + :mod:`repro.web` — the §3 semantic annotation
+  platform and the synthetic Web it links to the KG;
+* :mod:`repro.odke` — the §4 open-domain knowledge extraction pipeline;
+* :mod:`repro.ondevice` — the §5 private on-device knowledge platform;
+* :mod:`repro.core` — an end-to-end facade wiring everything together.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

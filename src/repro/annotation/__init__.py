@@ -1,0 +1,63 @@
+"""§3 — Semantic annotation services (mention detection → entity linking)."""
+
+from repro.annotation.alias_table import AliasEntry, AliasTable
+from repro.annotation.candidates import CandidateGenerator, CandidateGeneratorConfig
+from repro.annotation.context_encoder import EntityContextIndex, HashingContextEncoder
+from repro.annotation.evaluation import (
+    AnnotationQualityReport,
+    evaluate_annotations,
+    evaluate_document,
+)
+from repro.annotation.mention import (
+    AnnotatedDocument,
+    Candidate,
+    EntityLink,
+    Mention,
+)
+from repro.annotation.mention_detection import (
+    DictionaryMentionDetector,
+    MentionDetectorConfig,
+)
+from repro.annotation.ner import EntityTyper
+from repro.annotation.pipeline import (
+    FULL_TIER,
+    LITE_TIER,
+    AnnotationPipeline,
+    AnnotationPipelineConfig,
+    make_pipeline,
+)
+from repro.annotation.reranker import ContextualReranker, RerankerConfig
+from repro.annotation.web_annotator import (
+    AnnotationRunReport,
+    AnnotationStore,
+    WebAnnotator,
+)
+
+__all__ = [
+    "FULL_TIER",
+    "LITE_TIER",
+    "AliasEntry",
+    "AliasTable",
+    "AnnotatedDocument",
+    "AnnotationPipeline",
+    "AnnotationPipelineConfig",
+    "AnnotationQualityReport",
+    "AnnotationRunReport",
+    "AnnotationStore",
+    "Candidate",
+    "CandidateGenerator",
+    "CandidateGeneratorConfig",
+    "ContextualReranker",
+    "DictionaryMentionDetector",
+    "EntityContextIndex",
+    "EntityLink",
+    "EntityTyper",
+    "HashingContextEncoder",
+    "Mention",
+    "MentionDetectorConfig",
+    "RerankerConfig",
+    "WebAnnotator",
+    "evaluate_annotations",
+    "evaluate_document",
+    "make_pipeline",
+]

@@ -1,0 +1,124 @@
+"""Alias table: surface form → candidate KG entities.
+
+The first stage of candidate generation.  Built from entity names and
+aliases in the store, keyed by :func:`repro.common.text.normalize_name`.
+Each candidate carries a popularity-derived *prior* — the baseline signal
+contextual reranking must beat on ambiguous names.
+
+The table is *dynamic* (§3.2: annotations must "surface new and updated
+entities from the KG"): ``refresh`` rebuilds from the live store, and the
+annotation service calls it when the KG version moves.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.common.text import char_ngrams, dice_similarity, normalize_name
+from repro.kg.store import TripleStore
+
+
+@dataclass(frozen=True)
+class AliasEntry:
+    """One (entity, prior) candidate for a surface form."""
+
+    entity: str
+    prior: float
+    exact: bool = True
+
+
+class AliasTable:
+    """Normalised-name lookup with optional fuzzy fallback."""
+
+    def __init__(self, store: TripleStore, fuzzy_threshold: float = 0.75) -> None:
+        self.store = store
+        self.fuzzy_threshold = fuzzy_threshold
+        self._exact: dict[str, list[AliasEntry]] = {}
+        self._by_first_char: dict[str, list[str]] = {}
+        self._built_version = -1
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Rebuild from the store (no-op when the store hasn't changed)."""
+        if self._built_version == self.store.version:
+            return
+        exact: dict[str, list[AliasEntry]] = defaultdict(list)
+        for record in self.store.entities():
+            surfaces = {record.name, *record.aliases}
+            for surface in surfaces:
+                key = normalize_name(surface)
+                if not key:
+                    continue
+                # Aliases are weaker evidence than the primary name.
+                weight = 1.0 if surface == record.name else 0.6
+                exact[key].append(
+                    AliasEntry(entity=record.entity, prior=record.popularity * weight)
+                )
+        # Normalise priors within each key so they form a distribution.
+        self._exact = {}
+        for key, entries in exact.items():
+            total = sum(entry.prior for entry in entries) or 1.0
+            self._exact[key] = sorted(
+                (
+                    AliasEntry(entity=e.entity, prior=e.prior / total, exact=True)
+                    for e in entries
+                ),
+                key=lambda e: (-e.prior, e.entity),
+            )
+        by_first: dict[str, list[str]] = defaultdict(list)
+        for key in self._exact:
+            by_first[key[0]].append(key)
+        self._by_first_char = dict(by_first)
+        self._built_version = self.store.version
+
+    @property
+    def is_stale(self) -> bool:
+        """True when the store changed since the last refresh."""
+        return self._built_version != self.store.version
+
+    def __len__(self) -> int:
+        return len(self._exact)
+
+    def lookup(self, surface: str) -> list[AliasEntry]:
+        """Exact-normalised candidates for ``surface`` (possibly empty)."""
+        return list(self._exact.get(normalize_name(surface), ()))
+
+    def lookup_fuzzy(self, surface: str, limit: int = 5) -> list[AliasEntry]:
+        """Fuzzy candidates via char-trigram Dice over same-initial keys.
+
+        Only used when exact lookup fails (typos, partial names); priors are
+        scaled by the similarity so fuzzy matches rank below exact ones.
+        """
+        key = normalize_name(surface)
+        if not key:
+            return []
+        exact = self._exact.get(key)
+        if exact:
+            return list(exact[:limit])
+        grams = char_ngrams(surface)
+        candidates: list[tuple[float, AliasEntry]] = []
+        for other_key in self._by_first_char.get(key[0], ()):
+            similarity = dice_similarity(grams, char_ngrams(other_key))
+            if similarity >= self.fuzzy_threshold:
+                for entry in self._exact[other_key]:
+                    candidates.append(
+                        (
+                            similarity,
+                            AliasEntry(
+                                entity=entry.entity,
+                                prior=entry.prior * similarity,
+                                exact=False,
+                            ),
+                        )
+                    )
+        candidates.sort(key=lambda item: (-item[1].prior, item[1].entity))
+        return [entry for _, entry in candidates[:limit]]
+
+    def contains(self, surface: str) -> bool:
+        """True when an exact-normalised entry exists for ``surface``."""
+        return normalize_name(surface) in self._exact
+
+    def max_key_tokens(self) -> int:
+        """Longest key length in tokens (bounds the detector's n-grams)."""
+        return max((key.count(" ") + 1 for key in self._exact), default=1)

@@ -1,0 +1,53 @@
+"""Candidate generation: mention → plausible KG entities with priors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.annotation.alias_table import AliasTable
+from repro.annotation.mention import Candidate, Mention
+from repro.common.text import name_similarity
+from repro.kg.store import TripleStore
+
+
+@dataclass
+class CandidateGeneratorConfig:
+    """Knobs of candidate generation."""
+
+    max_candidates: int = 8
+    enable_fuzzy: bool = True
+
+
+class CandidateGenerator:
+    """Alias-table candidates enriched with name-similarity features."""
+
+    def __init__(
+        self,
+        alias_table: AliasTable,
+        store: TripleStore,
+        config: CandidateGeneratorConfig | None = None,
+    ) -> None:
+        self.alias_table = alias_table
+        self.store = store
+        self.config = config or CandidateGeneratorConfig()
+
+    def generate(self, mention: Mention) -> list[Candidate]:
+        """Ranked candidates for ``mention`` (empty = NIL so far)."""
+        entries = self.alias_table.lookup(mention.surface)
+        if not entries and self.config.enable_fuzzy:
+            entries = self.alias_table.lookup_fuzzy(mention.surface)
+        candidates: list[Candidate] = []
+        for entry in entries[: self.config.max_candidates]:
+            entity_name = (
+                self.store.entity(entry.entity).name
+                if self.store.has_entity(entry.entity)
+                else entry.entity
+            )
+            candidates.append(
+                Candidate(
+                    entity=entry.entity,
+                    prior=entry.prior,
+                    name_similarity=name_similarity(mention.surface, entity_name),
+                )
+            )
+        return candidates

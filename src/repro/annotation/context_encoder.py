@@ -1,0 +1,109 @@
+"""Context embeddings via feature hashing.
+
+§3: contextual disambiguation "can be achieved by computing embeddings on
+the textual features of the KG entities (e.g., name, description,
+popularity) and computing a similarity with the query embedding".
+
+The encoder hashes content tokens into a fixed-dimension signed bag-of-
+words vector (deterministic across processes — see
+:func:`repro.common.rng.stable_hash`).  Entity context vectors are built
+from the entity's description, type names and neighbour names, then cached
+in a low-latency KV store exactly as §3.2 prescribes, so query-time work
+is one text hash + dot products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.kvstore import KVStore, MemoryKVStore
+from repro.common.rng import stable_hash
+from repro.common.text import content_tokens
+from repro.kg.store import TripleStore
+from repro.vector.similarity import normalize_rows
+
+
+class HashingContextEncoder:
+    """Signed feature-hashing text encoder (a fast linear 'model')."""
+
+    def __init__(self, dim: int = 256) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = dim
+
+    def encode_tokens(self, tokens: list[str]) -> np.ndarray:
+        """Unit-norm hashed embedding of a token list (zeros when empty)."""
+        vector = np.zeros(self.dim, dtype=np.float64)
+        for token in tokens:
+            slot = stable_hash(token, self.dim)
+            sign = 1.0 if stable_hash("sign:" + token, 2) else -1.0
+            vector[slot] += sign
+        return normalize_rows(vector[None, :])[0]
+
+    def encode_text(self, text: str) -> np.ndarray:
+        """Hashed embedding of raw text (stopwords removed)."""
+        return self.encode_tokens(content_tokens(text))
+
+
+class EntityContextIndex:
+    """Precomputed, cached context embeddings of KG entities.
+
+    The §3.2 price/performance optimisation: entity vectors are computed
+    once per KG version and served from the KV cache; only the *query*
+    side is embedded at annotation time.
+    """
+
+    def __init__(
+        self,
+        store: TripleStore,
+        encoder: HashingContextEncoder | None = None,
+        cache: KVStore | None = None,
+        neighbor_limit: int = 16,
+    ) -> None:
+        self.store = store
+        self.encoder = encoder or HashingContextEncoder()
+        self.cache = cache or MemoryKVStore()
+        self.neighbor_limit = neighbor_limit
+        self._built_version = -1
+
+    def build(self) -> int:
+        """(Re)compute vectors for every entity; returns count built."""
+        count = 0
+        for record in self.store.entities():
+            self.cache.put(record.entity, self._compute(record.entity))
+            count += 1
+        self._built_version = self.store.version
+        return count
+
+    @property
+    def is_stale(self) -> bool:
+        """True when the store changed since the last build."""
+        return self._built_version != self.store.version
+
+    def vector(self, entity: str) -> np.ndarray:
+        """Cached context vector (computed on miss)."""
+        cached = self.cache.get(entity)
+        if cached is not None:
+            return cached
+        vector = self._compute(entity)
+        self.cache.put(entity, vector)
+        return vector
+
+    def _compute(self, entity: str) -> np.ndarray:
+        """Description + type names + neighbour names, hashed."""
+        if not self.store.has_entity(entity):
+            return np.zeros(self.encoder.dim)
+        record = self.store.entity(entity)
+        tokens = content_tokens(record.description)
+        for type_id in record.types:
+            tokens.extend(type_id.split(":")[-1].split("_"))
+        neighbors = sorted(self.store.neighbors(entity))[: self.neighbor_limit]
+        for neighbor in neighbors:
+            if self.store.has_entity(neighbor):
+                tokens.extend(content_tokens(self.store.entity(neighbor).name))
+        return self.encoder.encode_tokens(tokens)
+
+    def similarity(self, query_vector: np.ndarray, entity: str) -> float:
+        """Cosine between a query vector and an entity's context vector."""
+        entity_vector = self.vector(entity)
+        return float(np.dot(query_vector, entity_vector))

@@ -1,0 +1,112 @@
+"""Annotation quality evaluation against gold mentions.
+
+A predicted link is *correct* when its span overlaps a gold mention and it
+resolves to the gold entity.  Besides micro precision/recall/F1, we report
+*disambiguation accuracy* restricted to mentions whose surface is shared by
+several KG entities — the "Michael Jordan" metric that motivates contextual
+reranking in §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.annotation.mention import EntityLink
+from repro.common.text import normalize_name
+from repro.web.document import GoldMention, WebDocument
+
+
+@dataclass
+class AnnotationQualityReport:
+    """Micro-averaged linking quality over a document collection."""
+
+    precision: float
+    recall: float
+    f1: float
+    disambiguation_accuracy: float
+    num_gold: int
+    num_predicted: int
+    num_ambiguous_gold: int
+
+
+def _spans_overlap(a_start: int, a_end: int, b_start: int, b_end: int) -> bool:
+    return a_start < b_end and b_start < a_end
+
+
+def evaluate_document(
+    links: list[EntityLink], gold: tuple[GoldMention, ...]
+) -> tuple[int, int, int]:
+    """(true positives, predicted, gold) for one document."""
+    matched_gold: set[int] = set()
+    true_positives = 0
+    for link in links:
+        for gold_index, mention in enumerate(gold):
+            if gold_index in matched_gold:
+                continue
+            if (
+                _spans_overlap(link.mention.start, link.mention.end, mention.start, mention.end)
+                and link.entity == mention.entity
+            ):
+                matched_gold.add(gold_index)
+                true_positives += 1
+                break
+    return true_positives, len(links), len(gold)
+
+
+def evaluate_annotations(
+    predictions: dict[str, list[EntityLink]],
+    documents: list[WebDocument],
+    ambiguous_names: dict[str, list[str]] | None = None,
+) -> AnnotationQualityReport:
+    """Micro P/R/F1 plus disambiguation accuracy on ambiguous surfaces.
+
+    ``predictions`` maps doc_id → links (offsets in ``doc.text``);
+    ``ambiguous_names`` is the generator's name → entities map.
+    """
+    tp = 0
+    predicted = 0
+    gold_total = 0
+    ambiguous_correct = 0
+    ambiguous_total = 0
+    ambiguous_keys = {
+        normalize_name(name) for name in (ambiguous_names or {})
+    }
+
+    for doc in documents:
+        links = predictions.get(doc.doc_id, [])
+        doc_tp, doc_pred, doc_gold = evaluate_document(links, doc.gold_mentions)
+        tp += doc_tp
+        predicted += doc_pred
+        gold_total += doc_gold
+
+        if ambiguous_keys:
+            for mention in doc.gold_mentions:
+                if normalize_name(mention.surface) not in ambiguous_keys:
+                    continue
+                ambiguous_total += 1
+                for link in links:
+                    if _spans_overlap(
+                        link.mention.start, link.mention.end, mention.start, mention.end
+                    ):
+                        if link.entity == mention.entity:
+                            ambiguous_correct += 1
+                        break
+
+    precision = tp / predicted if predicted else 0.0
+    recall = tp / gold_total if gold_total else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return AnnotationQualityReport(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        disambiguation_accuracy=(
+            ambiguous_correct / ambiguous_total if ambiguous_total else 0.0
+        ),
+        num_gold=gold_total,
+        num_predicted=predicted,
+        num_ambiguous_gold=ambiguous_total,
+    )

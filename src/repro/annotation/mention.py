@@ -1,0 +1,83 @@
+"""Data model of the semantic annotation services.
+
+A :class:`Mention` is a detected span; a :class:`Candidate` is one KG
+entity that could be its referent; an :class:`EntityLink` is the resolved
+annotation.  An :class:`AnnotatedDocument` aggregates a page's links —
+the "edges to open-domain Web content" the paper adds to the KG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Mention:
+    """A detected span of text that may refer to a KG entity."""
+
+    start: int
+    end: int
+    surface: str
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty mention span [{self.start}, {self.end})")
+
+
+@dataclass
+class Candidate:
+    """One possible referent of a mention, with its feature scores."""
+
+    entity: str
+    prior: float = 0.0
+    name_similarity: float = 0.0
+    context_similarity: float = 0.0
+    coherence: float = 0.0
+    score: float = 0.0
+
+
+@dataclass
+class EntityLink:
+    """A resolved annotation: mention → entity."""
+
+    mention: Mention
+    entity: str
+    score: float
+    entity_type: str = "OTHER"
+    candidates: list[Candidate] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "start": self.mention.start,
+            "end": self.mention.end,
+            "surface": self.mention.surface,
+            "entity": self.entity,
+            "score": self.score,
+            "entity_type": self.entity_type,
+        }
+
+
+@dataclass
+class AnnotatedDocument:
+    """All annotations of one web document (plus processing metadata)."""
+
+    doc_id: str
+    links: list[EntityLink] = field(default_factory=list)
+    content_hash: str = ""
+    annotated_at: float = 0.0
+    pipeline_tier: str = "full"
+
+    @property
+    def entities(self) -> set[str]:
+        """Distinct entities linked in this document."""
+        return {link.entity for link in self.links}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "doc_id": self.doc_id,
+            "links": [link.to_dict() for link in self.links],
+            "content_hash": self.content_hash,
+            "annotated_at": self.annotated_at,
+            "pipeline_tier": self.pipeline_tier,
+        }

@@ -1,0 +1,64 @@
+"""Mention detection: find spans that may refer to KG entities.
+
+A dictionary-driven detector: scans token n-grams (longest first) against
+the alias table, with a capitalisation gate so common lowercase words
+("root" the noun vs. "Root" the cricketer) don't fire spurious mentions.
+Modular per §3.2 — the pipeline accepts any detector implementing
+``detect(text)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.annotation.alias_table import AliasTable
+from repro.annotation.mention import Mention
+from repro.common.text import tokenize_with_offsets
+
+
+@dataclass
+class MentionDetectorConfig:
+    """Knobs of the dictionary detector."""
+
+    max_ngram: int = 4
+    require_capitalized: bool = True
+    min_surface_chars: int = 2
+
+
+class DictionaryMentionDetector:
+    """Greedy longest-match detection against the alias table."""
+
+    def __init__(
+        self, alias_table: AliasTable, config: MentionDetectorConfig | None = None
+    ) -> None:
+        self.alias_table = alias_table
+        self.config = config or MentionDetectorConfig()
+
+    def detect(self, text: str) -> list[Mention]:
+        """Non-overlapping mentions, left to right, longest match first."""
+        tokens = tokenize_with_offsets(text)
+        config = self.config
+        max_ngram = min(config.max_ngram, self.alias_table.max_key_tokens())
+        mentions: list[Mention] = []
+        i = 0
+        while i < len(tokens):
+            matched = False
+            for n in range(min(max_ngram, len(tokens) - i), 0, -1):
+                window = tokens[i : i + n]
+                surface = text[window[0][1] : window[-1][2]]
+                if len(surface) < config.min_surface_chars:
+                    continue
+                if config.require_capitalized and not any(
+                    tok[0][:1].isupper() for tok in window
+                ):
+                    continue
+                if self.alias_table.contains(surface):
+                    mentions.append(
+                        Mention(start=window[0][1], end=window[-1][2], surface=surface)
+                    )
+                    i += n
+                    matched = True
+                    break
+            if not matched:
+                i += 1
+        return mentions

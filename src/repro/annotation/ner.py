@@ -1,0 +1,69 @@
+"""Coarse named-entity typing of mentions.
+
+The annotation pipeline attaches an entity-type label to each link (§3.1:
+pages are annotated "including the corresponding entity types").  The
+typer maps the linked entity's ontology types onto coarse NER classes and
+falls back to contextual cues when the entity is unknown.
+"""
+
+from __future__ import annotations
+
+from repro.kg.store import TripleStore
+
+PERSON = "PERSON"
+ORGANIZATION = "ORG"
+PLACE = "PLACE"
+WORK = "WORK"
+OTHER = "OTHER"
+
+_TYPE_TO_LABEL = [
+    ("type:person", PERSON),
+    ("type:athlete", PERSON),
+    ("type:organization", ORGANIZATION),
+    ("type:sports_team", ORGANIZATION),
+    ("type:university", ORGANIZATION),
+    ("type:record_label", ORGANIZATION),
+    ("type:place", PLACE),
+    ("type:city", PLACE),
+    ("type:country", PLACE),
+    ("type:creative_work", WORK),
+    ("type:film", WORK),
+    ("type:album", WORK),
+    ("type:tv_show", WORK),
+]
+
+_CONTEXT_CUES = {
+    PERSON: {"mr", "mrs", "dr", "professor", "player", "actor", "singer"},
+    ORGANIZATION: {"team", "club", "university", "label", "company"},
+    PLACE: {"city", "town", "country", "visit", "located"},
+    WORK: {"film", "movie", "album", "show", "watch", "released"},
+}
+
+
+class EntityTyper:
+    """Resolve coarse NER labels from KG types (with context fallback)."""
+
+    def __init__(self, store: TripleStore) -> None:
+        self.store = store
+
+    def label_for_entity(self, entity: str) -> str:
+        """Coarse label of a known entity (OTHER when untyped/unknown)."""
+        if not self.store.has_entity(entity):
+            return OTHER
+        types = set(self.store.entity(entity).types)
+        for type_id, label in _TYPE_TO_LABEL:
+            if type_id in types:
+                return label
+        return OTHER
+
+    @staticmethod
+    def label_from_context(context_tokens: list[str]) -> str:
+        """Best-guess label from nearby tokens (used for NIL mentions)."""
+        token_set = {token.lower() for token in context_tokens}
+        best_label = OTHER
+        best_hits = 0
+        for label, cues in _CONTEXT_CUES.items():
+            hits = len(token_set & cues)
+            if hits > best_hits:
+                best_label, best_hits = label, hits
+        return best_label

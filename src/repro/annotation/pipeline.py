@@ -1,0 +1,229 @@
+"""The modular annotation pipeline: detect → candidates → rerank → type.
+
+§3.2: the service is "(1) modular, allowing custom deployments for
+different use-cases; for example, to balance the requirements for quality
+(precision and recall) and performance (latency and throughput)".
+
+:func:`make_pipeline` wires the standard tiers:
+
+* ``full`` — context reranking (+ optional graph-embedding coherence),
+* ``lite`` — prior + name similarity only (faster, for bulk passes),
+
+and custom deployments can hand-assemble the stages.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.annotation.alias_table import AliasTable
+from repro.annotation.candidates import CandidateGenerator, CandidateGeneratorConfig
+from repro.annotation.context_encoder import EntityContextIndex, HashingContextEncoder
+from repro.annotation.mention import AnnotatedDocument, Candidate, EntityLink, Mention
+from repro.annotation.mention_detection import (
+    DictionaryMentionDetector,
+    MentionDetectorConfig,
+)
+from repro.annotation.ner import EntityTyper
+from repro.annotation.reranker import ContextualReranker, RerankerConfig
+from repro.common.metrics import MetricsRegistry
+from repro.common.text import tokenize
+from repro.kg.store import TripleStore
+from repro.vector.service import EmbeddingService
+from repro.web.document import WebDocument
+
+FULL_TIER = "full"
+LITE_TIER = "lite"
+
+
+@dataclass
+class AnnotationPipelineConfig:
+    """Assembled pipeline configuration."""
+
+    tier: str = FULL_TIER
+    context_window_chars: int = 160
+    detector: MentionDetectorConfig | None = None
+    candidates: CandidateGeneratorConfig | None = None
+    reranker: RerankerConfig | None = None
+
+
+class AnnotationPipeline:
+    """Annotates raw text or web documents with KG entity links."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        alias_table: AliasTable,
+        detector: DictionaryMentionDetector,
+        candidate_generator: CandidateGenerator,
+        reranker: ContextualReranker,
+        typer: EntityTyper,
+        encoder: HashingContextEncoder | None = None,
+        tier: str = FULL_TIER,
+        context_window_chars: int = 160,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.store = store
+        self.alias_table = alias_table
+        self.detector = detector
+        self.candidate_generator = candidate_generator
+        self.reranker = reranker
+        self.typer = typer
+        self.encoder = encoder
+        self.tier = tier
+        self.context_window_chars = context_window_chars
+        self.metrics = metrics or MetricsRegistry("annotation")
+
+    def annotate(self, text: str) -> list[EntityLink]:
+        """Entity links for raw text (the query-annotation use case)."""
+        with self.metrics.timed("annotate"):
+            links = self._annotate_text(text)
+        self.metrics.incr("texts")
+        self.metrics.incr("links", len(links))
+        return links
+
+    def annotate_document(self, doc: WebDocument, annotated_at: float = 0.0) -> AnnotatedDocument:
+        """Annotate a web document's title + body."""
+        links = self.annotate(doc.full_text)
+        # Offsets in full_text are shifted by the title + newline prefix;
+        # keep only body links and rebase them onto doc.text offsets.
+        prefix = len(doc.title) + 1
+        body_links: list[EntityLink] = []
+        for link in links:
+            if link.mention.start >= prefix:
+                rebased = Mention(
+                    start=link.mention.start - prefix,
+                    end=link.mention.end - prefix,
+                    surface=link.mention.surface,
+                )
+                body_links.append(
+                    EntityLink(
+                        mention=rebased,
+                        entity=link.entity,
+                        score=link.score,
+                        entity_type=link.entity_type,
+                        candidates=link.candidates,
+                    )
+                )
+        return AnnotatedDocument(
+            doc_id=doc.doc_id,
+            links=body_links,
+            content_hash=doc.content_hash,
+            annotated_at=annotated_at or time.time(),
+            pipeline_tier=self.tier,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _annotate_text(self, text: str) -> list[EntityLink]:
+        if self.alias_table.is_stale:
+            self.alias_table.refresh()
+        mentions = self.detector.detect(text)
+        self.metrics.incr("mentions", len(mentions))
+
+        resolved: list[EntityLink] = []
+        use_coherence = self.reranker.config.use_coherence
+        # First pass: context-only resolution.
+        first_pass: list[tuple[Mention, list[Candidate]]] = []
+        for mention in mentions:
+            candidates = self.candidate_generator.generate(mention)
+            if not candidates:
+                self.metrics.incr("nil.no_candidates")
+                continue
+            query_vector = self._query_vector(text, mention)
+            self.reranker.rerank(candidates, query_vector=query_vector)
+            first_pass.append((mention, candidates))
+
+        document_entities = [
+            cands[0].entity for _, cands in first_pass if cands
+        ]
+        for mention, candidates in first_pass:
+            if use_coherence and len(document_entities) > 1:
+                query_vector = self._query_vector(text, mention)
+                self.reranker.rerank(
+                    candidates,
+                    query_vector=query_vector,
+                    document_entities=document_entities,
+                )
+            best = candidates[0]
+            if not self.reranker.accepts(best):
+                self.metrics.incr("nil.below_threshold")
+                continue
+            resolved.append(
+                EntityLink(
+                    mention=mention,
+                    entity=best.entity,
+                    score=best.score,
+                    entity_type=self.typer.label_for_entity(best.entity),
+                    candidates=candidates,
+                )
+            )
+        return resolved
+
+    def _query_vector(self, text: str, mention: Mention):
+        """Hashed embedding of the text window around ``mention``."""
+        if self.encoder is None:
+            return None
+        radius = self.context_window_chars
+        lo = max(0, mention.start - radius)
+        hi = min(len(text), mention.end + radius)
+        window = text[lo : mention.start] + " " + text[mention.end : hi]
+        return self.encoder.encode_tokens(tokenize(window))
+
+
+def make_pipeline(
+    store: TripleStore,
+    tier: str = FULL_TIER,
+    embedding_service: EmbeddingService | None = None,
+    context_index: EntityContextIndex | None = None,
+    config: AnnotationPipelineConfig | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> AnnotationPipeline:
+    """Assemble a standard pipeline for ``tier`` over ``store``.
+
+    ``full`` builds (or reuses) an :class:`EntityContextIndex` and enables
+    context reranking; passing an ``embedding_service`` additionally
+    enables the graph-embedding coherence feature.  ``lite`` uses priors
+    and name similarity only.
+    """
+    config = config or AnnotationPipelineConfig(tier=tier)
+    alias_table = AliasTable(store)
+    detector = DictionaryMentionDetector(alias_table, config.detector)
+    candidate_generator = CandidateGenerator(alias_table, store, config.candidates)
+    typer = EntityTyper(store)
+
+    encoder: HashingContextEncoder | None = None
+    if tier == FULL_TIER:
+        if context_index is None:
+            context_index = EntityContextIndex(store)
+            context_index.build()
+        elif context_index.is_stale:
+            context_index.build()
+        encoder = context_index.encoder
+        reranker_config = config.reranker or RerankerConfig(
+            use_context=True, use_coherence=embedding_service is not None
+        )
+    else:
+        reranker_config = config.reranker or RerankerConfig(
+            use_context=False, use_coherence=False, weight_context=0.0
+        )
+        context_index = None
+
+    reranker = ContextualReranker(
+        context_index=context_index,
+        embedding_service=embedding_service,
+        config=reranker_config,
+    )
+    return AnnotationPipeline(
+        store=store,
+        alias_table=alias_table,
+        detector=detector,
+        candidate_generator=candidate_generator,
+        reranker=reranker,
+        typer=typer,
+        encoder=encoder,
+        tier=tier,
+        context_window_chars=config.context_window_chars,
+        metrics=metrics,
+    )

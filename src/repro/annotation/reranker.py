@@ -1,0 +1,109 @@
+"""Contextual reranking: choose the right entity among name-sharing ones.
+
+§3: "Michael Jordan stats" must link the basketball player while "Michael
+Jordan students" links the professor — "lexical similarity-based features
+alone cannot disambiguate".  The reranker scores candidates with:
+
+* ``prior``              — popularity-derived alias prior,
+* ``name_similarity``    — surface vs. canonical name,
+* ``context_similarity`` — hashed query-context vs. cached entity-context
+  embedding (§3's "similarity with the query embedding"),
+* ``coherence``          — optional: graph-embedding similarity to the
+  other entities linked in the same document (the §2 claim that graph
+  embeddings "support entity linking").
+
+Tiers: the ``full`` configuration uses all features; ``lite`` drops the
+context/coherence features for throughput — the price/performance knob of
+§3.2, ablated in the entity-linking benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.annotation.context_encoder import EntityContextIndex
+from repro.annotation.mention import Candidate
+from repro.vector.service import EmbeddingService
+
+
+@dataclass
+class RerankerConfig:
+    """Feature weights (a simple linear model, as deployable rerankers are)."""
+
+    weight_prior: float = 1.0
+    weight_name: float = 0.5
+    weight_context: float = 2.0
+    weight_coherence: float = 1.0
+    use_context: bool = True
+    use_coherence: bool = False
+    nil_threshold: float = 0.05
+
+
+class ContextualReranker:
+    """Linear reranker over candidate features."""
+
+    def __init__(
+        self,
+        context_index: EntityContextIndex | None = None,
+        embedding_service: EmbeddingService | None = None,
+        config: RerankerConfig | None = None,
+    ) -> None:
+        self.config = config or RerankerConfig()
+        self.context_index = context_index
+        self.embedding_service = embedding_service
+        if self.config.use_context and context_index is None:
+            raise ValueError("use_context requires a context index")
+
+    def rerank(
+        self,
+        candidates: list[Candidate],
+        query_vector: np.ndarray | None = None,
+        document_entities: list[str] | None = None,
+    ) -> list[Candidate]:
+        """Score and sort candidates (best first); scores are attached.
+
+        ``query_vector`` is the hashed context of the mention's window;
+        ``document_entities`` are first-pass entities of the same document
+        for the coherence feature.
+        """
+        cfg = self.config
+        for candidate in candidates:
+            if cfg.use_context and query_vector is not None:
+                candidate.context_similarity = self.context_index.similarity(
+                    query_vector, candidate.entity
+                )
+            if (
+                cfg.use_coherence
+                and self.embedding_service is not None
+                and document_entities
+            ):
+                candidate.coherence = self._coherence(
+                    candidate.entity, document_entities
+                )
+            candidate.score = (
+                cfg.weight_prior * candidate.prior
+                + cfg.weight_name * candidate.name_similarity
+                + cfg.weight_context * candidate.context_similarity
+                + cfg.weight_coherence * candidate.coherence
+            )
+        candidates.sort(key=lambda c: (-c.score, c.entity))
+        return candidates
+
+    def _coherence(self, entity: str, document_entities: list[str]) -> float:
+        """Mean graph-embedding similarity to the document's other entities."""
+        service = self.embedding_service
+        assert service is not None
+        if not service.has_entity(entity):
+            return 0.0
+        similarities = [
+            service.similarity(entity, other)
+            for other in document_entities
+            if other != entity and service.has_entity(other)
+        ]
+        return float(np.mean(similarities)) if similarities else 0.0
+
+    def accepts(self, best: Candidate) -> bool:
+        """NIL gate: link only when the best score clears the threshold."""
+        return best.score >= self.config.nil_threshold

@@ -1,0 +1,6 @@
+"""Shared infrastructure: ids, errors, rng, text, kvstore, metrics, io."""
+
+from repro.common.errors import ReproError
+from repro.common.metrics import MetricsRegistry
+
+__all__ = ["ReproError", "MetricsRegistry"]

@@ -1,0 +1,114 @@
+"""Lightweight operational metrics: counters, gauges and timers.
+
+Production services in the paper track throughput, latency and cache hit
+rates to navigate the price/performance curve (§3.1).  This registry gives
+every subsystem a uniform way to expose those numbers; benchmarks read them
+back to report the same quantities the paper discusses.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class TimerStats:
+    """Summary statistics of a named timer."""
+
+    count: int
+    total_s: float
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    max_s: float
+
+
+@dataclass
+class MetricsRegistry:
+    """A named bag of counters, gauges and timing samples.
+
+    Instances are cheap; subsystems create their own and parents can
+    :meth:`merge` children for fleet-level reporting (used by the sharded
+    web annotator).
+    """
+
+    name: str = "metrics"
+    counters: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    gauges: dict[str, float] = field(default_factory=dict)
+    timings: dict[str, list[float]] = field(default_factory=lambda: defaultdict(list))
+
+    def incr(self, counter: str, amount: int = 1) -> None:
+        """Increment ``counter`` by ``amount``."""
+        self.counters[counter] += amount
+
+    def gauge(self, gauge: str, value: float) -> None:
+        """Set ``gauge`` to ``value`` (last write wins)."""
+        self.gauges[gauge] = value
+
+    def observe(self, timer: str, seconds: float) -> None:
+        """Record one timing sample for ``timer``."""
+        self.timings[timer].append(seconds)
+
+    @contextmanager
+    def timed(self, timer: str) -> Iterator[None]:
+        """Context manager recording the elapsed wall time under ``timer``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(timer, time.perf_counter() - start)
+
+    def timer_stats(self, timer: str) -> TimerStats:
+        """Summary of a timer's samples; zeroes when never observed."""
+        samples = self.timings.get(timer, [])
+        if not samples:
+            return TimerStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+        return TimerStats(
+            count=len(ordered),
+            total_s=sum(ordered),
+            mean_s=statistics.fmean(ordered),
+            p50_s=_quantile(ordered, 0.50),
+            p95_s=_quantile(ordered, 0.95),
+            max_s=ordered[-1],
+        )
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s measurements into this registry."""
+        for key, value in other.counters.items():
+            self.counters[key] += value
+        self.gauges.update(other.gauges)
+        for key, samples in other.timings.items():
+            self.timings[key].extend(samples)
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat dict of all metrics, for logging and benchmark tables."""
+        out: dict[str, float] = {}
+        for key, value in self.counters.items():
+            out[f"counter.{key}"] = float(value)
+        for key, value in self.gauges.items():
+            out[f"gauge.{key}"] = value
+        for key in self.timings:
+            stats = self.timer_stats(key)
+            out[f"timer.{key}.count"] = float(stats.count)
+            out[f"timer.{key}.mean_s"] = stats.mean_s
+            out[f"timer.{key}.p95_s"] = stats.p95_s
+        return out
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Quantile of a pre-sorted sample via linear interpolation."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lo = int(position)
+    hi = min(lo + 1, len(ordered) - 1)
+    fraction = position - lo
+    return ordered[lo] * (1 - fraction) + ordered[hi] * fraction

@@ -1,0 +1,5 @@
+"""End-to-end platform facade (Figure 1)."""
+
+from repro.core.platform import KnowledgePlatform, PlatformConfig
+
+__all__ = ["KnowledgePlatform", "PlatformConfig"]

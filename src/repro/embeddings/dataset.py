@@ -1,0 +1,131 @@
+"""Training datasets: KG facts mapped to contiguous index triples.
+
+The bridge between the symbolic store/view layer and the numeric models: a
+:class:`TripleDataset` holds entity/relation vocabularies and an ``(n, 3)``
+int array of (head, relation, tail) indices.  Only entity-valued facts are
+embeddable; literal facts never reach this layer (the §2 views usually drop
+them first, but the dataset builder guards regardless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import EmbeddingError
+from repro.common.rng import substream
+from repro.kg.store import TripleStore
+from repro.kg.triple import ObjectKind
+
+
+@dataclass
+class TripleDataset:
+    """Index-encoded entity-to-entity facts of one store/view."""
+
+    entities: list[str]
+    relations: list[str]
+    triples: np.ndarray  # (n, 3) int64: head, relation, tail
+    entity_index: dict[str, int] = field(default_factory=dict)
+    relation_index: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.entity_index:
+            self.entity_index = {e: i for i, e in enumerate(self.entities)}
+        if not self.relation_index:
+            self.relation_index = {r: i for i, r in enumerate(self.relations)}
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.entities)
+
+    @property
+    def num_relations(self) -> int:
+        return len(self.relations)
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def known_set(self) -> set[tuple[int, int, int]]:
+        """Set of all (h, r, t) index triples, for filtered sampling/eval."""
+        return {tuple(int(x) for x in row) for row in self.triples}
+
+    def encode(self, subject: str, predicate: str, obj: str) -> tuple[int, int, int]:
+        """Map a symbolic triple to indices (raises for unknown symbols)."""
+        try:
+            return (
+                self.entity_index[subject],
+                self.relation_index[predicate],
+                self.entity_index[obj],
+            )
+        except KeyError as exc:
+            raise EmbeddingError(f"symbol not in dataset vocabulary: {exc}") from None
+
+    def decode(self, h: int, r: int, t: int) -> tuple[str, str, str]:
+        """Map index triple back to symbols."""
+        return (self.entities[h], self.relations[r], self.entities[t])
+
+    def split(
+        self, valid_fraction: float = 0.05, test_fraction: float = 0.05, seed: int = 0
+    ) -> tuple["TripleDataset", np.ndarray, np.ndarray]:
+        """Shuffle-split into (train dataset, valid triples, test triples).
+
+        The returned train dataset keeps the full vocabulary so held-out
+        triples stay encodable.
+        """
+        if valid_fraction + test_fraction >= 1.0:
+            raise EmbeddingError("validation + test fractions must sum below 1")
+        rng = substream(seed, "dataset-split")
+        order = rng.permutation(len(self.triples))
+        shuffled = self.triples[order]
+        n_valid = int(len(shuffled) * valid_fraction)
+        n_test = int(len(shuffled) * test_fraction)
+        valid = shuffled[:n_valid]
+        test = shuffled[n_valid : n_valid + n_test]
+        train = shuffled[n_valid + n_test :]
+        train_ds = TripleDataset(
+            entities=self.entities,
+            relations=self.relations,
+            triples=train,
+            entity_index=self.entity_index,
+            relation_index=self.relation_index,
+        )
+        return train_ds, valid, test
+
+
+def build_dataset(store: TripleStore) -> TripleDataset:
+    """Encode every entity-valued fact of ``store`` into a dataset.
+
+    Vocabulary order is deterministic (sorted), so the same store yields
+    the same index assignment across runs.
+    """
+    entity_set: set[str] = set()
+    relation_set: set[str] = set()
+    rows: list[tuple[str, str, str]] = []
+    for fact in store.scan():
+        if fact.obj_kind is not ObjectKind.ENTITY:
+            continue
+        entity_set.add(fact.subject)
+        entity_set.add(fact.obj)
+        relation_set.add(fact.predicate)
+        rows.append(fact.key)
+    if not rows:
+        raise EmbeddingError("store has no entity-valued facts to embed")
+    entities = sorted(entity_set)
+    relations = sorted(relation_set)
+    entity_index = {e: i for i, e in enumerate(entities)}
+    relation_index = {r: i for i, r in enumerate(relations)}
+    triples = np.array(
+        [
+            (entity_index[s], relation_index[p], entity_index[o])
+            for s, p, o in sorted(rows)
+        ],
+        dtype=np.int64,
+    )
+    return TripleDataset(
+        entities=entities,
+        relations=relations,
+        triples=triples,
+        entity_index=entity_index,
+        relation_index=relation_index,
+    )

@@ -1,0 +1,105 @@
+"""Shallow KG embedding models: the common interface.
+
+§2 distinguishes *shallow* embedding models (entity/relation matrices
+trained with a contrastive objective over existing and non-existing edges)
+from reasoning-based models.  This package implements the shallow family —
+TransE, DistMult and ComplEx — on NumPy with a uniform interface:
+
+* ``score(h, r, t)``   — plausibility of index triples (vectorized),
+* ``grads(h, r, t, dscore)`` — per-row gradients given upstream ∂loss/∂score,
+* parameter access for the sparse AdaGrad optimiser in the trainer.
+
+Index triples refer to rows of ``entity_emb`` / ``relation_emb``; the
+mapping from KG identifiers to indices lives in the training dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import EmbeddingError
+
+
+@dataclass
+class ModelConfig:
+    """Hyper-parameters shared by all shallow models."""
+
+    dim: int = 32
+    init_scale: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0:
+            raise EmbeddingError(f"dim must be positive, got {self.dim}")
+
+
+class KGEmbeddingModel:
+    """Base class holding entity and relation parameter matrices.
+
+    Subclasses define the scoring function and its gradients.  The storage
+    dimension (``storage_dim``) may differ from the nominal embedding
+    dimension (ComplEx stores real and imaginary halves side by side).
+    """
+
+    name = "base"
+
+    def __init__(self, num_entities: int, num_relations: int, config: ModelConfig) -> None:
+        if num_entities <= 0 or num_relations <= 0:
+            raise EmbeddingError(
+                f"need positive vocab sizes, got {num_entities} entities, "
+                f"{num_relations} relations"
+            )
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        shape_e = (num_entities, self.storage_dim)
+        shape_r = (num_relations, self.storage_dim)
+        self.entity_emb = rng.uniform(-config.init_scale, config.init_scale, shape_e)
+        self.relation_emb = rng.uniform(-config.init_scale, config.init_scale, shape_r)
+
+    @property
+    def storage_dim(self) -> int:
+        """Width of the parameter matrices (== ``config.dim`` by default)."""
+        return self.config.dim
+
+    # -- scoring -----------------------------------------------------------
+
+    def score(self, h: np.ndarray, r: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Plausibility scores of index triples (higher = more plausible)."""
+        raise NotImplementedError
+
+    def grads(
+        self, h: np.ndarray, r: np.ndarray, t: np.ndarray, dscore: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gradients of ``dscore @ score`` w.r.t. the h/r/t embedding rows.
+
+        Returns arrays of shape ``(batch, storage_dim)`` aligned with the
+        input index arrays.
+        """
+        raise NotImplementedError
+
+    # -- convenience -----------------------------------------------------------
+
+    def score_triples(self, triples: np.ndarray) -> np.ndarray:
+        """Scores for an ``(n, 3)`` array of (h, r, t) index triples."""
+        triples = np.asarray(triples)
+        return self.score(triples[:, 0], triples[:, 1], triples[:, 2])
+
+    def entity_vectors(self, indices: np.ndarray | None = None) -> np.ndarray:
+        """Entity embedding rows (a copy), all rows when ``indices`` is None."""
+        if indices is None:
+            return self.entity_emb.copy()
+        return self.entity_emb[np.asarray(indices)].copy()
+
+    def normalize_entities(self) -> None:
+        """Project entity embeddings onto the unit ball (TransE-style).
+
+        No-op by default; distance-based models override.
+        """
+
+    def parameter_count(self) -> int:
+        """Total number of learned parameters."""
+        return self.entity_emb.size + self.relation_emb.size

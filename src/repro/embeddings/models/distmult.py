@@ -1,0 +1,29 @@
+"""DistMult: bilinear-diagonal semantic matching model (Yang et al., 2014).
+
+``score(h, r, t) = <e_h, w_r, e_t> = Σ_d e_h[d] · w_r[d] · e_t[d]``.
+The paper cites semantic-matching models via [22] (§6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.models.base import KGEmbeddingModel
+
+
+class DistMult(KGEmbeddingModel):
+    """Diagonal bilinear model; symmetric in head/tail by construction."""
+
+    name = "distmult"
+
+    def score(self, h: np.ndarray, r: np.ndarray, t: np.ndarray) -> np.ndarray:
+        return np.sum(self.entity_emb[h] * self.relation_emb[r] * self.entity_emb[t], axis=1)
+
+    def grads(
+        self, h: np.ndarray, r: np.ndarray, t: np.ndarray, dscore: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        eh = self.entity_emb[h]
+        wr = self.relation_emb[r]
+        et = self.entity_emb[t]
+        scale = dscore[:, None]
+        return wr * et * scale, eh * et * scale, eh * wr * scale

@@ -1,0 +1,80 @@
+"""Negative sampling: the "non-existing edges" of the contrastive objective.
+
+§2: "Shallow embedding models often learn embedding matrices of entities
+and predicates by optimizing a contrastive objective on both existing and
+non-existing edges in the graph."  Negatives are produced by corrupting the
+head or tail of a positive triple with a uniformly random entity; the
+*filtered* variant rejects corruptions that happen to be true edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import substream
+
+
+class NegativeSampler:
+    """Uniform head/tail corruption with optional filtering.
+
+    Filtering retries up to ``max_retries`` times per slot and then keeps
+    whatever it has — with a sparse graph collisions are rare, so the bound
+    exists only to guarantee termination.
+    """
+
+    def __init__(
+        self,
+        num_entities: int,
+        negatives_per_positive: int = 4,
+        filtered: bool = True,
+        known: set[tuple[int, int, int]] | None = None,
+        seed: int = 0,
+        max_retries: int = 8,
+    ) -> None:
+        if num_entities <= 1:
+            raise ValueError("need at least 2 entities to corrupt triples")
+        if negatives_per_positive <= 0:
+            raise ValueError("negatives_per_positive must be positive")
+        self.num_entities = num_entities
+        self.negatives_per_positive = negatives_per_positive
+        self.filtered = filtered and known is not None
+        self.known = known or set()
+        self.max_retries = max_retries
+        self._rng = substream(seed, "negative-sampler")
+
+    def corrupt(self, positives: np.ndarray) -> np.ndarray:
+        """Corrupted triples for a ``(b, 3)`` positive batch.
+
+        Returns a ``(b * negatives_per_positive, 3)`` array; row ``i`` of
+        the output corrupts positive ``i // k``.
+        """
+        k = self.negatives_per_positive
+        repeated = np.repeat(positives, k, axis=0)
+        n = len(repeated)
+        corrupt_tail = self._rng.random(n) < 0.5
+        replacements = self._rng.integers(0, self.num_entities, size=n)
+        negatives = repeated.copy()
+        negatives[corrupt_tail, 2] = replacements[corrupt_tail]
+        negatives[~corrupt_tail, 0] = replacements[~corrupt_tail]
+
+        if self.filtered:
+            self._refilter(negatives, corrupt_tail)
+        return negatives
+
+    def _refilter(self, negatives: np.ndarray, corrupt_tail: np.ndarray) -> None:
+        """Resample rows that collide with known true triples, in place."""
+        for attempt in range(self.max_retries):
+            collisions = [
+                i
+                for i in range(len(negatives))
+                if (int(negatives[i, 0]), int(negatives[i, 1]), int(negatives[i, 2]))
+                in self.known
+            ]
+            if not collisions:
+                return
+            fresh = self._rng.integers(0, self.num_entities, size=len(collisions))
+            for j, row in enumerate(collisions):
+                if corrupt_tail[row]:
+                    negatives[row, 2] = fresh[j]
+                else:
+                    negatives[row, 0] = fresh[j]

@@ -1,0 +1,126 @@
+"""End-to-end embedding pipeline (Figure 3, training side).
+
+Chains the stages the paper describes: graph engine produces a filtered
+*view* of the KG → dataset encoding → (in-memory or disk-based) contrastive
+training → intrinsic evaluation → registration in the model registry.
+
+The pipeline is the unit the platform facade and the benchmarks drive; its
+:class:`EmbeddingPipelineResult` carries everything downstream services
+need (trained model, eval report, view statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.embeddings.dataset import TripleDataset, build_dataset
+from repro.embeddings.disk_trainer import DiskTrainer, DiskTrainStats
+from repro.embeddings.evaluation import LinkPredictionReport, link_prediction
+from repro.embeddings.registry import ModelRegistry
+from repro.embeddings.trainer import TrainConfig, TrainedEmbeddings, train_embeddings
+from repro.kg.store import TripleStore
+from repro.kg.views import MaterializedView, ViewDefinition, materialize
+
+
+@dataclass
+class EmbeddingPipelineConfig:
+    """Configuration of one pipeline run."""
+
+    train: TrainConfig
+    view: ViewDefinition | None = None
+    use_disk_trainer: bool = False
+    num_partitions: int = 4
+    buffer_capacity: int = 2
+    valid_fraction: float = 0.05
+    test_fraction: float = 0.05
+    eval_max_queries: int | None = 200
+    registry_name: str = "kg-embeddings"
+
+
+@dataclass
+class EmbeddingPipelineResult:
+    """Everything a pipeline run produced."""
+
+    trained: TrainedEmbeddings
+    evaluation: LinkPredictionReport
+    view: MaterializedView | None
+    dataset: TripleDataset
+    test_triples: np.ndarray
+    disk_stats: DiskTrainStats | None = None
+    registered_version: int | None = None
+
+
+def run_embedding_pipeline(
+    store: TripleStore,
+    config: EmbeddingPipelineConfig,
+    registry: ModelRegistry | None = None,
+    workdir: str | Path | None = None,
+) -> EmbeddingPipelineResult:
+    """Run filter → encode → train → evaluate → register.
+
+    ``workdir`` is required when ``use_disk_trainer`` is set; it receives
+    the on-disk partition files.
+    """
+    view: MaterializedView | None = None
+    training_store = store
+    if config.view is not None:
+        view = materialize(config.view, store)
+        training_store = view.store
+
+    dataset = build_dataset(training_store)
+    train_ds, _valid, test = dataset.split(
+        valid_fraction=config.valid_fraction,
+        test_fraction=config.test_fraction,
+        seed=config.train.seed,
+    )
+
+    disk_stats: DiskTrainStats | None = None
+    if config.use_disk_trainer:
+        if workdir is None:
+            raise ValueError("disk trainer requires a workdir")
+        trainer = DiskTrainer(
+            train_ds,
+            workdir=workdir,
+            config=config.train,
+            num_partitions=config.num_partitions,
+            buffer_capacity=config.buffer_capacity,
+        )
+        trained, disk_stats = trainer.train()
+    else:
+        trained = train_embeddings(train_ds, config.train)
+
+    known = dataset.known_set()
+    evaluation = link_prediction(
+        trained, test, known=known, max_queries=config.eval_max_queries
+    )
+
+    registered_version: int | None = None
+    if registry is not None:
+        record = registry.register(
+            config.registry_name,
+            trained,
+            metrics={
+                "mrr": evaluation.mrr,
+                "hits_at_10": evaluation.hits_at_10,
+            },
+            tags={
+                "model": config.train.model,
+                "dim": config.train.dim,
+                "view": config.view.name if config.view else None,
+                "disk": config.use_disk_trainer,
+            },
+        )
+        registered_version = record.version
+
+    return EmbeddingPipelineResult(
+        trained=trained,
+        evaluation=evaluation,
+        view=view,
+        dataset=dataset,
+        test_triples=test,
+        disk_stats=disk_stats,
+        registered_version=registered_version,
+    )

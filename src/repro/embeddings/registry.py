@@ -1,0 +1,78 @@
+"""Model registry: versioned storage of trained embedding models.
+
+Figure 3 routes every trained model through a *Model Registry* before
+inference.  The registry tracks (name, version) → artifacts + metrics and
+serves the latest (or a pinned) version to downstream services, enabling
+the annotation service's "dynamic" freshness requirement: republish the
+embeddings, and consumers pick up the new version on next resolve.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import ModelRegistryError
+from repro.embeddings.trainer import TrainedEmbeddings
+
+
+@dataclass
+class ModelRecord:
+    """One registered model version."""
+
+    name: str
+    version: int
+    trained: TrainedEmbeddings
+    metrics: dict[str, float] = field(default_factory=dict)
+    tags: dict[str, Any] = field(default_factory=dict)
+    registered_at: float = field(default_factory=time.time)
+
+
+class ModelRegistry:
+    """In-memory registry keyed by model name with integer versions."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, list[ModelRecord]] = {}
+
+    def register(
+        self,
+        name: str,
+        trained: TrainedEmbeddings,
+        metrics: dict[str, float] | None = None,
+        tags: dict[str, Any] | None = None,
+    ) -> ModelRecord:
+        """Register a new version of ``name``; versions start at 1."""
+        versions = self._records.setdefault(name, [])
+        record = ModelRecord(
+            name=name,
+            version=len(versions) + 1,
+            trained=trained,
+            metrics=metrics or {},
+            tags=tags or {},
+        )
+        versions.append(record)
+        return record
+
+    def latest(self, name: str) -> ModelRecord:
+        """The newest version of ``name``."""
+        versions = self._records.get(name)
+        if not versions:
+            raise ModelRegistryError(f"no model registered under {name!r}")
+        return versions[-1]
+
+    def get(self, name: str, version: int) -> ModelRecord:
+        """A specific version of ``name``."""
+        versions = self._records.get(name, [])
+        for record in versions:
+            if record.version == version:
+                return record
+        raise ModelRegistryError(f"model {name!r} has no version {version}")
+
+    def names(self) -> list[str]:
+        """All registered model names."""
+        return sorted(self._records)
+
+    def versions(self, name: str) -> list[int]:
+        """All versions of ``name`` (empty when unknown)."""
+        return [record.version for record in self._records.get(name, [])]

@@ -1,0 +1,717 @@
+"""Synthetic open-domain knowledge graph generator.
+
+The paper's substrate is Apple's production KG (billions of facts), which we
+cannot use.  This module generates a deterministic, laptop-scale open-domain
+KG with the structural properties the paper's techniques depend on:
+
+* **multiple domains** (sports, film, music, academia, geography) under one
+  ontology — the "union of multiple schemata" of §2;
+* **Zipfian popularity** — a short head of celebrities, a long tail;
+* **multi-valued predicates with an importance order** (occupations) —
+  ground truth for fact ranking (Figure 2);
+* **ambiguous names** — distinct entities sharing a surface form ("Michael
+  Jordan" the player vs. the professor) — ground truth for entity linking;
+* **numeric / identifier / rare-predicate noise** — what §2's view
+  filtering removes before embedding training;
+* **volatile facts with stale values** — what ODKE's freshness path hunts.
+
+Everything is derived from a single seed, so benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common import ids
+from repro.common.rng import substream, zipf_weights
+from repro.kg.ontology import Ontology, PredicateSchema
+from repro.kg.store import EntityRecord, TripleStore
+from repro.kg.triple import Fact, LiteralType, entity_fact, literal_fact
+
+# A fixed "now" for the synthetic world: 2023-05-16 (paper's arXiv date).
+SYNTHETIC_NOW = 1684195200.0
+_YEAR = 365.25 * 24 * 3600.0
+
+FIRST_NAMES = [
+    "James", "Maria", "Wei", "Aisha", "Carlos", "Yuki", "Liam", "Fatima",
+    "Noah", "Sofia", "Raj", "Elena", "Omar", "Grace", "Hugo", "Priya",
+    "Ivan", "Chloe", "Diego", "Hana", "Marcus", "Ingrid", "Tariq", "Lucia",
+    "Andre", "Mei", "Samuel", "Nadia", "Felix", "Amara", "Jonas", "Rosa",
+    "Kwame", "Vera", "Mateo", "Leila", "Oscar", "Dana", "Pavel", "Iris",
+    "Tim", "Michelle", "Michael", "Jordan", "Taylor", "Morgan", "Alex", "Sam",
+]
+
+LAST_NAMES = [
+    "Smith", "Garcia", "Chen", "Khan", "Silva", "Tanaka", "Brown", "Ali",
+    "Johnson", "Rossi", "Patel", "Petrov", "Hassan", "Lee", "Dubois", "Sharma",
+    "Novak", "Martin", "Lopez", "Sato", "Wright", "Larsen", "Aziz", "Romano",
+    "Costa", "Wang", "Baker", "Haddad", "Weber", "Okafor", "Berg", "Moreno",
+    "Mensah", "Koval", "Ruiz", "Nasser", "Lind", "Ford", "Orlov", "Quinn",
+    "Root", "Williams", "Jordan", "James", "Curry", "Bryant", "Parker", "Stone",
+]
+
+CITY_NAMES = [
+    "Lakemont", "Rivergate", "Ashford", "Northhaven", "Stonebridge", "Eastvale",
+    "Clearwater", "Maplewood", "Harborview", "Westfield", "Goldcrest", "Pinehurst",
+    "Silverton", "Oakdale", "Brightwater", "Fairmont", "Redhill", "Glenrock",
+    "Summerside", "Winterfell", "Springvale", "Autumnridge", "Seacliff", "Highport",
+]
+
+COUNTRY_NAMES = [
+    "Avaloria", "Borduria", "Caledonia", "Drakmar", "Elbonia", "Florin",
+    "Genovia", "Havenreach", "Illyria", "Jotunland", "Krakozhia", "Latveria",
+]
+
+TEAM_SUFFIXES = [
+    "Hawks", "Tigers", "Wolves", "Comets", "Titans", "Raptors", "Storm",
+    "Knights", "Falcons", "Bears", "Sharks", "Lions",
+]
+
+FILM_WORDS = [
+    "Midnight", "Crimson", "Silent", "Golden", "Broken", "Electric", "Hidden",
+    "Burning", "Frozen", "Savage", "Endless", "Shattered", "Velvet", "Iron",
+    "Echo", "River", "Empire", "Shadow", "Horizon", "Garden", "Winter", "Glass",
+    "Thunder", "Paper", "Neon", "Crystal", "Scarlet", "Hollow",
+]
+
+ALBUM_WORDS = [
+    "Dreams", "Roads", "Lights", "Waves", "Letters", "Stories", "Nights",
+    "Colors", "Seasons", "Mirrors", "Voices", "Shadows", "Rhythms", "Skies",
+]
+
+GENRE_NAMES = [
+    "rock", "jazz", "hip hop", "classical", "electronic", "folk",
+    "drama", "comedy", "thriller", "documentary", "science fiction", "romance",
+]
+
+AWARD_NAMES = [
+    "Most Valuable Player Award", "Championship Ring", "Golden Reel Award",
+    "Platinum Microphone Award", "Distinguished Researcher Medal",
+    "Best Director Trophy", "Rising Star Prize", "Lifetime Achievement Honor",
+    "Golden Bat Award", "Critics Circle Award",
+]
+
+UNIVERSITY_NAMES = [
+    "Lakemont University", "Ashford Institute of Technology",
+    "Northhaven College", "Stonebridge University", "Harborview Polytechnic",
+    "Westfield State University", "Silverton Academy", "Fairmont University",
+]
+
+RECORD_LABELS = [
+    "Bluebird Records", "Neon Tower Music", "Crescent Sound", "Atlas Audio",
+]
+
+TV_SHOW_NAMES = [
+    "Carpool Sessions", "The Late Window", "Morning Court", "Beyond the Game",
+    "Studio Nine", "The Draft Room",
+]
+
+OCCUPATIONS = [
+    ("basketball_player", "basketball player"),
+    ("actor", "actor"),
+    ("television_actor", "television actor"),
+    ("musician", "musician"),
+    ("singer", "singer"),
+    ("professor", "university professor"),
+    ("cricketer", "cricketer"),
+    ("film_director", "film director"),
+    ("screenwriter", "screenwriter"),
+    ("writer", "writer"),
+    ("politician", "politician"),
+    ("chef", "chef"),
+]
+
+# Primary occupations drive which domain edges a person gets.
+_PRIMARY_OCCUPATIONS = [
+    "basketball_player", "actor", "musician", "professor",
+    "cricketer", "film_director", "singer", "writer",
+]
+
+
+@dataclass
+class SyntheticKGConfig:
+    """Scale knobs of the generated world.
+
+    ``scale=1.0`` gives roughly 1.3k entities and 10k facts — large enough
+    to exercise every code path, small enough for CI.  Benchmarks sweep
+    ``scale`` upward.
+    """
+
+    seed: int = 7
+    scale: float = 1.0
+    num_people: int = 400
+    num_films: int = 120
+    num_albums: int = 80
+    num_teams: int = 24
+    num_cities: int = 24
+    ambiguous_name_pairs: int = 12
+    noise_fact_fraction: float = 0.02
+    stale_fact_fraction: float = 0.15
+    now: float = SYNTHETIC_NOW
+
+    def scaled(self) -> "SyntheticKGConfig":
+        """Copy with entity counts multiplied by ``scale``."""
+        if self.scale == 1.0:
+            return self
+        return SyntheticKGConfig(
+            seed=self.seed,
+            scale=1.0,
+            num_people=max(20, int(self.num_people * self.scale)),
+            num_films=max(10, int(self.num_films * self.scale)),
+            num_albums=max(8, int(self.num_albums * self.scale)),
+            num_teams=max(6, int(self.num_teams * self.scale)),
+            num_cities=max(6, int(self.num_cities * self.scale)),
+            ambiguous_name_pairs=max(4, int(self.ambiguous_name_pairs * self.scale)),
+            noise_fact_fraction=self.noise_fact_fraction,
+            stale_fact_fraction=self.stale_fact_fraction,
+            now=self.now,
+        )
+
+
+@dataclass
+class GroundTruth:
+    """Labels the generator knows because it built the world.
+
+    Benchmarks evaluate against these; production systems would use human
+    judgements instead.
+    """
+
+    # person -> occupations ordered by importance (primary first).
+    occupation_order: dict[str, list[str]] = field(default_factory=dict)
+    # entity -> genuinely related entities (teammates, co-stars, spouse, ...).
+    related: dict[str, set[str]] = field(default_factory=dict)
+    # surface name -> entity ids sharing that exact name.
+    ambiguous_names: dict[str, list[str]] = field(default_factory=dict)
+    # facts asserted with deliberately wrong objects (low-confidence noise).
+    noise_facts: list[Fact] = field(default_factory=list)
+    # (subject, predicate) pairs whose stored value is stale.
+    stale_facts: list[tuple[str, str]] = field(default_factory=list)
+    # person -> the person's true date of birth (ISO) for ODKE checks.
+    birth_dates: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class SyntheticKG:
+    """The generated world: store + ontology + ground truth + config."""
+
+    store: TripleStore
+    ontology: Ontology
+    truth: GroundTruth
+    config: SyntheticKGConfig
+
+    @property
+    def now(self) -> float:
+        """The synthetic world's current timestamp."""
+        return self.config.now
+
+
+def build_ontology() -> Ontology:
+    """The unified ontology all generated facts conform to."""
+    onto = Ontology()
+    t = ids.type_id
+    onto.add_type(t("thing"))
+    onto.add_type(t("person"), t("thing"))
+    onto.add_type(t("athlete"), t("person"))
+    onto.add_type(t("basketball_player"), t("athlete"))
+    onto.add_type(t("cricketer"), t("athlete"))
+    onto.add_type(t("creative_work"), t("thing"))
+    onto.add_type(t("film"), t("creative_work"))
+    onto.add_type(t("album"), t("creative_work"))
+    onto.add_type(t("tv_show"), t("creative_work"))
+    onto.add_type(t("organization"), t("thing"))
+    onto.add_type(t("sports_team"), t("organization"))
+    onto.add_type(t("university"), t("organization"))
+    onto.add_type(t("record_label"), t("organization"))
+    onto.add_type(t("place"), t("thing"))
+    onto.add_type(t("city"), t("place"))
+    onto.add_type(t("country"), t("place"))
+    onto.add_type(t("award"), t("thing"))
+    onto.add_type(t("genre"), t("thing"))
+    onto.add_type(t("occupation"), t("thing"))
+
+    p = ids.predicate_id
+
+    def entity_pred(local: str, domain: str, range_type: str, **kwargs: bool) -> None:
+        onto.add_predicate(
+            PredicateSchema(p(local), t(domain), range_type=t(range_type), **kwargs)
+        )
+
+    def literal_pred(
+        local: str, domain: str, literal_type: LiteralType, **kwargs: bool
+    ) -> None:
+        onto.add_predicate(
+            PredicateSchema(p(local), t(domain), literal_type=literal_type, **kwargs)
+        )
+
+    entity_pred("occupation", "person", "occupation", expected=True)
+    entity_pred("member_of_sports_team", "athlete", "sports_team")
+    entity_pred("award_received", "person", "award")
+    entity_pred("spouse", "person", "person", functional=True, volatile=True)
+    entity_pred("place_of_birth", "person", "city", functional=True, expected=True)
+    entity_pred("citizen_of", "person", "country", expected=True)
+    entity_pred("educated_at", "person", "university")
+    entity_pred("employer", "person", "university")
+    entity_pred("starred_in", "person", "film")
+    entity_pred("directed", "person", "film")
+    entity_pred("performer_of", "person", "album")
+    entity_pred("signed_to", "person", "record_label")
+    entity_pred("appears_on", "person", "tv_show")
+    entity_pred("film_genre", "film", "genre")
+    entity_pred("album_genre", "album", "genre")
+    entity_pred("located_in", "place", "country")
+    entity_pred("home_city", "organization", "city")
+
+    literal_pred("date_of_birth", "person", LiteralType.DATE, functional=True, expected=True)
+    literal_pred("height_cm", "person", LiteralType.NUMBER, functional=True)
+    literal_pred("social_media_followers", "person", LiteralType.NUMBER, functional=True, volatile=True)
+    literal_pred("net_worth_musd", "person", LiteralType.NUMBER, functional=True, volatile=True)
+    literal_pred("marital_status", "person", LiteralType.STRING, functional=True, volatile=True)
+    literal_pred("library_id", "creative_work", LiteralType.IDENTIFIER, functional=True)
+    literal_pred("population", "city", LiteralType.NUMBER, functional=True)
+    literal_pred("release_year", "creative_work", LiteralType.NUMBER, functional=True)
+    return onto
+
+
+class _WorldBuilder:
+    """Stateful builder used by :func:`generate_kg` (one pass, deterministic)."""
+
+    def __init__(self, config: SyntheticKGConfig) -> None:
+        self.config = config.scaled()
+        self.store = TripleStore()
+        self.ontology = build_ontology()
+        self.truth = GroundTruth()
+        self.rng = substream(self.config.seed, "world")
+        self.now = self.config.now
+        # id pools filled as we create entities
+        self.occupation_entities: dict[str, str] = {}
+        self.cities: list[str] = []
+        self.countries: list[str] = []
+        self.teams_basketball: list[str] = []
+        self.teams_cricket: list[str] = []
+        self.films: list[str] = []
+        self.albums: list[str] = []
+        self.awards: list[str] = []
+        self.universities: list[str] = []
+        self.labels: list[str] = []
+        self.tv_shows: list[str] = []
+        self.genres: list[str] = []
+        self.people: list[str] = []
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _entity(
+        self,
+        local: str,
+        name: str,
+        types: tuple[str, ...],
+        popularity: float,
+        aliases: tuple[str, ...] = (),
+        description: str = "",
+    ) -> str:
+        entity = ids.entity_id(local)
+        self.store.upsert_entity(
+            EntityRecord(
+                entity=entity,
+                name=name,
+                types=types,
+                aliases=aliases,
+                description=description,
+                popularity=popularity,
+            )
+        )
+        return entity
+
+    def _fact(self, subject: str, predicate_local: str, obj: str, age_years: float = 1.0) -> Fact:
+        fact = entity_fact(
+            subject,
+            ids.predicate_id(predicate_local),
+            obj,
+            sources=("source:seed-kb",),
+            updated_at=self.now - age_years * _YEAR,
+        )
+        return self.store.add(fact)
+
+    def _literal(
+        self,
+        subject: str,
+        predicate_local: str,
+        value: object,
+        literal_type: LiteralType,
+        age_years: float = 1.0,
+    ) -> Fact:
+        fact = literal_fact(
+            subject,
+            ids.predicate_id(predicate_local),
+            value,
+            literal_type,
+            sources=("source:seed-kb",),
+            updated_at=self.now - age_years * _YEAR,
+        )
+        return self.store.add(fact)
+
+    def _relate(self, a: str, b: str) -> None:
+        self.truth.related.setdefault(a, set()).add(b)
+        self.truth.related.setdefault(b, set()).add(a)
+
+    # -- world pieces -----------------------------------------------------------
+
+    def build_static_world(self) -> None:
+        """Occupations, places, teams, works, awards, institutions."""
+        cfg = self.config
+        t = ids.type_id
+        for key, label in OCCUPATIONS:
+            self.occupation_entities[key] = self._entity(
+                f"occupation/{key}", label, (t("occupation"),), popularity=0.3,
+                description=f"The occupation of {label}.",
+            )
+        for i, name in enumerate(COUNTRY_NAMES):
+            self.countries.append(
+                self._entity(f"country/{i:03d}", name, (t("country"), t("place")), 0.5,
+                             description=f"{name} is a country.")
+            )
+        city_pops = zipf_weights(cfg.num_cities, 0.8)
+        for i in range(cfg.num_cities):
+            name = CITY_NAMES[i % len(CITY_NAMES)]
+            if i >= len(CITY_NAMES):
+                name = f"{name} {i // len(CITY_NAMES) + 1}"
+            city = self._entity(
+                f"city/{i:03d}", name, (t("city"), t("place")), float(city_pops[i]),
+                description=f"{name} is a city.",
+            )
+            self.cities.append(city)
+            country = self.countries[i % len(self.countries)]
+            self._fact(city, "located_in", country)
+            self._literal(city, "population", int(50_000 + 9e6 * city_pops[i]), LiteralType.NUMBER)
+
+        half = max(1, cfg.num_teams // 2)
+        for i in range(cfg.num_teams):
+            city = self.cities[i % len(self.cities)]
+            city_name = self.store.entity(city).name
+            suffix = TEAM_SUFFIXES[i % len(TEAM_SUFFIXES)]
+            name = f"{city_name} {suffix}"
+            team = self._entity(
+                f"team/{i:03d}", name, (t("sports_team"), t("organization")), 0.4,
+                aliases=(suffix,),
+                description=f"The {name} are a professional "
+                            f"{'basketball' if i < half else 'cricket'} team.",
+            )
+            self._fact(team, "home_city", city)
+            (self.teams_basketball if i < half else self.teams_cricket).append(team)
+
+        for i, name in enumerate(AWARD_NAMES):
+            self.awards.append(
+                self._entity(f"award/{i:03d}", name, (t("award"),), 0.3,
+                             description=f"The {name} is an award.")
+            )
+        for i, name in enumerate(UNIVERSITY_NAMES):
+            uni = self._entity(
+                f"university/{i:03d}", name, (t("university"), t("organization")), 0.3,
+                description=f"{name} is a university.",
+            )
+            self.universities.append(uni)
+            self._fact(uni, "home_city", self.cities[i % len(self.cities)])
+        for i, name in enumerate(RECORD_LABELS):
+            self.labels.append(
+                self._entity(f"label/{i:03d}", name, (t("record_label"), t("organization")), 0.2,
+                             description=f"{name} is a record label.")
+            )
+        for i, name in enumerate(TV_SHOW_NAMES):
+            self.tv_shows.append(
+                self._entity(f"tvshow/{i:03d}", name, (t("tv_show"), t("creative_work")), 0.25,
+                             description=f"{name} is a television show.")
+            )
+        for i, name in enumerate(GENRE_NAMES):
+            self.genres.append(
+                self._entity(f"genre/{i:03d}", name, (t("genre"),), 0.2,
+                             description=f"{name} is a genre.")
+            )
+
+    def build_works(self) -> None:
+        """Films and albums (creators attached later)."""
+        cfg = self.config
+        t = ids.type_id
+        rng = substream(cfg.seed, "works")
+        film_pops = zipf_weights(cfg.num_films, 1.0)
+        for i in range(cfg.num_films):
+            a, b = rng.choice(len(FILM_WORDS), size=2, replace=False)
+            name = f"The {FILM_WORDS[a]} {FILM_WORDS[b]}"
+            film = self._entity(
+                f"film/{i:04d}", name, (t("film"), t("creative_work")), float(film_pops[i]),
+                description=f"{name} is a film.",
+            )
+            self.films.append(film)
+            self._fact(film, "film_genre", self.genres[int(rng.integers(6, len(self.genres)))])
+            self._literal(film, "release_year", int(1980 + rng.integers(0, 43)), LiteralType.NUMBER)
+            self._literal(film, "library_id", f"LIB-F-{i:06d}", LiteralType.IDENTIFIER)
+        album_pops = zipf_weights(cfg.num_albums, 1.0)
+        for i in range(cfg.num_albums):
+            a, b = rng.choice(len(ALBUM_WORDS), size=2, replace=False)
+            name = f"{ALBUM_WORDS[a]} and {ALBUM_WORDS[b]}"
+            album = self._entity(
+                f"album/{i:04d}", name, (t("album"), t("creative_work")), float(album_pops[i]),
+                description=f"{name} is a music album.",
+            )
+            self.albums.append(album)
+            self._fact(album, "album_genre", self.genres[int(rng.integers(0, 6))])
+            self._literal(album, "release_year", int(1990 + rng.integers(0, 33)), LiteralType.NUMBER)
+            self._literal(album, "library_id", f"LIB-A-{i:06d}", LiteralType.IDENTIFIER)
+
+    def _person_name(self, index: int, rng: np.random.Generator) -> str:
+        first = FIRST_NAMES[int(rng.integers(len(FIRST_NAMES)))]
+        last = LAST_NAMES[int(rng.integers(len(LAST_NAMES)))]
+        return f"{first} {last}"
+
+    def build_people(self) -> None:
+        """People with occupations, domain edges and literal attributes."""
+        cfg = self.config
+        t = ids.type_id
+        rng = substream(cfg.seed, "people")
+        # Zipfian, rescaled so head people are the KG's most popular
+        # entities (celebrities outrank countries and teams).
+        pops = zipf_weights(cfg.num_people, 1.1)
+        pops = pops / pops[0] * 0.95
+
+        # Pre-plan ambiguous pairs: pairs of person indices forced to share a
+        # name while having different primary occupations.
+        ambiguous_assignments: dict[int, tuple[str, str]] = {}
+        n_pairs = min(cfg.ambiguous_name_pairs, cfg.num_people // 4)
+        # Pick head-ish indices so ambiguous entities are popular enough to be
+        # mentioned in the corpus (mirrors "Michael Jordan").
+        pair_indices = list(range(2, 2 + 2 * n_pairs))
+        for pair in range(n_pairs):
+            i, j = pair_indices[2 * pair], pair_indices[2 * pair + 1]
+            first = FIRST_NAMES[int(rng.integers(len(FIRST_NAMES)))]
+            last = LAST_NAMES[int(rng.integers(len(LAST_NAMES)))]
+            shared = f"{first} {last}"
+            occ_a, occ_b = _PRIMARY_OCCUPATIONS[pair % len(_PRIMARY_OCCUPATIONS)], \
+                _PRIMARY_OCCUPATIONS[(pair + 3) % len(_PRIMARY_OCCUPATIONS)]
+            ambiguous_assignments[i] = (shared, occ_a)
+            ambiguous_assignments[j] = (shared, occ_b)
+
+        for i in range(cfg.num_people):
+            if i in ambiguous_assignments:
+                name, primary = ambiguous_assignments[i]
+            else:
+                name = self._person_name(i, rng)
+                primary = _PRIMARY_OCCUPATIONS[int(rng.integers(len(_PRIMARY_OCCUPATIONS)))]
+            person = self._build_person(i, name, primary, float(pops[i]), rng)
+            self.people.append(person)
+            if i in ambiguous_assignments:
+                self.truth.ambiguous_names.setdefault(name, []).append(person)
+
+        self._build_spouses(rng)
+
+    def _build_person(
+        self, index: int, name: str, primary: str,
+        popularity: float, rng: np.random.Generator,
+    ) -> str:
+        t = ids.type_id
+        cfg = self.config
+        person_types: list[str] = [t("person")]
+        if primary in ("basketball_player", "cricketer"):
+            person_types = [t(primary), t("athlete"), t("person")]
+        occupation_label = dict(OCCUPATIONS)[primary]
+        description = f"{name} is a {occupation_label}."
+        first = name.split()[0]
+        last = name.split()[-1]
+        person = self._entity(
+            f"person/{index:05d}", name, tuple(person_types), popularity,
+            aliases=(f"{first[0]}. {last}", last),
+            description=description,
+        )
+
+        # Occupations: primary plus 0-2 secondary, importance = edge support.
+        occupations = [primary]
+        n_secondary = int(rng.integers(0, 3))
+        secondary_pool = [key for key, _ in OCCUPATIONS if key != primary]
+        for pick in rng.choice(len(secondary_pool), size=n_secondary, replace=False):
+            occupations.append(secondary_pool[int(pick)])
+        for occ in occupations:
+            self._fact(person, "occupation", self.occupation_entities[occ])
+        self.truth.occupation_order[person] = [
+            self.occupation_entities[occ] for occ in occupations
+        ]
+
+        self._attach_domain_edges(person, primary, rng, support=int(rng.integers(2, 5)))
+        for occ in occupations[1:]:
+            self._attach_domain_edges(person, occ, rng, support=1)
+
+        # Universal person facts.
+        birth_city = self.cities[int(rng.integers(len(self.cities)))]
+        self._fact(person, "place_of_birth", birth_city)
+        country = self.store.objects(birth_city, ids.predicate_id("located_in"))
+        if country:
+            self._fact(person, "citizen_of", country[0])
+        year = int(1950 + rng.integers(0, 55))
+        month = int(1 + rng.integers(0, 12))
+        day = int(1 + rng.integers(0, 28))
+        dob = f"{year:04d}-{month:02d}-{day:02d}"
+        self.truth.birth_dates[person] = dob
+        self._literal(person, "date_of_birth", dob, LiteralType.DATE)
+        self._literal(person, "height_cm", int(150 + rng.integers(0, 60)), LiteralType.NUMBER)
+        followers = int(1000 * (1 + 1e5 * popularity) * (0.5 + rng.random()))
+        stale = rng.random() < cfg.stale_fact_fraction
+        self._literal(
+            person, "social_media_followers", followers, LiteralType.NUMBER,
+            age_years=3.0 if stale else 0.1,
+        )
+        if stale:
+            self.truth.stale_facts.append(
+                (person, ids.predicate_id("social_media_followers"))
+            )
+        return person
+
+    def _attach_domain_edges(
+        self, person: str, occupation: str, rng: np.random.Generator, support: int
+    ) -> None:
+        """Edges justifying an occupation; ``support`` scales how many."""
+        if occupation == "basketball_player" and self.teams_basketball:
+            team = self.teams_basketball[int(rng.integers(len(self.teams_basketball)))]
+            self._fact(person, "member_of_sports_team", team)
+            for teammate in self.store.subjects(ids.predicate_id("member_of_sports_team"), team):
+                if teammate != person:
+                    self._relate(person, teammate)
+            for _ in range(support - 1):
+                award = self.awards[int(rng.integers(0, 2))]
+                self._fact(person, "award_received", award)
+        elif occupation == "cricketer" and self.teams_cricket:
+            team = self.teams_cricket[int(rng.integers(len(self.teams_cricket)))]
+            self._fact(person, "member_of_sports_team", team)
+            for teammate in self.store.subjects(ids.predicate_id("member_of_sports_team"), team):
+                if teammate != person:
+                    self._relate(person, teammate)
+            if support > 1:
+                self._fact(person, "award_received", self.awards[8])
+        elif occupation in ("actor", "television_actor"):
+            for _ in range(support):
+                if occupation == "television_actor" or rng.random() < 0.15:
+                    show = self.tv_shows[int(rng.integers(len(self.tv_shows)))]
+                    self._fact(person, "appears_on", show)
+                else:
+                    film = self.films[int(rng.integers(len(self.films)))]
+                    self._fact(person, "starred_in", film)
+                    for costar in self.store.subjects(ids.predicate_id("starred_in"), film):
+                        if costar != person:
+                            self._relate(person, costar)
+        elif occupation in ("musician", "singer") and self.albums:
+            for _ in range(support):
+                album = self.albums[int(rng.integers(len(self.albums)))]
+                self._fact(person, "performer_of", album)
+            self._fact(person, "signed_to", self.labels[int(rng.integers(len(self.labels)))])
+            if support > 1:
+                self._fact(person, "award_received", self.awards[3])
+        elif occupation == "professor":
+            uni = self.universities[int(rng.integers(len(self.universities)))]
+            self._fact(person, "employer", uni)
+            self._fact(person, "educated_at",
+                       self.universities[int(rng.integers(len(self.universities)))])
+            for colleague in self.store.subjects(ids.predicate_id("employer"), uni):
+                if colleague != person:
+                    self._relate(person, colleague)
+            if support > 1:
+                self._fact(person, "award_received", self.awards[4])
+        elif occupation == "film_director" and self.films:
+            for _ in range(support):
+                film = self.films[int(rng.integers(len(self.films)))]
+                self._fact(person, "directed", film)
+            if support > 1:
+                self._fact(person, "award_received", self.awards[5])
+        elif occupation in ("screenwriter", "writer", "politician", "chef"):
+            # Low-structure occupations: at most a generic award.
+            if support > 1:
+                self._fact(person, "award_received", self.awards[7])
+
+    def _build_spouses(self, rng: np.random.Generator) -> None:
+        """Marry ~20% of adjacent people pairs; record relatedness + status."""
+        married: set[str] = set()
+        for i in range(0, len(self.people) - 1, 2):
+            if rng.random() < 0.2:
+                a, b = self.people[i], self.people[i + 1]
+                self._fact(a, "spouse", b)
+                self._fact(b, "spouse", a)
+                self._relate(a, b)
+                married.update((a, b))
+        for person in self.people:
+            status = "married" if person in married else "single"
+            self._literal(person, "marital_status", status, LiteralType.STRING)
+
+    def add_noise_facts(self) -> None:
+        """Low-confidence wrong facts (the §2 'noisy data' the views handle)."""
+        cfg = self.config
+        rng = substream(cfg.seed, "noise")
+        n_noise = int(len(self.store) * cfg.noise_fact_fraction)
+        occupations = list(self.occupation_entities.values())
+        for k in range(n_noise):
+            person = self.people[int(rng.integers(len(self.people)))]
+            wrong_occ = occupations[int(rng.integers(len(occupations)))]
+            truth_occs = set(self.truth.occupation_order.get(person, []))
+            if wrong_occ in truth_occs:
+                continue
+            fact = entity_fact(
+                person, ids.predicate_id("occupation"), wrong_occ,
+                confidence=0.25,
+                sources=("source:noisy-feed",),
+                updated_at=self.now - 0.5 * _YEAR,
+            )
+            self.store.add(fact)
+            self.truth.noise_facts.append(fact)
+
+    def build(self) -> SyntheticKG:
+        """Run every stage and return the finished world."""
+        self.build_static_world()
+        self.build_works()
+        self.build_people()
+        self.add_noise_facts()
+        return SyntheticKG(
+            store=self.store,
+            ontology=self.ontology,
+            truth=self.truth,
+            config=self.config,
+        )
+
+
+def generate_kg(config: SyntheticKGConfig | None = None) -> SyntheticKG:
+    """Generate the synthetic world (deterministic in ``config.seed``)."""
+    return _WorldBuilder(config or SyntheticKGConfig()).build()
+
+
+def hold_out_facts(
+    kg: SyntheticKG,
+    predicates: list[str] | None = None,
+    fraction: float = 0.2,
+    seed: int = 99,
+) -> tuple[TripleStore, list[Fact]]:
+    """Split the world into a deployed KG with coverage gaps + held-out truth.
+
+    Removes ``fraction`` of the facts of the given predicates (default:
+    date_of_birth and place_of_birth, the Figure 6 examples) from a copy of
+    the store.  ODKE benchmarks measure how many held-out facts the
+    extraction pipeline recovers from the synthetic web corpus.
+    """
+    if predicates is None:
+        predicates = [
+            ids.predicate_id("date_of_birth"),
+            ids.predicate_id("place_of_birth"),
+        ]
+    rng = substream(seed, "holdout")
+    removable: list[Fact] = []
+    for predicate in predicates:
+        removable.extend(kg.store.scan(predicate=predicate))
+    removable.sort(key=lambda fact: fact.key)
+    n_remove = int(len(removable) * fraction)
+    chosen = set(
+        int(i) for i in rng.choice(len(removable), size=n_remove, replace=False)
+    ) if n_remove else set()
+
+    deployed = TripleStore(name="deployed-kg")
+    deployed.copy_entities_from(kg.store)
+    held_out: list[Fact] = []
+    removed_keys = {removable[i].key for i in chosen}
+    for fact in kg.store.scan():
+        if fact.key in removed_keys:
+            held_out.append(fact)
+        else:
+            deployed.add(fact)
+    return deployed, held_out

@@ -1,0 +1,210 @@
+"""Graph Query Engine: pattern queries, traversals and candidate generation.
+
+This is the computational layer the paper's embedding pipeline sits on
+(Figure 3): it produces *filtered views* of the KG for training, *candidate
+sets* of entities/triples for batch inference, and *pre-computed graph
+traversals* (random walks) that power the specialized related-entities
+embeddings (§2: "we use the scalable graph processing capabilities of our
+graph engine to pre-compute graph traversals").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import substream
+from repro.kg.store import TripleStore
+from repro.kg.triple import Fact, ObjectKind
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """A (s, p, o) pattern; ``None`` positions are wildcards."""
+
+    subject: str | None = None
+    predicate: str | None = None
+    obj: str | None = None
+
+
+FactFilter = Callable[[Fact], bool]
+
+
+class GraphEngine:
+    """Query/traversal operations over a :class:`TripleStore`."""
+
+    def __init__(self, store: TripleStore) -> None:
+        self.store = store
+
+    # -- pattern matching -----------------------------------------------------
+
+    def match(self, pattern: TriplePattern) -> Iterator[Fact]:
+        """Facts matching ``pattern``."""
+        return self.store.scan(pattern.subject, pattern.predicate, pattern.obj)
+
+    def match_all(self, patterns: list[TriplePattern]) -> list[Fact]:
+        """Union of facts matching any pattern (deduplicated, stable order)."""
+        seen: dict[tuple[str, str, str], Fact] = {}
+        for pattern in patterns:
+            for fact in self.match(pattern):
+                seen.setdefault(fact.key, fact)
+        return list(seen.values())
+
+    def filter_facts(self, keep: FactFilter) -> Iterator[Fact]:
+        """All facts passing the ``keep`` filter (streaming)."""
+        for fact in self.store.scan():
+            if keep(fact):
+                yield fact
+
+    # -- typed lookups -------------------------------------------------------
+
+    def entities_of_type(self, type_id: str) -> list[str]:
+        """Entities whose descriptor lists ``type_id`` among its types."""
+        return sorted(
+            record.entity
+            for record in self.store.entities()
+            if type_id in record.types
+        )
+
+    def type_of(self, entity: str) -> tuple[str, ...]:
+        """Declared types of ``entity`` (may be empty)."""
+        if not self.store.has_entity(entity):
+            return ()
+        return self.store.entity(entity).types
+
+    # -- traversals -------------------------------------------------------------
+
+    def neighborhood(self, entity: str, hops: int = 1) -> set[str]:
+        """Entities within ``hops`` undirected steps of ``entity``.
+
+        The seed entity itself is excluded from the result.
+        """
+        if hops < 0:
+            raise ValueError(f"hops must be >= 0, got {hops}")
+        frontier = {entity}
+        visited = {entity}
+        for _ in range(hops):
+            next_frontier: set[str] = set()
+            for node in frontier:
+                for neighbor in self.store.neighbors(node):
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        next_frontier.add(neighbor)
+            frontier = next_frontier
+            if not frontier:
+                break
+        visited.discard(entity)
+        return visited
+
+    def shortest_path_length(self, source: str, target: str, cutoff: int = 6) -> int | None:
+        """Unweighted shortest-path length, or ``None`` beyond ``cutoff``."""
+        if source == target:
+            return 0
+        queue: deque[tuple[str, int]] = deque([(source, 0)])
+        visited = {source}
+        while queue:
+            node, depth = queue.popleft()
+            if depth >= cutoff:
+                continue
+            for neighbor in self.store.neighbors(node):
+                if neighbor == target:
+                    return depth + 1
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    queue.append((neighbor, depth + 1))
+        return None
+
+    def random_walks(
+        self,
+        entities: list[str],
+        walk_length: int = 8,
+        walks_per_entity: int = 4,
+        seed: int = 0,
+    ) -> list[list[str]]:
+        """Pre-computed random walks over the entity graph.
+
+        Walks are the traversal samples the related-entities embedding
+        consumes; dead ends truncate a walk early.  Deterministic per seed.
+        """
+        rng = substream(seed, "random-walks")
+        walks: list[list[str]] = []
+        for entity in entities:
+            for _ in range(walks_per_entity):
+                walk = [entity]
+                current = entity
+                for _ in range(walk_length - 1):
+                    neighbors = sorted(self.store.neighbors(current))
+                    if not neighbors:
+                        break
+                    current = neighbors[int(rng.integers(len(neighbors)))]
+                    walk.append(current)
+                walks.append(walk)
+        return walks
+
+    def co_neighbor_counts(self, entity: str) -> dict[str, int]:
+        """For each other entity, the number of shared neighbors with ``entity``.
+
+        Used as ground truth for the related-entities evaluation: LeBron and
+        Curry share awards/teams, LeBron and a random city share nothing.
+        """
+        mine = self.store.neighbors(entity)
+        counts: dict[str, int] = {}
+        for neighbor in mine:
+            for second in self.store.neighbors(neighbor):
+                if second != entity:
+                    counts[second] = counts.get(second, 0) + 1
+        return counts
+
+    # -- candidate generation (Figure 3, inference path) ------------------------
+
+    def candidate_triples(
+        self,
+        subject: str,
+        predicate: str,
+        candidate_objects: list[str] | None = None,
+    ) -> list[tuple[str, str, str]]:
+        """Candidate (s, p, o) triples for scoring a query ``(s, p, ?)``.
+
+        When ``candidate_objects`` is not given, candidates default to every
+        object observed with ``predicate`` anywhere in the graph — the
+        engine-side materialisation step of Figure 3's inference path.
+        """
+        if candidate_objects is None:
+            candidate_objects = sorted(
+                {fact.obj for fact in self.store.scan(predicate=predicate)}
+            )
+        return [(subject, predicate, obj) for obj in candidate_objects]
+
+    def candidate_pairs(
+        self, entities: list[str], max_pairs: int | None = None, seed: int = 0
+    ) -> list[tuple[str, str]]:
+        """Entity pairs for relatedness scoring, optionally sampled."""
+        pairs = [
+            (a, b)
+            for i, a in enumerate(entities)
+            for b in entities[i + 1 :]
+        ]
+        if max_pairs is not None and len(pairs) > max_pairs:
+            rng = substream(seed, "candidate-pairs")
+            chosen = rng.choice(len(pairs), size=max_pairs, replace=False)
+            pairs = [pairs[i] for i in np.sort(chosen)]
+        return pairs
+
+    # -- projections ------------------------------------------------------------
+
+    def entity_edges(self) -> Iterator[Fact]:
+        """Only entity-to-entity facts (what embedding models train on)."""
+        for fact in self.store.scan():
+            if fact.obj_kind is ObjectKind.ENTITY:
+                yield fact
+
+    def degree_distribution(self) -> dict[str, int]:
+        """Total (in+out) degree per entity over entity-valued edges."""
+        degrees: dict[str, int] = {}
+        for fact in self.entity_edges():
+            degrees[fact.subject] = degrees.get(fact.subject, 0) + 1
+            degrees[fact.obj] = degrees.get(fact.obj, 0) + 1
+        return degrees

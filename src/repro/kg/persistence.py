@@ -1,0 +1,56 @@
+"""Store persistence: save/load a knowledge graph as JSONL files.
+
+A downstream adopter needs durable KGs: ``save_store`` writes a directory
+with ``entities.jsonl`` + ``facts.jsonl`` (+ ``meta.json``) and
+``load_store`` restores an equivalent :class:`~repro.kg.store.TripleStore`.
+The format is append-friendly and diff-able, matching how the construction
+pipeline exchanges snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.common.errors import StoreError
+from repro.common.serialization import read_jsonl, write_jsonl
+from repro.kg.store import EntityRecord, TripleStore
+from repro.kg.triple import Fact
+
+FORMAT_VERSION = 1
+
+
+def save_store(store: TripleStore, directory: str | Path) -> dict[str, int]:
+    """Write ``store`` under ``directory``; returns written counts."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    n_entities = write_jsonl(directory / "entities.jsonl", store.entities())
+    n_facts = write_jsonl(directory / "facts.jsonl", store.scan())
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "name": store.name,
+        "num_entities": n_entities,
+        "num_facts": n_facts,
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2), encoding="utf-8")
+    return {"entities": n_entities, "facts": n_facts}
+
+
+def load_store(directory: str | Path) -> TripleStore:
+    """Restore a store previously written by :func:`save_store`."""
+    directory = Path(directory)
+    meta_path = directory / "meta.json"
+    if not meta_path.exists():
+        raise StoreError(f"not a saved store: {directory} (missing meta.json)")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise StoreError(
+            f"unsupported store format {meta.get('format_version')!r} "
+            f"(supported: {FORMAT_VERSION})"
+        )
+    store = TripleStore(name=meta.get("name", "kg"))
+    for record in read_jsonl(directory / "entities.jsonl", EntityRecord.from_dict):
+        store.upsert_entity(record)
+    for fact in read_jsonl(directory / "facts.jsonl", Fact.from_dict):
+        store.add(fact)
+    return store

@@ -1,0 +1,162 @@
+"""Query-log analysis: the *reactive* gap-detection path of ODKE.
+
+§4: "we can reactively identify missing and stale facts by analyzing query
+logs and finding user queries that are not answered correctly due to
+missing or stale facts.  … In addition, we can predict new facts missing
+from the current knowledge graph by analyzing potential trending queries."
+
+This module provides:
+
+* :class:`QueryLogEntry` / :func:`synthesize_query_log` — a synthetic log of
+  (entity, predicate) lookups whose answered/unanswered status is derived
+  from the deployed store, with traffic skewed by entity popularity;
+* :class:`QueryLogAnalyzer` — aggregates unanswered queries into ranked
+  demand for missing facts, and detects *trending* queries by comparing
+  traffic across time windows.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.common.rng import substream
+from repro.kg.store import TripleStore
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One logged lookup of ``(entity, predicate)`` at ``timestamp``."""
+
+    entity: str
+    predicate: str
+    timestamp: float
+    answered: bool
+
+
+@dataclass(frozen=True)
+class UnansweredDemand:
+    """Aggregated demand for a missing fact."""
+
+    entity: str
+    predicate: str
+    query_count: int
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.entity, self.predicate)
+
+
+def synthesize_query_log(
+    store: TripleStore,
+    predicates: list[str],
+    num_queries: int,
+    now: float,
+    window_seconds: float = 14 * 24 * 3600,
+    seed: int = 0,
+    trending_entities: list[str] | None = None,
+) -> list[QueryLogEntry]:
+    """Generate a popularity-skewed query log against ``store``.
+
+    Each query picks an entity (proportionally to popularity) and a
+    predicate; it is *answered* iff the store holds at least one fact for
+    that pair.  ``trending_entities`` receive a traffic burst in the most
+    recent quarter of the window, exercising the trend detector.
+    """
+    rng = substream(seed, "query-log")
+    records = sorted(store.entities(), key=lambda record: record.entity)
+    if not records or not predicates or num_queries <= 0:
+        return []
+    weights = [max(record.popularity, 1e-9) for record in records]
+    total = sum(weights)
+    probabilities = [weight / total for weight in weights]
+
+    entries: list[QueryLogEntry] = []
+    entity_indices = rng.choice(len(records), size=num_queries, p=probabilities)
+    predicate_indices = rng.integers(0, len(predicates), size=num_queries)
+    offsets = rng.random(num_queries) * window_seconds
+    for i in range(num_queries):
+        record = records[int(entity_indices[i])]
+        predicate = predicates[int(predicate_indices[i])]
+        timestamp = now - window_seconds + float(offsets[i])
+        answered = bool(store.objects(record.entity, predicate))
+        entries.append(
+            QueryLogEntry(
+                entity=record.entity,
+                predicate=predicate,
+                timestamp=timestamp,
+                answered=answered,
+            )
+        )
+
+    if trending_entities:
+        burst_start = now - window_seconds / 4
+        per_entity = max(3, num_queries // (10 * len(trending_entities)))
+        for entity in trending_entities:
+            for j in range(per_entity):
+                predicate = predicates[j % len(predicates)]
+                answered = bool(store.objects(entity, predicate))
+                entries.append(
+                    QueryLogEntry(
+                        entity=entity,
+                        predicate=predicate,
+                        timestamp=burst_start + (now - burst_start) * (j + 1) / (per_entity + 1),
+                        answered=answered,
+                    )
+                )
+    entries.sort(key=lambda entry: entry.timestamp)
+    return entries
+
+
+class QueryLogAnalyzer:
+    """Aggregate a query log into missing-fact demand and trends."""
+
+    def __init__(self, entries: list[QueryLogEntry]) -> None:
+        self.entries = entries
+
+    def unanswered_demand(self, min_count: int = 1) -> list[UnansweredDemand]:
+        """Unanswered (entity, predicate) pairs ranked by query volume."""
+        counts: Counter[tuple[str, str]] = Counter(
+            (entry.entity, entry.predicate)
+            for entry in self.entries
+            if not entry.answered
+        )
+        demand = [
+            UnansweredDemand(entity=entity, predicate=predicate, query_count=count)
+            for (entity, predicate), count in counts.items()
+            if count >= min_count
+        ]
+        demand.sort(key=lambda item: (-item.query_count, item.key))
+        return demand
+
+    def answer_rate(self) -> float:
+        """Fraction of queries answered (1.0 for an empty log)."""
+        if not self.entries:
+            return 1.0
+        answered = sum(1 for entry in self.entries if entry.answered)
+        return answered / len(self.entries)
+
+    def trending_entities(
+        self, now: float, window_seconds: float, growth_factor: float = 2.0
+    ) -> list[str]:
+        """Entities whose recent traffic outgrew their earlier traffic.
+
+        Compares the last ``window_seconds`` against the preceding window of
+        equal length; an entity trends when recent ≥ ``growth_factor`` ×
+        max(earlier, 1).
+        """
+        recent: Counter[str] = Counter()
+        earlier: Counter[str] = Counter()
+        for entry in self.entries:
+            age = now - entry.timestamp
+            if age <= window_seconds:
+                recent[entry.entity] += 1
+            elif age <= 2 * window_seconds:
+                earlier[entry.entity] += 1
+        trending = [
+            entity
+            for entity, count in recent.items()
+            if count >= growth_factor * max(earlier.get(entity, 0), 1)
+        ]
+        trending.sort(key=lambda entity: (-recent[entity], entity))
+        return trending

@@ -1,0 +1,61 @@
+"""§4 — Open-Domain Knowledge Extraction (ODKE)."""
+
+from repro.odke.corroboration import (
+    FEATURE_NAMES,
+    CorroborationModel,
+    EvidenceGroup,
+    LabeledGroup,
+    featurize_group,
+    group_candidates,
+    majority_vote,
+    select_best_per_target,
+    train_corroboration_model,
+)
+from repro.odke.extractors import (
+    AnnotationGuidedExtractor,
+    CandidateFact,
+    Extractor,
+    PatternExtractor,
+    StructuredDataExtractor,
+    normalize_date,
+)
+from repro.odke.fusion import FusionEngine, FusionReport
+from repro.odke.gaps import ExtractionTarget, GapDetector
+from repro.odke.pipeline import (
+    ODKEConfig,
+    ODKEPipeline,
+    ODKEReport,
+    build_training_examples,
+)
+from repro.odke.query_synthesizer import QuerySynthesizer, SynthesizedQuery
+from repro.odke.retrieval import RetrievedDocument, TargetRetriever
+
+__all__ = [
+    "FEATURE_NAMES",
+    "AnnotationGuidedExtractor",
+    "CandidateFact",
+    "CorroborationModel",
+    "EvidenceGroup",
+    "ExtractionTarget",
+    "Extractor",
+    "FusionEngine",
+    "FusionReport",
+    "GapDetector",
+    "LabeledGroup",
+    "ODKEConfig",
+    "ODKEPipeline",
+    "ODKEReport",
+    "PatternExtractor",
+    "QuerySynthesizer",
+    "RetrievedDocument",
+    "StructuredDataExtractor",
+    "SynthesizedQuery",
+    "TargetRetriever",
+    "build_training_examples",
+    "featurize_group",
+    "group_candidates",
+    "majority_vote",
+    "normalize_date",
+    "select_best_per_target",
+    "train_corroboration_model",
+]

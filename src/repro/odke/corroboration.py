@@ -1,0 +1,220 @@
+"""Corroboration: pick the correct fact among conflicting candidates.
+
+§4 (veracity): "we leverage diverse evidence and signals via a trained
+machine learning model as features to corroborate and identify high
+quality facts from the list of candidates" — e.g. choosing 1979-07-23 over
+1980-09-09 for music-artist Michelle Williams "based on a combination of
+evidences such as the number of support, extractor type and confidence,
+and quality of the source page."
+
+Candidates are grouped by asserted value; each :class:`EvidenceGroup` is
+featurised with exactly those signals and scored by a logistic-regression
+model trained on labelled groups.  A support-count majority vote is
+provided as the ablation baseline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ExtractionError
+from repro.odke.extractors.base import CandidateFact
+
+FEATURE_NAMES = [
+    "log_support",
+    "distinct_docs",
+    "mean_confidence",
+    "max_confidence",
+    "mean_source_quality",
+    "max_source_quality",
+    "extractor_diversity",
+    "has_structured",
+    "agreement_ratio",
+    "recency",
+]
+
+
+@dataclass
+class EvidenceGroup:
+    """All candidates asserting one (entity, predicate, value)."""
+
+    entity: str
+    predicate: str
+    value: str
+    candidates: list[CandidateFact] = field(default_factory=list)
+
+    @property
+    def support(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def distinct_docs(self) -> int:
+        return len({candidate.doc_id for candidate in self.candidates})
+
+    @property
+    def extractors(self) -> set[str]:
+        return {candidate.extractor for candidate in self.candidates}
+
+
+def group_candidates(candidates: list[CandidateFact]) -> list[EvidenceGroup]:
+    """Group candidates by normalised (entity, predicate, value)."""
+    grouped: dict[tuple[str, str, str], EvidenceGroup] = {}
+    for candidate in candidates:
+        key = candidate.group_key
+        if key not in grouped:
+            grouped[key] = EvidenceGroup(
+                entity=candidate.entity,
+                predicate=candidate.predicate,
+                value=candidate.value,
+            )
+        grouped[key].candidates.append(candidate)
+    return sorted(grouped.values(), key=lambda g: (g.entity, g.predicate, g.value))
+
+
+def featurize_group(
+    group: EvidenceGroup, total_support: int, now: float, horizon: float = 5 * 365.25 * 24 * 3600
+) -> np.ndarray:
+    """The §4 evidence signals as a feature vector (see FEATURE_NAMES)."""
+    confidences = [candidate.confidence for candidate in group.candidates]
+    qualities = [candidate.source_quality for candidate in group.candidates]
+    timestamps = [candidate.doc_timestamp for candidate in group.candidates]
+    newest_age = max(0.0, now - max(timestamps)) if timestamps else horizon
+    return np.array(
+        [
+            np.log1p(group.support),
+            np.log1p(group.distinct_docs),
+            float(np.mean(confidences)),
+            float(np.max(confidences)),
+            float(np.mean(qualities)),
+            float(np.max(qualities)),
+            len(group.extractors) / 3.0,
+            1.0 if "structured" in group.extractors else 0.0,
+            group.support / max(total_support, 1),
+            max(0.0, 1.0 - newest_age / horizon),
+        ],
+        dtype=np.float64,
+    )
+
+
+@dataclass
+class LabeledGroup:
+    """A featurised group with its correctness label (training data)."""
+
+    features: np.ndarray
+    label: bool
+    entity: str = ""
+    predicate: str = ""
+    value: str = ""
+
+
+class CorroborationModel:
+    """Logistic regression over evidence features."""
+
+    def __init__(self, weights: np.ndarray, bias: float, mean: np.ndarray, std: np.ndarray) -> None:
+        self.weights = weights
+        self.bias = bias
+        self.mean = mean
+        self.std = std
+
+    def probability(self, features: np.ndarray) -> float:
+        """P(value is correct | evidence)."""
+        standardized = (features - self.mean) / self.std
+        z = float(standardized @ self.weights + self.bias)
+        return float(1.0 / (1.0 + np.exp(-np.clip(z, -30, 30))))
+
+    def score_groups(
+        self, groups: list[EvidenceGroup], now: float
+    ) -> list[tuple[EvidenceGroup, float]]:
+        """Probability per group (support totals computed per target)."""
+        by_target: dict[tuple[str, str], int] = defaultdict(int)
+        for group in groups:
+            by_target[(group.entity, group.predicate)] += group.support
+        return [
+            (
+                group,
+                self.probability(
+                    featurize_group(group, by_target[(group.entity, group.predicate)], now)
+                ),
+            )
+            for group in groups
+        ]
+
+    def feature_importance(self) -> dict[str, float]:
+        """|weight| per feature name, for reporting."""
+        return {
+            name: abs(float(weight))
+            for name, weight in zip(FEATURE_NAMES, self.weights)
+        }
+
+
+def train_corroboration_model(
+    examples: list[LabeledGroup],
+    learning_rate: float = 0.5,
+    epochs: int = 300,
+    l2: float = 1e-3,
+    seed: int = 0,
+) -> CorroborationModel:
+    """Fit logistic regression by full-batch gradient descent.
+
+    Features are standardised; training is deterministic in ``seed`` (used
+    only for initialisation).
+    """
+    if not examples:
+        raise ExtractionError("cannot train corroboration model on no examples")
+    features = np.stack([example.features for example in examples])
+    labels = np.array([1.0 if example.label else 0.0 for example in examples])
+    if labels.min() == labels.max():
+        raise ExtractionError(
+            "training data must contain both correct and incorrect groups"
+        )
+    mean = features.mean(axis=0)
+    std = features.std(axis=0)
+    std[std == 0] = 1.0
+    x = (features - mean) / std
+
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(0, 0.01, size=x.shape[1])
+    bias = 0.0
+    n = len(x)
+    for _ in range(epochs):
+        z = x @ weights + bias
+        predictions = 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+        error = predictions - labels
+        grad_w = x.T @ error / n + l2 * weights
+        grad_b = float(error.mean())
+        weights -= learning_rate * grad_w
+        bias -= learning_rate * grad_b
+    return CorroborationModel(weights=weights, bias=bias, mean=mean, std=std)
+
+
+def majority_vote(
+    groups: list[EvidenceGroup],
+) -> list[tuple[EvidenceGroup, float]]:
+    """Baseline: score = support share within the target (no other signals)."""
+    by_target: dict[tuple[str, str], int] = defaultdict(int)
+    for group in groups:
+        by_target[(group.entity, group.predicate)] += group.support
+    return [
+        (group, group.support / max(by_target[(group.entity, group.predicate)], 1))
+        for group in groups
+    ]
+
+
+def select_best_per_target(
+    scored: list[tuple[EvidenceGroup, float]], min_probability: float = 0.5
+) -> list[tuple[EvidenceGroup, float]]:
+    """Keep the highest-scoring group per (entity, predicate) above threshold."""
+    best: dict[tuple[str, str], tuple[EvidenceGroup, float]] = {}
+    for group, probability in scored:
+        key = (group.entity, group.predicate)
+        current = best.get(key)
+        if current is None or probability > current[1]:
+            best[key] = (group, probability)
+    return [
+        (group, probability)
+        for (group, probability) in best.values()
+        if probability >= min_probability
+    ]

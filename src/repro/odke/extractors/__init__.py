@@ -1,0 +1,15 @@
+"""ODKE extractor zoo: structured, pattern and annotation-guided tiers."""
+
+from repro.odke.extractors.base import CandidateFact, Extractor, normalize_date
+from repro.odke.extractors.neural import AnnotationGuidedExtractor
+from repro.odke.extractors.patterns import PatternExtractor
+from repro.odke.extractors.structured import StructuredDataExtractor
+
+__all__ = [
+    "AnnotationGuidedExtractor",
+    "CandidateFact",
+    "Extractor",
+    "PatternExtractor",
+    "StructuredDataExtractor",
+    "normalize_date",
+]

@@ -1,0 +1,78 @@
+"""Extractor interface and candidate-fact data model.
+
+§4: "we focus on designing different extractors to handle different types
+of data sources with different types of models."  Every extractor consumes
+a (document, target) pair and emits :class:`CandidateFact` records; the
+corroboration stage fuses candidates across extractors and documents.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.odke.gaps import ExtractionTarget
+from repro.web.document import WebDocument
+
+_MONTHS = {
+    "january": 1, "february": 2, "march": 3, "april": 4, "may": 5, "june": 6,
+    "july": 7, "august": 8, "september": 9, "october": 10, "november": 11,
+    "december": 12,
+}
+
+_ISO_RE = re.compile(r"^(\d{4})-(\d{2})-(\d{2})$")
+_LONG_RE = re.compile(r"^([A-Za-z]+)\s+(\d{1,2}),\s*(\d{4})$")
+
+
+def normalize_date(raw: str) -> str | None:
+    """Normalise a date string to ISO ``YYYY-MM-DD`` (None if unparseable).
+
+    Handles the two formats the corpus emits: ISO and "July 23, 1979".
+    """
+    raw = raw.strip()
+    match = _ISO_RE.match(raw)
+    if match:
+        return raw
+    match = _LONG_RE.match(raw)
+    if match:
+        month = _MONTHS.get(match.group(1).lower())
+        if month is None:
+            return None
+        return f"{int(match.group(3)):04d}-{month:02d}-{int(match.group(2)):02d}"
+    return None
+
+
+@dataclass
+class CandidateFact:
+    """One extracted value for a target, with its evidence metadata.
+
+    ``value`` is a normalised string: ISO date for dates, a surface name
+    for entity-valued predicates (fusion resolves it to an entity id),
+    a numeral string for numbers.
+    """
+
+    entity: str
+    predicate: str
+    value: str
+    extractor: str
+    confidence: float
+    doc_id: str
+    source_quality: float
+    doc_timestamp: float = 0.0
+
+    @property
+    def group_key(self) -> tuple[str, str, str]:
+        """Candidates sharing this key assert the same (s, p, value)."""
+        return (self.entity, self.predicate, self.value.lower())
+
+
+class Extractor:
+    """Interface of every ODKE extractor."""
+
+    name = "base"
+
+    def extract(
+        self, document: WebDocument, target: ExtractionTarget
+    ) -> list[CandidateFact]:
+        """Candidate facts for ``target`` found in ``document``."""
+        raise NotImplementedError

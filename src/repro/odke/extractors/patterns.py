@@ -1,0 +1,107 @@
+"""Pattern-based text extraction.
+
+The classical tier of ODKE's extractor zoo: per-predicate regular
+expressions anchored on the target entity's name ("X was born on <date>",
+"X was born ... in <City>", "X plays for <Team>").  Medium precision —
+the patterns fire on any page, including low-quality blogs carrying wrong
+values, which is exactly what the corroboration model must sort out.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.kg.store import TripleStore
+from repro.odke.extractors.base import CandidateFact, Extractor, normalize_date
+from repro.odke.gaps import ExtractionTarget
+from repro.web.document import WebDocument
+
+_DATE_PATTERN = r"(\d{4}-\d{2}-\d{2}|[A-Z][a-z]+ \d{1,2}, \d{4})"
+_PHRASE_PATTERN = r"([A-Z][\w]+(?: [A-Z][\w]+){0,3})"
+
+
+def _compile(name: str, body: str) -> re.Pattern[str]:
+    """Compile a pattern with the entity name spliced in (escaped)."""
+    return re.compile(body.replace("{NAME}", re.escape(name)))
+
+
+# predicate local name -> list of pattern templates; group(1) is the value.
+_PATTERNS: dict[str, list[str]] = {
+    "date_of_birth": [
+        r"{NAME} was born on " + _DATE_PATTERN,
+        r"{NAME} \(born " + _DATE_PATTERN + r"\)",
+    ],
+    "place_of_birth": [
+        r"{NAME} was born (?:on [\w ,-]+ )?in " + _PHRASE_PATTERN,
+    ],
+    "member_of_sports_team": [
+        r"{NAME} plays for (?:the )?" + _PHRASE_PATTERN,
+    ],
+    "spouse": [
+        r"{NAME} is married to " + _PHRASE_PATTERN,
+    ],
+    "employer": [
+        r"{NAME} teaches at (?:the )?" + _PHRASE_PATTERN,
+    ],
+}
+
+# Spanish news pages (the corpus's non-English slice) — §3.1 variety.
+_PATTERNS_ES: dict[str, list[str]] = {
+    "place_of_birth": [r"{NAME} nació en " + _PHRASE_PATTERN],
+}
+
+
+class PatternExtractor(Extractor):
+    """Regex extraction keyed on the target's name and aliases."""
+
+    name = "pattern"
+
+    def __init__(self, store: TripleStore, base_confidence: float = 0.6) -> None:
+        self.store = store
+        self.base_confidence = base_confidence
+
+    def extract(
+        self, document: WebDocument, target: ExtractionTarget
+    ) -> list[CandidateFact]:
+        if not self.store.has_entity(target.entity):
+            return []
+        record = self.store.entity(target.entity)
+        local = target.predicate.split(":", 1)[-1]
+        pattern_bank = _PATTERNS_ES if document.language == "es" else _PATTERNS
+        templates = pattern_bank.get(local, [])
+        if not templates:
+            return []
+
+        candidates: list[CandidateFact] = []
+        surfaces = [record.name, *record.aliases]
+        seen_spans: set[tuple[int, int]] = set()
+        for surface in surfaces:
+            for template in templates:
+                for match in _compile(surface, template).finditer(document.text):
+                    span = match.span(1)
+                    if span in seen_spans:
+                        continue
+                    seen_spans.add(span)
+                    value = match.group(1)
+                    if local == "date_of_birth":
+                        normalized = normalize_date(value)
+                        if normalized is None:
+                            continue
+                        value = normalized
+                    # Full-name anchors are stronger evidence than aliases.
+                    confidence = self.base_confidence * (
+                        1.0 if surface == record.name else 0.8
+                    )
+                    candidates.append(
+                        CandidateFact(
+                            entity=target.entity,
+                            predicate=target.predicate,
+                            value=value,
+                            extractor=self.name,
+                            confidence=confidence,
+                            doc_id=document.doc_id,
+                            source_quality=document.quality,
+                            doc_timestamp=document.fetched_at,
+                        )
+                    )
+        return candidates

@@ -1,0 +1,69 @@
+"""Rule-based extraction from schema.org structured payloads.
+
+§4: "simple rule-based models can be used to extract key-value pairs from
+webpages embedded with structured data that conform to schema.org types".
+High precision: the payload must *name-match* the target entity before any
+property is read.
+"""
+
+from __future__ import annotations
+
+from repro.common.text import normalize_name
+from repro.kg.store import TripleStore
+from repro.odke.extractors.base import CandidateFact, Extractor, normalize_date
+from repro.odke.gaps import ExtractionTarget
+from repro.web.document import WebDocument
+from repro.web.schema_org import PREDICATE_TO_SCHEMA
+
+
+class StructuredDataExtractor(Extractor):
+    """Reads mapped schema.org properties off name-matched payloads."""
+
+    name = "structured"
+
+    def __init__(self, store: TripleStore, base_confidence: float = 0.9) -> None:
+        self.store = store
+        self.base_confidence = base_confidence
+
+    def extract(
+        self, document: WebDocument, target: ExtractionTarget
+    ) -> list[CandidateFact]:
+        payload = document.structured_data
+        if not payload:
+            return []
+        if not self.store.has_entity(target.entity):
+            return []
+        record = self.store.entity(target.entity)
+        payload_name = payload.get("name", "")
+        if normalize_name(payload_name) != normalize_name(record.name):
+            return []
+
+        local = target.predicate.split(":", 1)[-1]
+        schema_property = PREDICATE_TO_SCHEMA.get(local)
+        if schema_property is None or schema_property not in payload:
+            return []
+        raw_values = payload[schema_property]
+        if not isinstance(raw_values, list):
+            raw_values = [raw_values]
+
+        candidates: list[CandidateFact] = []
+        for raw in raw_values:
+            value = str(raw)
+            if local == "date_of_birth":
+                normalized = normalize_date(value)
+                if normalized is None:
+                    continue
+                value = normalized
+            candidates.append(
+                CandidateFact(
+                    entity=target.entity,
+                    predicate=target.predicate,
+                    value=value,
+                    extractor=self.name,
+                    confidence=self.base_confidence,
+                    doc_id=document.doc_id,
+                    source_quality=document.quality,
+                    doc_timestamp=document.fetched_at,
+                )
+            )
+        return candidates

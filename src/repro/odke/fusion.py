@@ -1,0 +1,106 @@
+"""Fusion: write corroborated facts back into the knowledge graph.
+
+The last step of Figure 5: accepted values become KG facts with ODKE
+provenance.  Entity-valued predicates need their surface value resolved to
+a KG entity through the alias table; literal predicates get the ontology's
+datatype.  Writes go through the same conflict-resolution semantics as the
+construction pipeline (a functional predicate's existing value is replaced
+only by a strictly more confident one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.annotation.alias_table import AliasTable
+from repro.kg.construction import BatchIngestor, KnowledgeSource
+from repro.kg.ontology import Ontology
+from repro.kg.store import TripleStore
+from repro.kg.triple import Fact, entity_fact, literal_fact
+from repro.odke.corroboration import EvidenceGroup
+
+ODKE_SOURCE = "odke"
+
+
+@dataclass
+class FusionReport:
+    """Outcome of fusing accepted groups into the KG."""
+
+    accepted: int = 0
+    written: int = 0
+    unresolved_entity_values: int = 0
+    schema_rejections: int = 0
+    facts: list[Fact] = field(default_factory=list)
+
+
+class FusionEngine:
+    """Resolves values and upserts corroborated facts."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        ontology: Ontology,
+        alias_table: AliasTable | None = None,
+        source_trust: float = 0.85,
+    ) -> None:
+        self.store = store
+        self.ontology = ontology
+        self.alias_table = alias_table or AliasTable(store)
+        self.source_trust = source_trust
+
+    def fuse(
+        self, accepted: list[tuple[EvidenceGroup, float]], now: float
+    ) -> FusionReport:
+        """Write accepted (group, probability) pairs into the store."""
+        report = FusionReport(accepted=len(accepted))
+        facts: list[Fact] = []
+        for group, probability in accepted:
+            fact = self._to_fact(group, probability, now, report)
+            if fact is not None:
+                facts.append(fact)
+        ingestor = BatchIngestor(self.store, self.ontology)
+        ingest_report = ingestor.ingest(
+            [KnowledgeSource(name=ODKE_SOURCE, trust=self.source_trust, facts=facts)]
+        )
+        report.written = ingest_report.facts_applied
+        report.schema_rejections += ingest_report.schema_rejections
+        report.facts = facts
+        return report
+
+    def _to_fact(
+        self,
+        group: EvidenceGroup,
+        probability: float,
+        now: float,
+        report: FusionReport,
+    ) -> Fact | None:
+        if not self.ontology.has_predicate(group.predicate):
+            report.schema_rejections += 1
+            return None
+        schema = self.ontology.schema(group.predicate)
+        if schema.is_literal:
+            assert schema.literal_type is not None
+            return literal_fact(
+                group.entity,
+                group.predicate,
+                group.value,
+                schema.literal_type,
+                confidence=probability,
+                updated_at=now,
+            )
+        # Entity-valued: resolve the surface through the alias table.
+        if self.alias_table.is_stale:
+            self.alias_table.refresh()
+        entries = self.alias_table.lookup(group.value)
+        if not entries:
+            entries = self.alias_table.lookup_fuzzy(group.value)
+        if not entries:
+            report.unresolved_entity_values += 1
+            return None
+        return entity_fact(
+            group.entity,
+            group.predicate,
+            entries[0].entity,
+            confidence=probability,
+            updated_at=now,
+        )

@@ -1,0 +1,169 @@
+"""Gap detection: which facts should ODKE go hunt for?
+
+§4 names three ways to find "important missing or stale facts":
+
+1. **reactive** — query-log analysis: user queries that failed because a
+   fact is missing (:mod:`repro.kg.query_logs`);
+2. **proactive** — KG profiling: entities missing predicates their type
+   expects (:mod:`repro.kg.profiling`);
+3. **predictive** — trending queries: entities with surging traffic whose
+   expected coverage should be completed pre-emptively.
+
+All three paths emit :class:`ExtractionTarget` records which are merged,
+deduplicated (summing priority across paths — a gap found by several
+detectors matters more) and ranked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kg.ontology import Ontology
+from repro.kg.profiling import KGProfiler
+from repro.kg.query_logs import QueryLogAnalyzer, QueryLogEntry
+from repro.kg.store import TripleStore
+
+
+@dataclass(frozen=True)
+class ExtractionTarget:
+    """A missing or stale fact ODKE should extract.
+
+    ``kind`` is ``missing`` or ``stale``; ``origin`` records which
+    detection path produced it (reactive/proactive/trending), which the
+    pipeline report breaks down.
+    """
+
+    entity: str
+    predicate: str
+    priority: float
+    kind: str = "missing"
+    origin: str = "proactive"
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.entity, self.predicate)
+
+
+class GapDetector:
+    """Runs all three detection paths and merges their targets."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        ontology: Ontology,
+        now: float,
+        query_log: list[QueryLogEntry] | None = None,
+    ) -> None:
+        self.store = store
+        self.ontology = ontology
+        self.now = now
+        self.query_log = query_log or []
+
+    def reactive_targets(self, min_queries: int = 2) -> list[ExtractionTarget]:
+        """Unanswered query demand → targets weighted by query volume."""
+        analyzer = QueryLogAnalyzer(self.query_log)
+        demand = analyzer.unanswered_demand(min_count=min_queries)
+        if not demand:
+            return []
+        max_count = max(item.query_count for item in demand)
+        return [
+            ExtractionTarget(
+                entity=item.entity,
+                predicate=item.predicate,
+                priority=item.query_count / max_count,
+                origin="reactive",
+            )
+            for item in demand
+        ]
+
+    def proactive_targets(self, limit: int | None = None) -> list[ExtractionTarget]:
+        """Profiler coverage gaps → targets weighted by entity popularity."""
+        profiler = KGProfiler(self.store, self.ontology, now=self.now)
+        gaps = profiler.profile().gaps
+        if limit is not None:
+            gaps = gaps[:limit]
+        return [
+            ExtractionTarget(
+                entity=gap.entity,
+                predicate=gap.predicate,
+                priority=gap.importance,
+                origin="proactive",
+            )
+            for gap in gaps
+        ]
+
+    def stale_targets(self, limit: int | None = None) -> list[ExtractionTarget]:
+        """Profiler stale volatile facts → freshness targets."""
+        profiler = KGProfiler(self.store, self.ontology, now=self.now)
+        stale = profiler.profile().stale
+        if limit is not None:
+            stale = stale[:limit]
+        return [
+            ExtractionTarget(
+                entity=item.entity,
+                predicate=item.predicate,
+                priority=item.importance,
+                kind="stale",
+                origin="proactive",
+            )
+            for item in stale
+        ]
+
+    def trending_targets(
+        self, window_seconds: float = 3.5 * 24 * 3600
+    ) -> list[ExtractionTarget]:
+        """Trending entities × their remaining expected-coverage gaps."""
+        analyzer = QueryLogAnalyzer(self.query_log)
+        trending = analyzer.trending_entities(self.now, window_seconds)
+        targets: list[ExtractionTarget] = []
+        for entity in trending:
+            if not self.store.has_entity(entity):
+                continue
+            record = self.store.entity(entity)
+            expected: set[str] = set()
+            for type_id in record.types:
+                if self.ontology.has_type(type_id):
+                    expected |= self.ontology.expected_predicates(type_id)
+            present = {fact.predicate for fact in self.store.scan(subject=entity)}
+            for predicate in sorted(expected - present):
+                targets.append(
+                    ExtractionTarget(
+                        entity=entity,
+                        predicate=predicate,
+                        priority=0.8,
+                        origin="trending",
+                    )
+                )
+        return targets
+
+    def all_targets(
+        self,
+        max_targets: int | None = None,
+        include_stale: bool = True,
+    ) -> list[ExtractionTarget]:
+        """Merged, deduplicated, priority-ranked targets from all paths."""
+        merged: dict[tuple[str, str], ExtractionTarget] = {}
+        paths = [
+            self.reactive_targets(),
+            self.proactive_targets(),
+            self.trending_targets(),
+        ]
+        if include_stale:
+            paths.append(self.stale_targets())
+        for path_targets in paths:
+            for target in path_targets:
+                existing = merged.get(target.key)
+                if existing is None:
+                    merged[target.key] = target
+                else:
+                    merged[target.key] = ExtractionTarget(
+                        entity=target.entity,
+                        predicate=target.predicate,
+                        priority=existing.priority + target.priority,
+                        kind="stale" if "stale" in (existing.kind, target.kind) else "missing",
+                        origin=f"{existing.origin}+{target.origin}"
+                        if target.origin not in existing.origin
+                        else existing.origin,
+                    )
+        ranked = sorted(merged.values(), key=lambda t: (-t.priority, t.key))
+        return ranked[:max_targets] if max_targets is not None else ranked

@@ -1,0 +1,199 @@
+"""The end-to-end ODKE pipeline (Figure 5).
+
+targets → Query Synthesizer → Web Search → extractors (structured /
+pattern / annotation-guided) → corroboration → fusion.
+
+The pipeline owns no policy about *which* gaps matter — callers hand it
+:class:`~repro.odke.gaps.ExtractionTarget` lists (usually from
+:class:`~repro.odke.gaps.GapDetector`).  Annotation of retrieved pages is
+*targeted*: only pages that reach extraction are annotated (and cached),
+mirroring how ODKE "leverage[s] annotations … to improve retrieval and
+extraction quality" without re-annotating the whole crawl.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.annotation.mention import EntityLink
+from repro.annotation.pipeline import AnnotationPipeline
+from repro.common.metrics import MetricsRegistry
+from repro.kg.ontology import Ontology
+from repro.kg.store import TripleStore
+from repro.odke.corroboration import (
+    CorroborationModel,
+    EvidenceGroup,
+    LabeledGroup,
+    featurize_group,
+    group_candidates,
+    majority_vote,
+    select_best_per_target,
+)
+from repro.odke.extractors import (
+    AnnotationGuidedExtractor,
+    CandidateFact,
+    PatternExtractor,
+    StructuredDataExtractor,
+)
+from repro.odke.fusion import FusionEngine, FusionReport
+from repro.odke.gaps import ExtractionTarget
+from repro.odke.query_synthesizer import QuerySynthesizer
+from repro.odke.retrieval import TargetRetriever
+from repro.web.search import BM25SearchEngine
+
+
+@dataclass
+class ODKEConfig:
+    """Pipeline knobs."""
+
+    docs_per_query: int = 5
+    max_docs_per_target: int = 8
+    queries_per_target: int = 3
+    min_probability: float = 0.5
+    use_trained_model: bool = True  # False → majority-vote baseline
+
+
+@dataclass
+class ODKEReport:
+    """Per-stage accounting of one pipeline run."""
+
+    targets: int = 0
+    queries_issued: int = 0
+    docs_retrieved: int = 0
+    candidates_extracted: int = 0
+    groups_formed: int = 0
+    accepted: int = 0
+    fusion: FusionReport | None = None
+    accepted_values: dict[tuple[str, str], tuple[str, float]] = field(
+        default_factory=dict
+    )
+
+
+class ODKEPipeline:
+    """Wires retrieval, extraction, corroboration and fusion together."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        ontology: Ontology,
+        search: BM25SearchEngine,
+        annotation_pipeline: AnnotationPipeline,
+        corroboration_model: CorroborationModel | None = None,
+        config: ODKEConfig | None = None,
+        now: float = 0.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.store = store
+        self.ontology = ontology
+        self.search = search
+        self.annotation_pipeline = annotation_pipeline
+        self.corroboration_model = corroboration_model
+        self.config = config or ODKEConfig()
+        self.now = now
+        self.metrics = metrics or MetricsRegistry("odke")
+        self.synthesizer = QuerySynthesizer(
+            store, queries_per_target=self.config.queries_per_target
+        )
+        self.retriever = TargetRetriever(
+            search,
+            self.synthesizer,
+            docs_per_query=self.config.docs_per_query,
+            max_docs_per_target=self.config.max_docs_per_target,
+        )
+        self.structured = StructuredDataExtractor(store)
+        self.patterns = PatternExtractor(store)
+        self.neural = AnnotationGuidedExtractor()
+        self.fusion_engine = FusionEngine(store, ontology)
+        self._link_cache: dict[str, list[EntityLink]] = {}
+
+    # -- stages ------------------------------------------------------------
+
+    def extract_for_target(self, target: ExtractionTarget) -> list[CandidateFact]:
+        """Retrieval + all extractors for one target."""
+        retrieved = self.retriever.retrieve(target)
+        self.metrics.incr("docs.retrieved", len(retrieved))
+        candidates: list[CandidateFact] = []
+        for item in retrieved:
+            doc = item.document
+            candidates.extend(self.structured.extract(doc, target))
+            candidates.extend(self.patterns.extract(doc, target))
+            links = self._links_for(doc.doc_id, doc)
+            candidates.extend(self.neural.extract_with_links(doc, target, links))
+        self.metrics.incr("candidates", len(candidates))
+        return candidates
+
+    def _links_for(self, doc_id: str, doc) -> list[EntityLink]:
+        """Targeted annotation with caching (annotate-on-demand)."""
+        cached = self._link_cache.get(doc_id)
+        if cached is not None:
+            self.metrics.incr("annotation.cache_hit")
+            return cached
+        annotated = self.annotation_pipeline.annotate_document(doc)
+        self._link_cache[doc_id] = annotated.links
+        self.metrics.incr("annotation.cache_miss")
+        return annotated.links
+
+    def corroborate(
+        self, candidates: list[CandidateFact]
+    ) -> list[tuple[EvidenceGroup, float]]:
+        """Group and score candidates (trained model or majority vote)."""
+        groups = group_candidates(candidates)
+        self.metrics.incr("groups", len(groups))
+        if self.config.use_trained_model and self.corroboration_model is not None:
+            scored = self.corroboration_model.score_groups(groups, self.now)
+        else:
+            scored = majority_vote(groups)
+        return select_best_per_target(scored, self.config.min_probability)
+
+    def run(self, targets: list[ExtractionTarget], fuse: bool = True) -> ODKEReport:
+        """Full pipeline over ``targets``; optionally fuse into the KG."""
+        report = ODKEReport(targets=len(targets))
+        all_candidates: list[CandidateFact] = []
+        for target in targets:
+            report.queries_issued += len(self.synthesizer.synthesize(target))
+            all_candidates.extend(self.extract_for_target(target))
+        report.candidates_extracted = len(all_candidates)
+        report.docs_retrieved = int(self.metrics.counters.get("docs.retrieved", 0))
+        accepted = self.corroborate(all_candidates)
+        report.groups_formed = int(self.metrics.counters.get("groups", 0))
+        report.accepted = len(accepted)
+        report.accepted_values = {
+            (group.entity, group.predicate): (group.value, probability)
+            for group, probability in accepted
+        }
+        if fuse:
+            report.fusion = self.fusion_engine.fuse(accepted, now=self.now)
+        return report
+
+
+def build_training_examples(
+    pipeline: ODKEPipeline,
+    targets: list[ExtractionTarget],
+    true_values: dict[tuple[str, str], str],
+) -> list[LabeledGroup]:
+    """Label evidence groups against known true values (training data).
+
+    ``true_values`` maps (entity, predicate) → correct normalised value;
+    groups for targets without a known truth are skipped.  Used to fit the
+    corroboration model on a calibration slice disjoint from evaluation
+    targets.
+    """
+    examples: list[LabeledGroup] = []
+    for target in targets:
+        truth = true_values.get(target.key)
+        if truth is None:
+            continue
+        candidates = pipeline.extract_for_target(target)
+        groups = group_candidates(candidates)
+        total_support = sum(group.support for group in groups)
+        for group in groups:
+            examples.append(
+                LabeledGroup(
+                    features=featurize_group(group, total_support, pipeline.now),
+                    label=group.value.lower() == truth.lower(),
+                    entity=group.entity,
+                    predicate=group.predicate,
+                    value=group.value,
+                )
+            )
+    return examples

@@ -1,0 +1,90 @@
+"""Query Synthesizer: turn a missing fact into web-search queries.
+
+Figure 6 step ②: for the missing tuple <Michelle Williams (music artist),
+date_of_birth, ?> the synthesizer auto-composes queries like "Michelle
+Williams singer date of birth".  Following [12], several query variants
+are issued per fact; entity-type hint words are appended to steer search
+toward the right namesake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kg.store import TripleStore
+from repro.odke.gaps import ExtractionTarget
+
+# predicate local name -> phrasing variants ({name} is substituted).
+_TEMPLATES: dict[str, list[str]] = {
+    "date_of_birth": [
+        "{name} date of birth",
+        "{name} born",
+        "when was {name} born",
+    ],
+    "place_of_birth": [
+        "{name} place of birth",
+        "{name} born in",
+        "where was {name} born",
+    ],
+    "spouse": ["{name} spouse", "{name} married to"],
+    "member_of_sports_team": ["{name} team", "{name} plays for"],
+    "employer": ["{name} works at", "{name} professor university"],
+    "citizen_of": ["{name} nationality", "{name} citizen of"],
+    "occupation": ["{name} occupation", "who is {name}"],
+    "social_media_followers": ["{name} followers", "{name} social media"],
+    "net_worth_musd": ["{name} net worth"],
+    "marital_status": ["{name} marital status", "is {name} married"],
+}
+
+_DEFAULT_TEMPLATES = ["{name} {predicate_words}", "{name} facts"]
+
+# coarse type -> disambiguating hint word (steers BM25 toward the right
+# namesake, mirroring how [12] adds context terms).
+_TYPE_HINTS = [
+    ("type:basketball_player", "basketball"),
+    ("type:cricketer", "cricket"),
+    ("type:film", "film"),
+    ("type:album", "album"),
+]
+
+
+@dataclass(frozen=True)
+class SynthesizedQuery:
+    """One search query derived from a target."""
+
+    target_key: tuple[str, str]
+    text: str
+
+
+class QuerySynthesizer:
+    """Template-based query generation with entity-type hints."""
+
+    def __init__(self, store: TripleStore, queries_per_target: int = 3) -> None:
+        self.store = store
+        self.queries_per_target = queries_per_target
+
+    def synthesize(self, target: ExtractionTarget) -> list[SynthesizedQuery]:
+        """Queries for one extraction target (empty for unknown entities)."""
+        if not self.store.has_entity(target.entity):
+            return []
+        record = self.store.entity(target.entity)
+        local = target.predicate.split(":", 1)[-1]
+        templates = _TEMPLATES.get(local, _DEFAULT_TEMPLATES)
+        hint = self._type_hint(record.types)
+        queries: list[SynthesizedQuery] = []
+        for template in templates[: self.queries_per_target]:
+            text = template.format(
+                name=record.name, predicate_words=local.replace("_", " ")
+            )
+            if hint:
+                text = f"{text} {hint}"
+            queries.append(SynthesizedQuery(target_key=target.key, text=text))
+        return queries
+
+    @staticmethod
+    def _type_hint(types: tuple[str, ...]) -> str:
+        type_set = set(types)
+        for type_id, hint in _TYPE_HINTS:
+            if type_id in type_set:
+                return hint
+        return ""

@@ -1,0 +1,72 @@
+"""Document retrieval for extraction targets.
+
+Figure 6 step ③: run the synthesized queries through web search and gather
+"a list of relevant Web documents".  Targeted search is what lets ODKE
+sidestep the data-volume challenge — only the top pages per query are ever
+touched by extractors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.odke.gaps import ExtractionTarget
+from repro.odke.query_synthesizer import QuerySynthesizer
+from repro.web.document import WebDocument
+from repro.web.search import BM25SearchEngine
+
+
+@dataclass
+class RetrievedDocument:
+    """A document retrieved for a target, with its best search evidence."""
+
+    document: WebDocument
+    best_rank: int
+    best_score: float
+    matched_queries: int
+
+
+class TargetRetriever:
+    """Fan queries out to search and merge per-document evidence."""
+
+    def __init__(
+        self,
+        search: BM25SearchEngine,
+        synthesizer: QuerySynthesizer,
+        docs_per_query: int = 5,
+        max_docs_per_target: int = 10,
+    ) -> None:
+        self.search = search
+        self.synthesizer = synthesizer
+        self.docs_per_query = docs_per_query
+        self.max_docs_per_target = max_docs_per_target
+
+    def retrieve(self, target: ExtractionTarget) -> list[RetrievedDocument]:
+        """Relevant documents for one target, deduplicated across queries.
+
+        A document hit by several query variants accumulates
+        ``matched_queries`` — corroboration later treats multi-query hits
+        as stronger retrieval evidence.
+        """
+        merged: dict[str, RetrievedDocument] = {}
+        for query in self.synthesizer.synthesize(target):
+            for rank, result in enumerate(
+                self.search.search(query.text, k=self.docs_per_query)
+            ):
+                existing = merged.get(result.doc_id)
+                if existing is None:
+                    merged[result.doc_id] = RetrievedDocument(
+                        document=result.document,
+                        best_rank=rank,
+                        best_score=result.score,
+                        matched_queries=1,
+                    )
+                else:
+                    existing.best_rank = min(existing.best_rank, rank)
+                    existing.best_score = max(existing.best_score, result.score)
+                    existing.matched_queries += 1
+        ranked = sorted(
+            merged.values(),
+            key=lambda item: (-item.matched_queries, item.best_rank, -item.best_score),
+        )
+        return ranked[: self.max_docs_per_target]

@@ -1,0 +1,130 @@
+"""§5 — Private on-device knowledge platform."""
+
+from repro.ondevice.annotation import (
+    PersonalAnnotator,
+    PersonalAnnotatorConfig,
+    PersonalContextIndex,
+)
+from repro.ondevice.blocking import BlockingStats, MemoryBoundedBlocker, blocking_keys
+from repro.ondevice.compression import (
+    FP16,
+    FP32,
+    INT8,
+    CompressionReport,
+    QuantizedVectors,
+    knn_overlap,
+    pca_projection,
+    quantize_vectors,
+    random_projection,
+    sweep_compression,
+)
+from repro.ondevice.device import Device, DeviceProfile
+from repro.ondevice.enrichment import (
+    EnrichmentPlanner,
+    EnrichmentPlannerConfig,
+    EnrichmentReport,
+    GlobalKnowledgeServer,
+    dp_count_query,
+)
+from repro.ondevice.fusion import (
+    ClusterQualityReport,
+    FusedPerson,
+    UnionFind,
+    build_personal_kg,
+    cluster_records,
+    evaluate_clusters,
+    fuse_cluster,
+)
+from repro.ondevice.incremental import (
+    IncrementalPipeline,
+    IncrementalPipelineConfig,
+    Phase,
+    PipelineResult,
+    StepReport,
+)
+from repro.ondevice.matching import EntityMatcher, MatchConfig, MatchDecision
+from repro.ondevice.normalize import (
+    name_key,
+    name_token_keys,
+    normalize_email,
+    normalize_phone,
+)
+from repro.ondevice.records import (
+    ALL_SOURCES,
+    CALENDAR,
+    CONTACTS,
+    MESSAGES,
+    SourceRecord,
+)
+from repro.ondevice.sources import (
+    DeviceDataset,
+    Persona,
+    PersonaWorldConfig,
+    generate_device_dataset,
+    generate_personas,
+)
+from repro.ondevice.sync import (
+    SyncCoordinator,
+    SyncRoundReport,
+    kg_signature,
+    offload_construction,
+)
+
+__all__ = [
+    "ALL_SOURCES",
+    "CALENDAR",
+    "CONTACTS",
+    "MESSAGES",
+    "FP16",
+    "FP32",
+    "INT8",
+    "BlockingStats",
+    "ClusterQualityReport",
+    "CompressionReport",
+    "Device",
+    "DeviceDataset",
+    "DeviceProfile",
+    "EnrichmentPlanner",
+    "EnrichmentPlannerConfig",
+    "EnrichmentReport",
+    "EntityMatcher",
+    "FusedPerson",
+    "GlobalKnowledgeServer",
+    "IncrementalPipeline",
+    "IncrementalPipelineConfig",
+    "MatchConfig",
+    "MatchDecision",
+    "MemoryBoundedBlocker",
+    "Persona",
+    "PersonaWorldConfig",
+    "PersonalAnnotator",
+    "PersonalAnnotatorConfig",
+    "PersonalContextIndex",
+    "Phase",
+    "PipelineResult",
+    "QuantizedVectors",
+    "SourceRecord",
+    "StepReport",
+    "SyncCoordinator",
+    "SyncRoundReport",
+    "UnionFind",
+    "blocking_keys",
+    "build_personal_kg",
+    "cluster_records",
+    "dp_count_query",
+    "evaluate_clusters",
+    "fuse_cluster",
+    "generate_device_dataset",
+    "generate_personas",
+    "kg_signature",
+    "knn_overlap",
+    "name_key",
+    "name_token_keys",
+    "normalize_email",
+    "normalize_phone",
+    "offload_construction",
+    "pca_projection",
+    "quantize_vectors",
+    "random_projection",
+    "sweep_compression",
+]

@@ -1,0 +1,183 @@
+"""Model compression for on-device deployment.
+
+§5: "On-device ML models are kept small by engineering smaller model
+architectures (e.g., fewer and more narrow neural layers); compressing
+learned models (e.g., by floating point precision reduction); or by
+distillation."
+
+Three corresponding tools over the vector models this library deploys
+on-device (context encoders, embedding tables):
+
+* :func:`quantize_vectors` — fp32 → fp16 / int8 precision reduction with
+  size accounting and a reconstruction for quality measurement;
+* :func:`random_projection` — dimensionality distillation: project a
+  teacher's d-dim vectors to a narrower student space with a seeded
+  Johnson–Lindenstrauss matrix;
+* :func:`compression_quality` — how well the compressed space preserves
+  the teacher's nearest-neighbour structure (overlap@k), the quality
+  metric the F7 benchmark sweeps against size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import DeviceError
+from repro.common.rng import substream
+from repro.vector.similarity import normalize_rows
+
+FP32 = "fp32"
+FP16 = "fp16"
+INT8 = "int8"
+
+MODES = (FP32, FP16, INT8)
+
+
+@dataclass
+class QuantizedVectors:
+    """Compressed vectors plus their storage cost and reconstruction."""
+
+    mode: str
+    nbytes: int
+    reconstructed: np.ndarray  # dequantized back to float64 for use
+
+
+def quantize_vectors(vectors: np.ndarray, mode: str = FP16) -> QuantizedVectors:
+    """Precision-reduce ``vectors``; returns storage size + reconstruction.
+
+    ``int8`` uses symmetric per-row scales (one fp32 scale per row is
+    included in the byte count).
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if mode == FP32:
+        encoded = vectors.astype(np.float32)
+        return QuantizedVectors(
+            mode=mode, nbytes=encoded.nbytes, reconstructed=encoded.astype(np.float64)
+        )
+    if mode == FP16:
+        encoded = vectors.astype(np.float16)
+        return QuantizedVectors(
+            mode=mode, nbytes=encoded.nbytes, reconstructed=encoded.astype(np.float64)
+        )
+    if mode == INT8:
+        scales = np.max(np.abs(vectors), axis=1, keepdims=True)
+        scales[scales == 0] = 1.0
+        quantized = np.clip(np.round(vectors / scales * 127.0), -127, 127).astype(np.int8)
+        reconstructed = quantized.astype(np.float64) / 127.0 * scales
+        nbytes = quantized.nbytes + scales.astype(np.float32).nbytes
+        return QuantizedVectors(mode=mode, nbytes=nbytes, reconstructed=reconstructed)
+    raise DeviceError(f"unknown quantization mode {mode!r}; choose from {MODES}")
+
+
+def random_projection(
+    vectors: np.ndarray, target_dim: int, seed: int = 0
+) -> np.ndarray:
+    """Distill vectors into ``target_dim`` dimensions (JL projection).
+
+    Rows are re-normalised so cosine comparisons remain meaningful in the
+    student space.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if target_dim <= 0:
+        raise DeviceError(f"target_dim must be positive, got {target_dim}")
+    if target_dim >= vectors.shape[1]:
+        return normalize_rows(vectors)
+    rng = substream(seed, "random-projection")
+    projection = rng.normal(0.0, 1.0 / np.sqrt(target_dim), size=(vectors.shape[1], target_dim))
+    return normalize_rows(vectors @ projection)
+
+
+def pca_projection(vectors: np.ndarray, target_dim: int) -> np.ndarray:
+    """Distill vectors into their top-``target_dim`` principal components.
+
+    The data-aware alternative to :func:`random_projection` — the "smaller
+    model architecture engineered from the teacher" flavour of §5's
+    distillation.  Deterministic (no randomness involved).
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if target_dim <= 0:
+        raise DeviceError(f"target_dim must be positive, got {target_dim}")
+    if target_dim >= vectors.shape[1]:
+        return normalize_rows(vectors)
+    centered = vectors - vectors.mean(axis=0, keepdims=True)
+    _u, _s, vt = np.linalg.svd(centered, full_matrices=False)
+    return normalize_rows(centered @ vt[:target_dim].T)
+
+
+def knn_overlap(
+    teacher: np.ndarray, student: np.ndarray, k: int = 5, num_queries: int | None = None
+) -> float:
+    """Mean overlap@k between teacher and student nearest-neighbour sets.
+
+    The quality measure for compression: 1.0 means the compressed space
+    ranks neighbours identically.
+    """
+    teacher = normalize_rows(np.asarray(teacher, dtype=np.float64))
+    student = normalize_rows(np.asarray(student, dtype=np.float64))
+    if teacher.shape[0] != student.shape[0]:
+        raise DeviceError("teacher and student must cover the same rows")
+    n = teacher.shape[0]
+    if n <= 1:
+        return 1.0
+    queries = range(n if num_queries is None else min(num_queries, n))
+    k = min(k, n - 1)
+    total = 0.0
+    count = 0
+    for i in queries:
+        teacher_scores = teacher @ teacher[i]
+        student_scores = student @ student[i]
+        teacher_scores[i] = -np.inf
+        student_scores[i] = -np.inf
+        top_teacher = set(np.argsort(-teacher_scores, kind="mergesort")[:k].tolist())
+        top_student = set(np.argsort(-student_scores, kind="mergesort")[:k].tolist())
+        total += len(top_teacher & top_student) / k
+        count += 1
+    return total / count if count else 1.0
+
+
+@dataclass
+class CompressionReport:
+    """Size/quality of one compression configuration."""
+
+    mode: str
+    dim: int
+    nbytes: int
+    overlap_at_5: float
+
+
+def sweep_compression(
+    vectors: np.ndarray,
+    modes: tuple[str, ...] = MODES,
+    distill_dims: tuple[int, ...] = (),
+    seed: int = 0,
+) -> list[CompressionReport]:
+    """Quality/size grid over quantization modes and distilled widths."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+    reports: list[CompressionReport] = []
+    for mode in modes:
+        quantized = quantize_vectors(vectors, mode)
+        reports.append(
+            CompressionReport(
+                mode=mode,
+                dim=vectors.shape[1],
+                nbytes=quantized.nbytes,
+                overlap_at_5=knn_overlap(vectors, quantized.reconstructed),
+            )
+        )
+    for dim in distill_dims:
+        for label, student in (
+            ("rand", random_projection(vectors, dim, seed=seed)),
+            ("pca", pca_projection(vectors, dim)),
+        ):
+            quantized = quantize_vectors(student, FP16)
+            reports.append(
+                CompressionReport(
+                    mode=f"distill{dim}-{label}+fp16",
+                    dim=dim,
+                    nbytes=quantized.nbytes,
+                    overlap_at_5=knn_overlap(vectors, student),
+                )
+            )
+    return reports

@@ -1,0 +1,210 @@
+"""Global knowledge enrichment with privacy accounting.
+
+§5 (global knowledge enrichment) defines three paths, all implemented
+with explicit cost/privacy bookkeeping so the F7-enrich benchmark can
+reproduce the trade-off the paper argues:
+
+1. **Static knowledge asset** — a Graph-Engine view of the most popular
+   global entities shipped to every device.  Reveals nothing (no
+   request), costs its full size in transfer.
+2. **Dynamic (piggyback) enrichment** — facts about entities the user
+   already asked a server about ride back with the response.  Reveals
+   nothing *new* (the query already happened), tiny marginal cost.
+3. **Private retrieval** — PIR for entity facts the other paths missed
+   (provably reveals nothing, costs ~2·√N blocks per fetch in the
+   classic two-server scheme), plus Laplace-mechanism differentially
+   private aggregate queries with an ε budget.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import DeviceError
+from repro.common.rng import substream
+from repro.kg.store import TripleStore
+from repro.kg.views import materialize, static_knowledge_asset_view
+
+
+@dataclass
+class EnrichmentReport:
+    """Outcome of an enrichment plan for one device."""
+
+    needed: int
+    covered_static: int = 0
+    covered_piggyback: int = 0
+    covered_pir: int = 0
+    bytes_static: int = 0
+    bytes_piggyback: int = 0
+    bytes_pir: int = 0
+    revealed_entities: list[str] = field(default_factory=list)
+    epsilon_spent: float = 0.0
+
+    @property
+    def coverage(self) -> float:
+        covered = self.covered_static + self.covered_piggyback + self.covered_pir
+        return covered / self.needed if self.needed else 1.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_static + self.bytes_piggyback + self.bytes_pir
+
+
+def _entity_payload_bytes(store: TripleStore, entity: str) -> int:
+    """Approximate serialized size of an entity's facts + descriptor."""
+    size = len(json.dumps(store.entity(entity).to_dict()))
+    for fact in store.scan(subject=entity):
+        size += len(json.dumps(fact.to_dict()))
+    return size
+
+
+class GlobalKnowledgeServer:
+    """The server side: global KG + the three enrichment endpoints."""
+
+    def __init__(self, global_store: TripleStore, pir_block_rows: int | None = None) -> None:
+        self.store = global_store
+        n = max(len(global_store.entity_ids()), 1)
+        # Classic 2-server PIR: communication ~ 2·sqrt(N) rows per query.
+        self.pir_block_rows = pir_block_rows or max(int(np.ceil(np.sqrt(n))), 1)
+        self._avg_row_bytes = self._average_row_bytes()
+
+    def _average_row_bytes(self) -> int:
+        entities = self.store.entity_ids()[:50]
+        if not entities:
+            return 256
+        total = sum(_entity_payload_bytes(self.store, entity) for entity in entities)
+        return max(total // len(entities), 1)
+
+    def build_static_asset(self, top_k: int) -> tuple[TripleStore, int]:
+        """The popular-entities view and its shipped size in bytes."""
+        view = materialize(static_knowledge_asset_view(top_k), self.store)
+        size = 0
+        for record in view.store.entities():
+            size += len(json.dumps(record.to_dict()))
+        for fact in view.store.scan():
+            size += len(json.dumps(fact.to_dict()))
+        return view.store, size
+
+    def piggyback(self, entity: str) -> tuple[list, int]:
+        """Facts bundled onto an existing user-initiated request."""
+        if not self.store.has_entity(entity):
+            return [], 0
+        facts = list(self.store.scan(subject=entity))
+        return facts, _entity_payload_bytes(self.store, entity)
+
+    def pir_fetch(self, entity: str) -> tuple[list, int]:
+        """Private fetch: same facts, √N-blocks communication cost.
+
+        The server learns nothing about which entity was fetched; the
+        cost model charges two √N-row blocks (query + response vectors).
+        """
+        if not self.store.has_entity(entity):
+            return [], 2 * self.pir_block_rows * self._avg_row_bytes
+        facts = list(self.store.scan(subject=entity))
+        cost = 2 * self.pir_block_rows * self._avg_row_bytes
+        return facts, cost
+
+
+def dp_count_query(
+    true_count: int, epsilon: float, seed: int = 0, sensitivity: float = 1.0
+) -> float:
+    """Laplace-mechanism differentially private count.
+
+    Used for aggregate preference statistics ("how many rock albums does
+    the user play") that personalisation needs without exact disclosure.
+    """
+    if epsilon <= 0:
+        raise DeviceError(f"epsilon must be positive, got {epsilon}")
+    rng = substream(seed, "dp-count")
+    noise = rng.laplace(0.0, sensitivity / epsilon)
+    return float(true_count + noise)
+
+
+@dataclass
+class EnrichmentPlannerConfig:
+    """Budgets of the enrichment plan."""
+
+    static_asset_top_k: int = 100
+    pir_budget_bytes: int = 500_000
+    epsilon_budget: float = 1.0
+
+
+class EnrichmentPlanner:
+    """Covers a device's needed global entities via the cheapest safe path."""
+
+    def __init__(
+        self,
+        server: GlobalKnowledgeServer,
+        config: EnrichmentPlannerConfig | None = None,
+    ) -> None:
+        self.server = server
+        self.config = config or EnrichmentPlannerConfig()
+
+    def enrich(
+        self,
+        needed_entities: list[str],
+        interaction_entities: set[str],
+        device_store: TripleStore | None = None,
+    ) -> EnrichmentReport:
+        """Cover ``needed_entities`` using static → piggyback → PIR.
+
+        ``interaction_entities`` are entities the user *already* queried a
+        server about (the piggyback opportunity).  Facts land in
+        ``device_store`` when given.
+        """
+        config = self.config
+        report = EnrichmentReport(needed=len(needed_entities))
+        asset_store, asset_bytes = self.server.build_static_asset(
+            config.static_asset_top_k
+        )
+        report.bytes_static = asset_bytes
+        asset_entities = set(asset_store.entity_ids())
+
+        remaining: list[str] = []
+        for entity in needed_entities:
+            if entity in asset_entities:
+                report.covered_static += 1
+                if device_store is not None:
+                    _copy_entity(asset_store, device_store, entity)
+            else:
+                remaining.append(entity)
+
+        still_remaining: list[str] = []
+        for entity in remaining:
+            if entity in interaction_entities:
+                facts, cost = self.server.piggyback(entity)
+                if facts:
+                    report.covered_piggyback += 1
+                    report.bytes_piggyback += cost
+                    report.revealed_entities.append(entity)
+                    if device_store is not None:
+                        _install(self.server.store, device_store, entity, facts)
+                    continue
+            still_remaining.append(entity)
+
+        for entity in still_remaining:
+            if report.bytes_pir >= config.pir_budget_bytes:
+                break
+            facts, cost = self.server.pir_fetch(entity)
+            report.bytes_pir += cost
+            if facts:
+                report.covered_pir += 1
+                if device_store is not None:
+                    _install(self.server.store, device_store, entity, facts)
+        return report
+
+
+def _copy_entity(source: TripleStore, target: TripleStore, entity: str) -> None:
+    target.upsert_entity(source.entity(entity))
+    for fact in source.scan(subject=entity):
+        target.add(fact)
+
+
+def _install(source: TripleStore, target: TripleStore, entity: str, facts: list) -> None:
+    if source.has_entity(entity):
+        target.upsert_entity(source.entity(entity))
+    for fact in facts:
+        target.add(fact)

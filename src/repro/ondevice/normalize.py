@@ -1,0 +1,47 @@
+"""Normalisation of personal-record attributes.
+
+Figure 7 links the contact "+1 (123) 555 1234" to the message sender
+"123-555-1234": phones must compare equal across formats, emails
+case-insensitively, names fuzzily.  These helpers produce canonical keys
+for blocking and strong-evidence comparison in matching.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.text import normalize_name
+
+_DIGITS_RE = re.compile(r"\d")
+
+
+def normalize_phone(raw: str, default_country: str = "1") -> str:
+    """Canonical phone: digits only with a country prefix.
+
+    >>> normalize_phone("+1 (123) 555 1234")
+    '11235551234'
+    >>> normalize_phone("123-555-1234")
+    '11235551234'
+    """
+    digits = "".join(_DIGITS_RE.findall(raw))
+    if not digits:
+        return ""
+    if len(digits) == 10:  # national format without country code
+        digits = default_country + digits
+    return digits
+
+
+def normalize_email(raw: str) -> str:
+    """Canonical email: trimmed, lowercased (empty for non-addresses)."""
+    email = raw.strip().lower()
+    return email if "@" in email else ""
+
+
+def name_key(raw: str) -> str:
+    """Blocking key for a person name: normalised full string."""
+    return normalize_name(raw)
+
+
+def name_token_keys(raw: str) -> list[str]:
+    """Per-token blocking keys (catches 'Tim' vs 'Tim Smith')."""
+    return [token for token in normalize_name(raw).split() if len(token) > 1]

@@ -1,0 +1,96 @@
+"""Source records: the raw per-device data of §5.
+
+Personal devices expose "multiple sources of overlapping information"
+(contacts, message senders, calendar invitees) in "different formats and
+namespaces" — each with its own record shape.  These dataclasses are the
+normalised-enough common denominator the construction pipeline ingests;
+ground-truth person ids ride along for evaluation only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+CONTACTS = "contacts"
+MESSAGES = "messages"
+CALENDAR = "calendar"
+
+ALL_SOURCES = (CONTACTS, MESSAGES, CALENDAR)
+
+
+@dataclass(frozen=True)
+class SourceRecord:
+    """One record from one on-device source.
+
+    ``fields`` carries the source-specific payload:
+
+    * contacts: ``first_name``, ``last_name``, ``phone``, ``email``
+    * messages: ``sender_name``, ``sender_number``, ``text``, ``timestamp``
+    * calendar: ``title``, ``attendee_name``, ``attendee_email``, ``start``
+
+    ``true_person`` is generator ground truth (evaluation only).
+    """
+
+    record_id: str
+    source: str
+    fields: dict[str, Any] = field(default_factory=dict, hash=False)
+    true_person: str = ""
+    sequence: int = 0
+
+    def __hash__(self) -> int:  # fields dict is excluded from identity
+        return hash((self.record_id, self.source))
+
+    def get(self, key: str, default: Any = "") -> Any:
+        """Field accessor with default."""
+        return self.fields.get(key, default)
+
+    @property
+    def display_name(self) -> str:
+        """Best-effort person name in this record."""
+        if self.source == CONTACTS:
+            first = self.get("first_name")
+            last = self.get("last_name")
+            return f"{first} {last}".strip()
+        if self.source == MESSAGES:
+            return str(self.get("sender_name"))
+        if self.source == CALENDAR:
+            return str(self.get("attendee_name"))
+        return ""
+
+    @property
+    def phone(self) -> str:
+        """Raw phone number if the source carries one."""
+        if self.source == CONTACTS:
+            return str(self.get("phone"))
+        if self.source == MESSAGES:
+            return str(self.get("sender_number"))
+        return ""
+
+    @property
+    def email(self) -> str:
+        """Raw email if the source carries one."""
+        if self.source == CONTACTS:
+            return str(self.get("email"))
+        if self.source == CALENDAR:
+            return str(self.get("attendee_email"))
+        return ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "record_id": self.record_id,
+            "source": self.source,
+            "fields": self.fields,
+            "true_person": self.true_person,
+            "sequence": self.sequence,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SourceRecord":
+        return cls(
+            record_id=payload["record_id"],
+            source=payload["source"],
+            fields=payload.get("fields", {}),
+            true_person=payload.get("true_person", ""),
+            sequence=payload.get("sequence", 0),
+        )

@@ -1,0 +1,219 @@
+"""Synthetic device data: personas and their per-source record footprints.
+
+Generates a user's social circle ("personas") and realises each persona as
+overlapping records across contacts, messages and calendar — with the
+format variation and noise that make entity linking non-trivial: phones in
+different formats, names shortened ("Tim" vs "Tim Smith"), duplicate
+contacts with typos, and *namesakes* (two distinct coworkers called Tim —
+the §5 disambiguation example).
+
+Message/calendar text is topical per relationship (coworker / family /
+friend) so the contextual-relevance ranker has signal to work with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.rng import substream
+from repro.ondevice.records import CALENDAR, CONTACTS, MESSAGES, SourceRecord
+
+_FIRST = ["Tim", "Ana", "Ravi", "Mona", "Luis", "Kate", "Omar", "Jill", "Sven", "Noor"]
+_LAST = ["Smith", "Brown", "Iyer", "Khan", "Diaz", "Wong", "Berg", "Cole", "Holt", "Reyes"]
+
+_TOPICS = {
+    "coworker": ["the SIGMOD draft", "the quarterly review", "the design doc",
+                 "the standup meeting", "the code review"],
+    "family": ["the birthday dinner", "the grocery list", "the weekend trip",
+               "the school pickup", "the family photos"],
+    "friend": ["the basketball game", "the hiking trail", "the concert tickets",
+               "the board-game night", "the fishing trip"],
+}
+
+
+@dataclass
+class Persona:
+    """One true person in the user's circle (generator ground truth)."""
+
+    person_id: str
+    first_name: str
+    last_name: str
+    phone: str
+    email: str
+    relationship: str  # coworker / family / friend
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.first_name} {self.last_name}"
+
+
+@dataclass
+class DeviceDataset:
+    """All synthetic records of one device, per source."""
+
+    device: str
+    records: dict[str, list[SourceRecord]] = field(default_factory=dict)
+    personas: list[Persona] = field(default_factory=list)
+
+    def all_records(self, sources: tuple[str, ...] | None = None) -> list[SourceRecord]:
+        """Flattened records, optionally restricted to some sources."""
+        wanted = sources or tuple(self.records)
+        out: list[SourceRecord] = []
+        for source in wanted:
+            out.extend(self.records.get(source, []))
+        return out
+
+
+@dataclass
+class PersonaWorldConfig:
+    """Scale/noise knobs of the synthetic personal world."""
+
+    seed: int = 21
+    num_personas: int = 30
+    namesake_pairs: int = 2  # pairs of distinct personas sharing a first name
+    messages_per_persona: int = 4
+    events_per_persona: int = 2
+    typo_fraction: float = 0.1
+    missing_field_fraction: float = 0.15
+
+
+def generate_personas(config: PersonaWorldConfig) -> list[Persona]:
+    """The user's true social circle (deterministic in the seed)."""
+    rng = substream(config.seed, "personas")
+    personas: list[Persona] = []
+    relationships = ["coworker", "family", "friend"]
+    used_names: set[tuple[str, str]] = set()
+    for i in range(config.num_personas):
+        while True:
+            first = _FIRST[int(rng.integers(len(_FIRST)))]
+            last = _LAST[int(rng.integers(len(_LAST)))]
+            if (first, last) not in used_names:
+                used_names.add((first, last))
+                break
+        personas.append(
+            Persona(
+                person_id=f"persona/{i:03d}",
+                first_name=first,
+                last_name=last,
+                phone=f"+1 (555) {100 + i:03d} {1000 + i:04d}",
+                email=f"{first.lower()}.{last.lower()}{i}@example.com",
+                relationship=relationships[i % len(relationships)],
+            )
+        )
+    # Namesakes: force pairs to share a first name, different relationship.
+    for pair in range(min(config.namesake_pairs, config.num_personas // 2 - 1)):
+        a = personas[2 * pair]
+        b = personas[2 * pair + 1]
+        personas[2 * pair + 1] = Persona(
+            person_id=b.person_id,
+            first_name=a.first_name,
+            last_name=b.last_name,
+            phone=b.phone,
+            email=f"{a.first_name.lower()}.{b.last_name.lower()}@example.com",
+            relationship="coworker" if a.relationship != "coworker" else "family",
+        )
+    return personas
+
+
+def _typo(name: str, rng: np.random.Generator) -> str:
+    """Swap two adjacent characters (a common keyboard slip)."""
+    if len(name) < 4:
+        return name
+    i = int(rng.integers(1, len(name) - 2))
+    return name[:i] + name[i + 1] + name[i] + name[i + 2 :]
+
+
+def generate_device_dataset(
+    device: str,
+    personas: list[Persona],
+    config: PersonaWorldConfig,
+    sources: tuple[str, ...] = (CONTACTS, MESSAGES, CALENDAR),
+    seed_offset: int = 0,
+) -> DeviceDataset:
+    """Realise personas as records on one device.
+
+    Different devices pass different ``seed_offset`` values, producing
+    different message/event histories over the same circle (what sync must
+    reconcile).
+    """
+    rng = substream(config.seed, "device", device, seed_offset)
+    records: dict[str, list[SourceRecord]] = {source: [] for source in sources}
+    sequence = 0
+
+    if CONTACTS in sources:
+        for i, persona in enumerate(personas):
+            name = persona.first_name
+            last = persona.last_name
+            if rng.random() < config.typo_fraction:
+                last = _typo(last, rng)
+            fields = {"first_name": name, "last_name": last}
+            if rng.random() >= config.missing_field_fraction:
+                fields["phone"] = persona.phone
+            if rng.random() >= config.missing_field_fraction:
+                fields["email"] = persona.email
+            records[CONTACTS].append(
+                SourceRecord(
+                    record_id=f"{device}/contact/{i:04d}",
+                    source=CONTACTS,
+                    fields=fields,
+                    true_person=persona.person_id,
+                    sequence=sequence,
+                )
+            )
+            sequence += 1
+
+    if MESSAGES in sources:
+        counter = 0
+        for persona in personas:
+            topics = _TOPICS[persona.relationship]
+            for m in range(config.messages_per_persona):
+                # Messages render the phone in a *different* format.
+                digits = "".join(ch for ch in persona.phone if ch.isdigit())
+                dashed = f"{digits[-10:-7]}-{digits[-7:-4]}-{digits[-4:]}"
+                topic = topics[int(rng.integers(len(topics)))]
+                sender = (
+                    persona.full_name if rng.random() < 0.7 else persona.first_name
+                )
+                records[MESSAGES].append(
+                    SourceRecord(
+                        record_id=f"{device}/msg/{counter:05d}",
+                        source=MESSAGES,
+                        fields={
+                            "sender_name": sender,
+                            "sender_number": dashed,
+                            "text": f"About {topic} - let's sync up.",
+                            "timestamp": float(1_700_000_000 + counter * 3600),
+                        },
+                        true_person=persona.person_id,
+                        sequence=sequence,
+                    )
+                )
+                counter += 1
+                sequence += 1
+
+    if CALENDAR in sources:
+        counter = 0
+        for persona in personas:
+            topics = _TOPICS[persona.relationship]
+            for e in range(config.events_per_persona):
+                topic = topics[int(rng.integers(len(topics)))]
+                records[CALENDAR].append(
+                    SourceRecord(
+                        record_id=f"{device}/event/{counter:05d}",
+                        source=CALENDAR,
+                        fields={
+                            "title": f"Discuss {topic}",
+                            "attendee_name": persona.full_name,
+                            "attendee_email": persona.email,
+                            "start": float(1_700_100_000 + counter * 7200),
+                        },
+                        true_person=persona.person_id,
+                        sequence=sequence,
+                    )
+                )
+                counter += 1
+                sequence += 1
+
+    return DeviceDataset(device=device, records=records, personas=personas)

@@ -1,0 +1,144 @@
+"""Cross-device knowledge sync with per-source preferences.
+
+§5 (sync): "a user may decide to sync or not to sync on a per source
+basis … the sync'd sources still need to be consistently represented
+across devices."  The protocol syncs *source records* (not fused graphs):
+after convergence every device deterministically reconstructs its KG from
+its local record set, so two devices holding the same records provably
+build the same graph.  Fused-graph sync would instead have to reconcile
+cluster ids — syncing the inputs sidesteps that whole class of conflicts.
+
+Also implements §5's computation offloading: "Ensuring a consistent
+knowledge experience across devices may require offloading expensive
+computation to more powerful devices … and syncing the result."  A watch
+ships its records to a laptop, the laptop runs blocking+matching+fusion,
+and the watch receives the finished result.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.common.errors import SyncError
+from repro.ondevice.device import Device
+from repro.ondevice.incremental import (
+    IncrementalPipeline,
+    IncrementalPipelineConfig,
+    PipelineResult,
+)
+
+
+@dataclass
+class SyncRoundReport:
+    """Traffic accounting of one gossip round."""
+
+    transfers: int = 0
+    records_moved: int = 0
+    bytes_moved: int = 0
+    # (from_device, to_device, source) -> records in that transfer
+    detail: dict[tuple[str, str, str], int] = field(default_factory=dict)
+
+
+def _record_bytes(records: list) -> int:
+    """Approximate wire size of a record batch (JSON encoding)."""
+    return sum(len(json.dumps(record.to_dict())) for record in records)
+
+
+class SyncCoordinator:
+    """Pairwise record exchange honoring per-source preferences."""
+
+    def __init__(self, devices: list[Device]) -> None:
+        if len({device.device_id for device in devices}) != len(devices):
+            raise SyncError("duplicate device ids in sync group")
+        self.devices = devices
+
+    def sync_round(self) -> SyncRoundReport:
+        """One full round: every ordered pair exchanges eligible sources.
+
+        A source flows from A to B only when *both* devices have the
+        source enabled in their preferences (the paper's per-source
+        opt-in).
+        """
+        report = SyncRoundReport()
+        for sender in self.devices:
+            for receiver in self.devices:
+                if sender.device_id == receiver.device_id:
+                    continue
+                for source, enabled in sender.sync_preferences.items():
+                    if not enabled or not receiver.sync_preferences.get(source, False):
+                        continue
+                    outgoing = [
+                        record
+                        for record in sender.records.get(source, [])
+                        if record.record_id not in receiver.record_ids(source)
+                    ]
+                    if not outgoing:
+                        continue
+                    added = receiver.add_records(source, outgoing)
+                    report.transfers += 1
+                    report.records_moved += added
+                    report.bytes_moved += _record_bytes(outgoing)
+                    report.detail[(sender.device_id, receiver.device_id, source)] = added
+        return report
+
+    def sync_until_stable(self, max_rounds: int = 8) -> list[SyncRoundReport]:
+        """Rounds until no records move (raises if not converged)."""
+        reports: list[SyncRoundReport] = []
+        for _ in range(max_rounds):
+            report = self.sync_round()
+            reports.append(report)
+            if report.records_moved == 0:
+                return reports
+        raise SyncError(f"sync did not converge within {max_rounds} rounds")
+
+    def consistency_check(self, source: str) -> bool:
+        """True when all devices syncing ``source`` hold identical records."""
+        participating = [
+            device
+            for device in self.devices
+            if device.sync_preferences.get(source, False)
+        ]
+        if len(participating) < 2:
+            return True
+        reference = participating[0].record_ids(source)
+        return all(device.record_ids(source) == reference for device in participating[1:])
+
+
+def offload_construction(
+    weak: Device, strong: Device, pipeline_config: IncrementalPipelineConfig | None = None
+) -> tuple[PipelineResult, int]:
+    """Run the weak device's KG construction on the strong device.
+
+    Returns the result (installed on the weak device) and the approximate
+    bytes shipped (records up + a serialized result summary down).
+    """
+    if not strong.profile.can_run_matching:
+        raise SyncError(
+            f"offload target {strong.device_id} cannot run matching either"
+        )
+    records = weak.local_records()
+    upload = _record_bytes(records)
+    config = pipeline_config or IncrementalPipelineConfig(
+        memory_budget_keys=strong.profile.memory_budget_keys
+    )
+    pipeline = IncrementalPipeline(records, config)
+    result = pipeline.run_to_completion(strong.profile.step_budget)
+    download = sum(
+        len(json.dumps({"entity": p.entity, "name": p.name, "records": p.record_ids}))
+        for p in result.people
+    )
+    weak.result = result
+    return result, upload + download
+
+
+def kg_signature(result: PipelineResult) -> list[tuple[str, tuple[str, ...]]]:
+    """Canonical signature of a personal KG, for cross-device comparison.
+
+    Two KGs with the same signature contain the same fused persons over
+    the same record memberships (entity ids are deterministic, so equal
+    record sets imply equal signatures).
+    """
+    return sorted(
+        (person.name, tuple(person.record_ids)) for person in result.people
+    )

@@ -1,0 +1,41 @@
+"""Downstream ML services built on KG embeddings (Figure 2)."""
+
+from repro.services.fact_ranking import (
+    FactRanker,
+    FactRankerConfig,
+    FactRankingReport,
+    RankedFact,
+    evaluate_fact_ranking,
+)
+from repro.services.fact_verification import (
+    FactVerifier,
+    VerificationReport,
+    Verdict,
+    evaluate_verifier,
+)
+from repro.services.related_entities import (
+    EmbeddingRelatedEntities,
+    RelatedEntitiesBackend,
+    RelatedEntity,
+    RelatednessReport,
+    TraversalRelatedEntities,
+    evaluate_related,
+)
+
+__all__ = [
+    "EmbeddingRelatedEntities",
+    "FactRanker",
+    "FactRankerConfig",
+    "FactRankingReport",
+    "FactVerifier",
+    "RankedFact",
+    "RelatedEntitiesBackend",
+    "RelatedEntity",
+    "RelatednessReport",
+    "TraversalRelatedEntities",
+    "VerificationReport",
+    "Verdict",
+    "evaluate_fact_ranking",
+    "evaluate_related",
+    "evaluate_verifier",
+]

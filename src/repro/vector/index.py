@@ -1,0 +1,240 @@
+"""Vector indexes: exact brute force and IVF approximate k-NN.
+
+The embedding service (Figure 1's "Vector Index") answers k-nearest-
+neighbour queries over entity embeddings.  Two implementations:
+
+* :class:`ExactIndex` — brute-force scan; exact recall, O(N) per query.
+* :class:`IVFIndex` — inverted-file index: k-means coarse quantizer
+  partitions vectors into ``nlist`` cells; queries probe the ``nprobe``
+  nearest cells.  The recall/latency trade-off is swept in
+  ``benchmarks/bench_embedding_service.py``.
+
+Both share the :class:`VectorIndex` interface keyed by string ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import IndexError_
+from repro.vector.similarity import METRICS, normalize_rows
+
+
+@dataclass
+class SearchHit:
+    """One k-NN result."""
+
+    key: str
+    score: float
+
+
+class VectorIndex:
+    """Interface of an id-keyed vector index."""
+
+    def add(self, keys: list[str], vectors: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def search(self, query: np.ndarray, k: int = 10) -> list[SearchHit]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def vector(self, key: str) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ExactIndex(VectorIndex):
+    """Brute-force index with exact results."""
+
+    def __init__(self, metric: str = "cosine") -> None:
+        if metric not in METRICS:
+            raise IndexError_(f"unknown metric {metric!r}; choose from {sorted(METRICS)}")
+        self.metric = metric
+        self._keys: list[str] = []
+        self._by_key: dict[str, int] = {}
+        self._matrix: np.ndarray | None = None
+
+    def add(self, keys: list[str], vectors: np.ndarray) -> None:
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if len(keys) != len(vectors):
+            raise IndexError_(f"{len(keys)} keys but {len(vectors)} vectors")
+        for key in keys:
+            if key in self._by_key:
+                raise IndexError_(f"duplicate key {key!r}")
+        start = len(self._keys)
+        self._keys.extend(keys)
+        for offset, key in enumerate(keys):
+            self._by_key[key] = start + offset
+        if self._matrix is None:
+            self._matrix = vectors.copy()
+        else:
+            if vectors.shape[1] != self._matrix.shape[1]:
+                raise IndexError_(
+                    f"dimension mismatch: index has {self._matrix.shape[1]}, "
+                    f"got {vectors.shape[1]}"
+                )
+            self._matrix = np.vstack([self._matrix, vectors])
+
+    def search(self, query: np.ndarray, k: int = 10) -> list[SearchHit]:
+        if self._matrix is None or len(self._keys) == 0:
+            return []
+        scores = METRICS[self.metric](np.asarray(query, dtype=np.float64), self._matrix)
+        k = min(k, len(scores))
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top], kind="mergesort")]
+        return [SearchHit(key=self._keys[i], score=float(scores[i])) for i in top]
+
+    def vector(self, key: str) -> np.ndarray:
+        try:
+            row = self._by_key[key]
+        except KeyError:
+            raise IndexError_(f"unknown key {key!r}") from None
+        assert self._matrix is not None
+        return self._matrix[row].copy()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._by_key
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def keys(self) -> list[str]:
+        """All indexed keys, insertion order."""
+        return list(self._keys)
+
+
+def _kmeans(
+    vectors: np.ndarray, n_clusters: int, iterations: int, seed: int
+) -> np.ndarray:
+    """Plain Lloyd's k-means on unit-normalised vectors; returns centroids."""
+    rng = np.random.default_rng(seed)
+    n = len(vectors)
+    chosen = rng.choice(n, size=min(n_clusters, n), replace=False)
+    centroids = vectors[chosen].copy()
+    for _ in range(iterations):
+        sims = vectors @ centroids.T
+        assignment = np.argmax(sims, axis=1)
+        for c in range(len(centroids)):
+            members = vectors[assignment == c]
+            if len(members):
+                centroid = members.mean(axis=0)
+                norm = np.linalg.norm(centroid)
+                if norm > 0:
+                    centroids[c] = centroid / norm
+    return centroids
+
+
+class IVFIndex(VectorIndex):
+    """Inverted-file approximate index (cosine metric).
+
+    Vectors are unit-normalised at insert.  ``train`` must be called after
+    the last ``add`` (or implicitly on first search) to build the coarse
+    quantizer and posting lists.
+    """
+
+    def __init__(
+        self, nlist: int = 16, nprobe: int = 2, kmeans_iterations: int = 8, seed: int = 0
+    ) -> None:
+        if nlist <= 0 or nprobe <= 0:
+            raise IndexError_("nlist and nprobe must be positive")
+        self.nlist = nlist
+        self.nprobe = min(nprobe, nlist)
+        self.kmeans_iterations = kmeans_iterations
+        self.seed = seed
+        self._keys: list[str] = []
+        self._by_key: dict[str, int] = {}
+        self._matrix: np.ndarray | None = None
+        self._centroids: np.ndarray | None = None
+        self._postings: list[np.ndarray] = []
+
+    def add(self, keys: list[str], vectors: np.ndarray) -> None:
+        vectors = normalize_rows(np.atleast_2d(np.asarray(vectors, dtype=np.float64)))
+        if len(keys) != len(vectors):
+            raise IndexError_(f"{len(keys)} keys but {len(vectors)} vectors")
+        for key in keys:
+            if key in self._by_key:
+                raise IndexError_(f"duplicate key {key!r}")
+        start = len(self._keys)
+        self._keys.extend(keys)
+        for offset, key in enumerate(keys):
+            self._by_key[key] = start + offset
+        self._matrix = (
+            vectors.copy() if self._matrix is None else np.vstack([self._matrix, vectors])
+        )
+        self._centroids = None  # adding invalidates training
+
+    def train(self) -> None:
+        """(Re)build the coarse quantizer and posting lists."""
+        if self._matrix is None or len(self._matrix) == 0:
+            raise IndexError_("cannot train an empty IVF index")
+        effective_nlist = min(self.nlist, len(self._matrix))
+        self._centroids = _kmeans(
+            self._matrix, effective_nlist, self.kmeans_iterations, self.seed
+        )
+        assignment = np.argmax(self._matrix @ self._centroids.T, axis=1)
+        self._postings = [
+            np.flatnonzero(assignment == c) for c in range(len(self._centroids))
+        ]
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether posting lists are current."""
+        return self._centroids is not None
+
+    def search(self, query: np.ndarray, k: int = 10) -> list[SearchHit]:
+        if self._matrix is None or len(self._keys) == 0:
+            return []
+        if not self.is_trained:
+            self.train()
+        assert self._centroids is not None
+        query = np.asarray(query, dtype=np.float64)
+        norm = np.linalg.norm(query)
+        if norm > 0:
+            query = query / norm
+        cell_scores = self._centroids @ query
+        nprobe = min(self.nprobe, len(self._centroids))
+        probe_cells = np.argsort(-cell_scores, kind="mergesort")[:nprobe]
+        candidates = np.concatenate(
+            [self._postings[c] for c in probe_cells]
+        ) if nprobe else np.array([], dtype=np.int64)
+        if len(candidates) == 0:
+            return []
+        scores = self._matrix[candidates] @ query
+        k = min(k, len(candidates))
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top], kind="mergesort")]
+        return [
+            SearchHit(key=self._keys[candidates[i]], score=float(scores[i])) for i in top
+        ]
+
+    def vector(self, key: str) -> np.ndarray:
+        try:
+            row = self._by_key[key]
+        except KeyError:
+            raise IndexError_(f"unknown key {key!r}") from None
+        assert self._matrix is not None
+        return self._matrix[row].copy()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._by_key
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+def recall_at_k(
+    approximate: VectorIndex, exact: ExactIndex, queries: np.ndarray, k: int = 10
+) -> float:
+    """Fraction of exact top-k hits the approximate index also returns."""
+    if len(queries) == 0:
+        return 1.0
+    total = 0.0
+    for query in np.atleast_2d(queries):
+        truth = {hit.key for hit in exact.search(query, k)}
+        got = {hit.key for hit in approximate.search(query, k)}
+        if truth:
+            total += len(truth & got) / len(truth)
+    return total / len(np.atleast_2d(queries))

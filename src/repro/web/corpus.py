@@ -1,0 +1,429 @@
+"""Synthetic Web corpus generator.
+
+Stands in for the paper's billion-page crawl.  Pages are generated *from*
+the KG, so every mention has a known gold entity, and wrong facts are
+planted deliberately — giving the annotation and ODKE benchmarks exact
+ground truth.  The generator reproduces the corpus properties §3.1 calls
+out:
+
+* **Scale** — page count is a config knob benchmarks sweep;
+* **Variety** — four genres (profile/news/blog/list), structured payloads
+  on profiles, a slice of non-English pages, distractor pages about
+  entities *not* in the KG (false-positive pressure);
+* **Veracity hazards** — blog pages about one half of an ambiguous name
+  pair can carry the namesake's facts (the Michelle Williams scenario of
+  Figure 6), and random blogs carry corrupted birth dates;
+* **Rate of change** — see :mod:`repro.web.crawl` for churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common import ids
+from repro.common.rng import substream
+from repro.kg.generator import SyntheticKG
+from repro.kg.store import TripleStore
+from repro.web.document import DocumentKind, GoldMention, WebDocument
+from repro.web.schema_org import build_person_payload, corrupt_payload
+
+_MONTHS = [
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+]
+
+DISTRACTOR_NAMES = [
+    "Harvey Plimpton", "Greta Vandermolen", "Ossian Blackwood",
+    "Perpetua Nightingale", "Zebulon Crabtree", "Wilhelmina Foxworth",
+    "Barnaby Quillfeather", "Serafina Moonstone",
+]
+
+
+def format_date_long(iso_date: str) -> str:
+    """``1979-07-23`` → ``July 23, 1979`` (what blogs write)."""
+    year, month, day = iso_date.split("-")
+    return f"{_MONTHS[int(month) - 1]} {int(day)}, {year}"
+
+
+class _TextBuilder:
+    """Accumulates text while tracking gold mention offsets."""
+
+    def __init__(self) -> None:
+        self._parts: list[str] = []
+        self._length = 0
+        self.mentions: list[GoldMention] = []
+
+    def add(self, text: str) -> None:
+        """Append plain text."""
+        self._parts.append(text)
+        self._length += len(text)
+
+    def add_mention(self, surface: str, entity: str) -> None:
+        """Append ``surface`` and record it as a mention of ``entity``."""
+        start = self._length
+        self.add(surface)
+        self.mentions.append(
+            GoldMention(start=start, end=start + len(surface), surface=surface, entity=entity)
+        )
+
+    def build(self) -> tuple[str, tuple[GoldMention, ...]]:
+        return "".join(self._parts), tuple(self.mentions)
+
+
+@dataclass
+class WebCorpusConfig:
+    """Scale and composition knobs of the corpus."""
+
+    seed: int = 11
+    num_profile_pages: int = 150
+    num_news_pages: int = 300
+    num_blog_pages: int = 120
+    num_list_pages: int = 30
+    num_distractor_pages: int = 40
+    wrong_fact_fraction: float = 0.3  # fraction of blogs carrying a wrong DOB
+    non_english_fraction: float = 0.1
+    alias_mention_fraction: float = 0.25
+    base_timestamp: float = 1684000000.0
+
+
+@dataclass
+class WebCorpus:
+    """A crawl snapshot: documents keyed by id."""
+
+    documents: list[WebDocument] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.by_id = {doc.doc_id: doc for doc in self.documents}
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self):
+        return iter(self.documents)
+
+    def get(self, doc_id: str) -> WebDocument | None:
+        """Document by id, or None."""
+        return self.by_id.get(doc_id)
+
+    def add(self, doc: WebDocument) -> None:
+        """Add or replace a document."""
+        if doc.doc_id in self.by_id:
+            self.documents = [
+                doc if d.doc_id == doc.doc_id else d for d in self.documents
+            ]
+        else:
+            self.documents.append(doc)
+        self.by_id[doc.doc_id] = doc
+
+
+class WebCorpusGenerator:
+    """Builds a :class:`WebCorpus` from a synthetic KG."""
+
+    def __init__(self, kg: SyntheticKG, config: WebCorpusConfig | None = None) -> None:
+        self.kg = kg
+        self.store: TripleStore = kg.store
+        self.config = config or WebCorpusConfig()
+        self.rng = substream(self.config.seed, "web-corpus")
+        self._doc_counter = 0
+
+    # -- public -----------------------------------------------------------
+
+    def generate(self) -> WebCorpus:
+        """Generate the full corpus (deterministic in the config seed)."""
+        documents: list[WebDocument] = []
+        people = self._people_by_popularity()
+        documents.extend(self._profile_pages(people))
+        documents.extend(self._news_pages(people))
+        documents.extend(self._blog_pages(people))
+        documents.extend(self._list_pages())
+        documents.extend(self._distractor_pages())
+        return WebCorpus(documents=documents)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _people_by_popularity(self) -> list[str]:
+        people = [
+            record
+            for record in self.store.entities()
+            if ids.type_id("person") in record.types
+        ]
+        people.sort(key=lambda record: (-record.popularity, record.entity))
+        return [record.entity for record in people]
+
+    def _next_doc(self, kind: str) -> tuple[str, str]:
+        doc = ids.doc_id(f"web/{self._doc_counter:06d}")
+        url = f"https://example.org/{kind}/{self._doc_counter:06d}"
+        self._doc_counter += 1
+        return doc, url
+
+    def _name(self, entity: str) -> str:
+        return self.store.entity(entity).name
+
+    def _surface_for(self, entity: str, builder_rng: np.random.Generator) -> str:
+        """Full name, or an alias a fraction of the time."""
+        record = self.store.entity(entity)
+        if record.aliases and builder_rng.random() < self.config.alias_mention_fraction:
+            return record.aliases[int(builder_rng.integers(len(record.aliases)))]
+        return record.name
+
+    def _objects(self, entity: str, predicate_local: str) -> list[str]:
+        return self.store.objects(entity, ids.predicate_id(predicate_local))
+
+    # -- page genres -----------------------------------------------------------
+
+    def _profile_pages(self, people: list[str]) -> list[WebDocument]:
+        """High-quality per-entity pages with schema.org payloads."""
+        pages: list[WebDocument] = []
+        for entity in people[: self.config.num_profile_pages]:
+            doc_id, url = self._next_doc("profile")
+            record = self.store.entity(entity)
+            builder = _TextBuilder()
+            builder.add_mention(record.name, entity)
+            builder.add(f" is {_indefinite(record.description)}. ")
+            dob = self.kg.truth.birth_dates.get(entity)
+            born_city = self._objects(entity, "place_of_birth")
+            if dob and born_city:
+                builder.add_mention(record.name, entity)
+                builder.add(" was born on ")
+                builder.add(dob)
+                builder.add(" in ")
+                builder.add_mention(self._name(born_city[0]), born_city[0])
+                builder.add(". ")
+            self._add_relation_sentences(builder, entity, limit=4)
+            text, mentions = builder.build()
+            payload = build_person_payload(self.store, entity)
+            pages.append(
+                WebDocument(
+                    doc_id=doc_id,
+                    url=url,
+                    title=record.name,
+                    text=text,
+                    kind=DocumentKind.PROFILE,
+                    quality=0.9,
+                    fetched_at=self.config.base_timestamp,
+                    structured_data=payload,
+                    gold_mentions=mentions,
+                )
+            )
+        return pages
+
+    def _add_relation_sentences(
+        self, builder: _TextBuilder, entity: str, limit: int
+    ) -> None:
+        """Sentences verbalising the entity's edges (adds object mentions)."""
+        templates = [
+            ("member_of_sports_team", " plays for "),
+            ("award_received", " received the "),
+            ("starred_in", " starred in "),
+            ("directed", " directed "),
+            ("performer_of", " released "),
+            ("employer", " teaches at "),
+            ("appears_on", " appeared on "),
+            ("spouse", " is married to "),
+        ]
+        name = self._name(entity)
+        added = 0
+        for predicate_local, verb in templates:
+            if added >= limit:
+                break
+            for obj in self._objects(entity, predicate_local)[:2]:
+                if added >= limit:
+                    break
+                builder.add_mention(name, entity)
+                builder.add(verb)
+                builder.add_mention(self._name(obj), obj)
+                builder.add(". ")
+                added += 1
+
+    def _news_pages(self, people: list[str]) -> list[WebDocument]:
+        """Multi-entity news articles (the Figure 4 'Root hits hundred' genre)."""
+        pages: list[WebDocument] = []
+        rng = substream(self.config.seed, "news")
+        pool = people[: max(20, len(people) // 2)]
+        for _ in range(self.config.num_news_pages):
+            doc_id, url = self._next_doc("news")
+            main = pool[int(rng.integers(len(pool)))]
+            related = sorted(self.kg.truth.related.get(main, set()))
+            others = [e for e in related if e in self.store.entity_ids()][:3]
+            if not others:
+                others = [pool[int(rng.integers(len(pool)))]]
+            builder = _TextBuilder()
+            builder.add_mention(self._surface_for(main, rng), main)
+            builder.add(" made headlines this week. ")
+            team = self._objects(main, "member_of_sports_team")
+            if team:
+                builder.add("The ")
+                builder.add_mention(self._name(team[0]), team[0])
+                builder.add(" confirmed the news. ")
+            for other in others:
+                builder.add_mention(self._surface_for(other, rng), other)
+                builder.add(" was also involved. ")
+            self._add_relation_sentences(builder, main, limit=2)
+            text, mentions = builder.build()
+            language = (
+                "es" if rng.random() < self.config.non_english_fraction else "en"
+            )
+            pages.append(
+                WebDocument(
+                    doc_id=doc_id,
+                    url=url,
+                    title=f"{self._name(main)} in the news",
+                    text=text,
+                    kind=DocumentKind.NEWS,
+                    language=language,
+                    quality=0.7,
+                    fetched_at=self.config.base_timestamp,
+                    gold_mentions=mentions,
+                )
+            )
+        return pages
+
+    def _blog_pages(self, people: list[str]) -> list[WebDocument]:
+        """Low-quality pages; some carry wrong facts (veracity hazards).
+
+        For ambiguous-name people, the wrong fact is specifically the
+        *namesake's* birth date — reproducing the Michelle Williams
+        confusion of Figure 6.
+        """
+        pages: list[WebDocument] = []
+        rng = substream(self.config.seed, "blogs")
+        ambiguous = {
+            entity: names
+            for names, members in self.kg.truth.ambiguous_names.items()
+            for entity in members
+            for names in [members]
+        }
+        for _ in range(self.config.num_blog_pages):
+            doc_id, url = self._next_doc("blog")
+            entity = people[int(rng.integers(min(len(people), 120)))]
+            record = self.store.entity(entity)
+            truth_dob = self.kg.truth.birth_dates.get(entity)
+            builder = _TextBuilder()
+            builder.add("Everything you wanted to know about ")
+            builder.add_mention(record.name, entity)
+            builder.add("! ")
+            wrong = rng.random() < self.config.wrong_fact_fraction
+            dob_to_write = truth_dob
+            if wrong and truth_dob:
+                namesakes = [e for e in ambiguous.get(entity, []) if e != entity]
+                if namesakes:
+                    dob_to_write = self.kg.truth.birth_dates.get(
+                        namesakes[0], truth_dob
+                    )
+                else:
+                    year, month, day = truth_dob.split("-")
+                    dob_to_write = f"{int(year) + 1}-{month}-{day}"
+            if dob_to_write:
+                builder.add_mention(record.name, entity)
+                builder.add(" was born on ")
+                builder.add(format_date_long(dob_to_write))
+                builder.add(". ")
+            self._add_relation_sentences(builder, entity, limit=1)
+            text, mentions = builder.build()
+            pages.append(
+                WebDocument(
+                    doc_id=doc_id,
+                    url=url,
+                    title=f"Fan notes: {record.name}",
+                    text=text,
+                    kind=DocumentKind.BLOG,
+                    quality=0.25,
+                    fetched_at=self.config.base_timestamp,
+                    gold_mentions=mentions,
+                )
+            )
+        return pages
+
+    def _list_pages(self) -> list[WebDocument]:
+        """Listicles mentioning many same-type entities shallowly."""
+        pages: list[WebDocument] = []
+        rng = substream(self.config.seed, "lists")
+        type_pools = {
+            "basketball stars": ids.type_id("basketball_player"),
+            "films to watch": ids.type_id("film"),
+            "albums of the year": ids.type_id("album"),
+            "cities to visit": ids.type_id("city"),
+        }
+        topics = sorted(type_pools)
+        for i in range(self.config.num_list_pages):
+            topic = topics[i % len(topics)]
+            type_id = type_pools[topic]
+            members = [
+                record.entity
+                for record in self.store.entities()
+                if type_id in record.types
+            ]
+            if not members:
+                continue
+            rng.shuffle(members)
+            chosen = members[: min(8, len(members))]
+            doc_id, url = self._next_doc("list")
+            builder = _TextBuilder()
+            builder.add(f"Our editors picked the best {topic}: ")
+            for position, entity in enumerate(chosen):
+                builder.add(f"{position + 1}. ")
+                builder.add_mention(self._name(entity), entity)
+                builder.add(". ")
+            text, mentions = builder.build()
+            pages.append(
+                WebDocument(
+                    doc_id=doc_id,
+                    url=url,
+                    title=f"Top {len(chosen)} {topic}",
+                    text=text,
+                    kind=DocumentKind.LIST,
+                    quality=0.5,
+                    fetched_at=self.config.base_timestamp,
+                    gold_mentions=mentions,
+                )
+            )
+        return pages
+
+    def _distractor_pages(self) -> list[WebDocument]:
+        """Pages about people who are *not* in the KG (no gold mentions).
+
+        A correct annotator should link nothing here; every link it does
+        produce is a false positive.
+        """
+        pages: list[WebDocument] = []
+        rng = substream(self.config.seed, "distractors")
+        for i in range(self.config.num_distractor_pages):
+            doc_id, url = self._next_doc("misc")
+            name = DISTRACTOR_NAMES[i % len(DISTRACTOR_NAMES)]
+            hobby = ["gardening", "woodworking", "stargazing", "baking"][
+                int(rng.integers(4))
+            ]
+            text = (
+                f"{name} shared new thoughts on {hobby} this weekend. "
+                f"Neighbours say {name} has been at it for years. "
+            )
+            pages.append(
+                WebDocument(
+                    doc_id=doc_id,
+                    url=url,
+                    title=f"{name}'s {hobby} corner",
+                    text=text,
+                    kind=DocumentKind.BLOG,
+                    quality=0.2,
+                    fetched_at=self.config.base_timestamp,
+                    gold_mentions=(),
+                )
+            )
+        return pages
+
+
+def _indefinite(description: str) -> str:
+    """Strip the leading "X is a " from a generator description."""
+    marker = " is a "
+    if marker in description:
+        return "a " + description.split(marker, 1)[1].rstrip(".")
+    return description.rstrip(".")
+
+
+def generate_corpus(
+    kg: SyntheticKG, config: WebCorpusConfig | None = None
+) -> WebCorpus:
+    """Convenience wrapper over :class:`WebCorpusGenerator`."""
+    return WebCorpusGenerator(kg, config).generate()

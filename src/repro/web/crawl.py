@@ -1,0 +1,144 @@
+"""Crawl churn simulation: the Web's rate of change.
+
+§3.1: "The Web is not static.  New webpages are constantly created and
+existing webpages get updated frequently.  The service needs to handle
+incremental changes timely and efficiently."
+
+:func:`evolve` produces the next crawl snapshot from the previous one:
+a fraction of pages change in place (text appended, timestamps bumped) and
+new pages appear.  Content hashes let the incremental annotator detect
+exactly which pages need re-processing; :class:`CrawlSimulator` drives a
+sequence of snapshots for the churn benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import substream
+from repro.kg.generator import SyntheticKG
+from repro.web.corpus import WebCorpus, WebCorpusConfig, WebCorpusGenerator
+from repro.web.document import DocumentKind, GoldMention, WebDocument
+
+
+@dataclass
+class CrawlDelta:
+    """What changed between two snapshots."""
+
+    changed_ids: list[str]
+    new_ids: list[str]
+
+    @property
+    def total(self) -> int:
+        return len(self.changed_ids) + len(self.new_ids)
+
+
+def evolve(
+    corpus: WebCorpus,
+    kg: SyntheticKG,
+    change_fraction: float = 0.1,
+    new_fraction: float = 0.02,
+    timestamp: float = 0.0,
+    seed: int = 0,
+) -> tuple[WebCorpus, CrawlDelta]:
+    """Next snapshot: some documents updated, some created.
+
+    Updated documents get an extra sentence mentioning one of the page's
+    existing gold entities (keeping gold labels consistent).  New documents
+    are fresh news pages.
+    """
+    rng = substream(seed, "crawl-evolve")
+    documents: list[WebDocument] = []
+    changed_ids: list[str] = []
+    for doc in corpus:
+        if rng.random() < change_fraction and doc.gold_mentions:
+            documents.append(_update_document(doc, timestamp))
+            changed_ids.append(doc.doc_id)
+        else:
+            documents.append(doc)
+
+    new_ids: list[str] = []
+    n_new = int(len(corpus) * new_fraction)
+    if n_new:
+        generator = WebCorpusGenerator(
+            kg,
+            WebCorpusConfig(
+                seed=seed + 1,
+                num_profile_pages=0,
+                num_news_pages=n_new,
+                num_blog_pages=0,
+                num_list_pages=0,
+                num_distractor_pages=0,
+                base_timestamp=timestamp,
+            ),
+        )
+        # Offset ids so they don't collide with the existing corpus.
+        generator._doc_counter = 1_000_000 + len(corpus) + seed * 10_000
+        for doc in generator.generate():
+            documents.append(doc)
+            new_ids.append(doc.doc_id)
+
+    return WebCorpus(documents=documents), CrawlDelta(
+        changed_ids=changed_ids, new_ids=new_ids
+    )
+
+
+def _update_document(doc: WebDocument, timestamp: float) -> WebDocument:
+    """Append an update sentence re-mentioning the page's first entity."""
+    first = doc.gold_mentions[0]
+    prefix = doc.text + " Update: more on "
+    appended = prefix + first.surface + " soon. "
+    new_mention = GoldMention(
+        start=len(prefix),
+        end=len(prefix) + len(first.surface),
+        surface=first.surface,
+        entity=first.entity,
+    )
+    return WebDocument(
+        doc_id=doc.doc_id,
+        url=doc.url,
+        title=doc.title,
+        text=appended,
+        kind=doc.kind,
+        language=doc.language,
+        quality=doc.quality,
+        fetched_at=timestamp,
+        structured_data=doc.structured_data,
+        gold_mentions=doc.gold_mentions + (new_mention,),
+    )
+
+
+class CrawlSimulator:
+    """Generates a sequence of snapshots with configurable churn."""
+
+    def __init__(
+        self,
+        kg: SyntheticKG,
+        initial: WebCorpus,
+        change_fraction: float = 0.1,
+        new_fraction: float = 0.02,
+        period_seconds: float = 7 * 24 * 3600,
+        seed: int = 0,
+    ) -> None:
+        self.kg = kg
+        self.current = initial
+        self.change_fraction = change_fraction
+        self.new_fraction = new_fraction
+        self.period_seconds = period_seconds
+        self.seed = seed
+        self.epoch = 0
+        self.base_time = max((d.fetched_at for d in initial), default=0.0)
+
+    def step(self) -> tuple[WebCorpus, CrawlDelta]:
+        """Advance one crawl period; returns (snapshot, delta)."""
+        self.epoch += 1
+        timestamp = self.base_time + self.epoch * self.period_seconds
+        self.current, delta = evolve(
+            self.current,
+            self.kg,
+            change_fraction=self.change_fraction,
+            new_fraction=self.new_fraction,
+            timestamp=timestamp,
+            seed=self.seed + self.epoch,
+        )
+        return self.current, delta

@@ -1,0 +1,117 @@
+"""Web documents: the unstructured side of the extended knowledge graph.
+
+§3.1 extends the KG "with edges linking KG entities to unstructured Web
+documents".  A :class:`WebDocument` carries everything the annotation and
+extraction services consume: text, optional schema.org structured payload,
+a language tag, a source-quality prior and a change-tracking content hash.
+
+Because the corpus is synthetic, documents also carry *gold mentions* — the
+generator knows exactly which character span refers to which entity.  Gold
+labels live in a parallel field that production components never read; only
+evaluation code touches them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class GoldMention:
+    """Ground-truth mention: ``text[start:end]`` refers to ``entity``."""
+
+    start: int
+    end: int
+    surface: str
+    entity: str
+
+
+class DocumentKind:
+    """Coarse page genres the corpus generator emits."""
+
+    PROFILE = "profile"
+    NEWS = "news"
+    BLOG = "blog"
+    LIST = "list"
+
+
+@dataclass
+class WebDocument:
+    """One synthetic web page."""
+
+    doc_id: str
+    url: str
+    title: str
+    text: str
+    kind: str = DocumentKind.NEWS
+    language: str = "en"
+    quality: float = 0.5
+    fetched_at: float = 0.0
+    structured_data: dict[str, Any] | None = None
+    # Evaluation-only ground truth; never read by production code paths.
+    gold_mentions: tuple[GoldMention, ...] = field(default=())
+
+    @property
+    def content_hash(self) -> str:
+        """Stable hash of title+text+structured data, for change detection."""
+        digest = hashlib.sha1()
+        digest.update(self.title.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(self.text.encode("utf-8"))
+        if self.structured_data is not None:
+            digest.update(repr(sorted(self.structured_data.items())).encode("utf-8"))
+        return digest.hexdigest()
+
+    @property
+    def full_text(self) -> str:
+        """Title and body concatenated (what search indexes)."""
+        return f"{self.title}\n{self.text}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (gold mentions included for datasets)."""
+        return {
+            "doc_id": self.doc_id,
+            "url": self.url,
+            "title": self.title,
+            "text": self.text,
+            "kind": self.kind,
+            "language": self.language,
+            "quality": self.quality,
+            "fetched_at": self.fetched_at,
+            "structured_data": self.structured_data,
+            "gold_mentions": [
+                {
+                    "start": m.start,
+                    "end": m.end,
+                    "surface": m.surface,
+                    "entity": m.entity,
+                }
+                for m in self.gold_mentions
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "WebDocument":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            doc_id=payload["doc_id"],
+            url=payload["url"],
+            title=payload["title"],
+            text=payload["text"],
+            kind=payload.get("kind", DocumentKind.NEWS),
+            language=payload.get("language", "en"),
+            quality=payload.get("quality", 0.5),
+            fetched_at=payload.get("fetched_at", 0.0),
+            structured_data=payload.get("structured_data"),
+            gold_mentions=tuple(
+                GoldMention(
+                    start=m["start"],
+                    end=m["end"],
+                    surface=m["surface"],
+                    entity=m["entity"],
+                )
+                for m in payload.get("gold_mentions", [])
+            ),
+        )

@@ -1,0 +1,101 @@
+"""Tests for the alias table."""
+
+import pytest
+
+from repro.annotation.alias_table import AliasTable
+from repro.kg.store import EntityRecord, TripleStore
+
+
+@pytest.fixture()
+def store():
+    s = TripleStore()
+    s.upsert_entity(
+        EntityRecord(
+            entity="entity:mj-player", name="Michael Jordan",
+            aliases=("M. Jordan", "Jordan"), popularity=0.9,
+            types=("type:basketball_player",),
+        )
+    )
+    s.upsert_entity(
+        EntityRecord(
+            entity="entity:mj-prof", name="Michael Jordan",
+            aliases=("M. Jordan",), popularity=0.2,
+            types=("type:person",),
+        )
+    )
+    s.upsert_entity(
+        EntityRecord(entity="entity:city", name="Jordanville", popularity=0.3)
+    )
+    return s
+
+
+class TestLookup:
+    def test_exact_lookup_case_insensitive(self, store):
+        table = AliasTable(store)
+        entries = table.lookup("michael jordan")
+        assert {e.entity for e in entries} == {"entity:mj-player", "entity:mj-prof"}
+
+    def test_priors_normalised_and_ordered(self, store):
+        table = AliasTable(store)
+        entries = table.lookup("Michael Jordan")
+        assert entries[0].entity == "entity:mj-player"  # more popular first
+        assert sum(e.prior for e in entries) == pytest.approx(1.0)
+
+    def test_alias_lookup(self, store):
+        table = AliasTable(store)
+        entries = table.lookup("M. Jordan")
+        assert {e.entity for e in entries} == {"entity:mj-player", "entity:mj-prof"}
+
+    def test_missing_surface_empty(self, store):
+        assert AliasTable(store).lookup("Nobody Here") == []
+
+    def test_contains(self, store):
+        table = AliasTable(store)
+        assert table.contains("Michael  Jordan")  # whitespace normalised
+        assert not table.contains("Santa Claus")
+
+    def test_max_key_tokens(self, store):
+        assert AliasTable(store).max_key_tokens() == 2
+
+
+class TestFuzzy:
+    def test_typo_recovered(self, store):
+        table = AliasTable(store, fuzzy_threshold=0.6)
+        entries = table.lookup_fuzzy("Jordanvile")  # missing letter
+        assert any(e.entity == "entity:city" for e in entries)
+        assert all(not e.exact for e in entries)
+
+    def test_exact_preferred_when_available(self, store):
+        table = AliasTable(store)
+        entries = table.lookup_fuzzy("Michael Jordan")
+        assert all(e.exact for e in entries)
+
+    def test_fuzzy_prior_discounted(self, store):
+        table = AliasTable(store, fuzzy_threshold=0.6)
+        exact_prior = table.lookup("Jordanville")[0].prior
+        fuzzy = table.lookup_fuzzy("Jordanvile")
+        city = next(e for e in fuzzy if e.entity == "entity:city")
+        assert city.prior < exact_prior
+
+    def test_limit_respected(self, store):
+        table = AliasTable(store, fuzzy_threshold=0.1)
+        assert len(table.lookup_fuzzy("Jordan", limit=1)) <= 1
+
+
+class TestFreshness:
+    def test_refresh_picks_up_new_entities(self, store):
+        table = AliasTable(store)
+        assert not table.contains("Fresh Entity")
+        store.upsert_entity(
+            EntityRecord(entity="entity:new", name="Fresh Entity", popularity=0.1)
+        )
+        assert table.is_stale
+        table.refresh()
+        assert table.contains("Fresh Entity")
+
+    def test_refresh_noop_when_current(self, store):
+        table = AliasTable(store)
+        version_before = store.version
+        table.refresh()
+        assert store.version == version_before
+        assert not table.is_stale

@@ -1,0 +1,70 @@
+"""Tests for dictionary mention detection."""
+
+import pytest
+
+from repro.annotation.alias_table import AliasTable
+from repro.annotation.mention_detection import (
+    DictionaryMentionDetector,
+    MentionDetectorConfig,
+)
+from repro.kg.store import EntityRecord, TripleStore
+
+
+@pytest.fixture()
+def detector():
+    store = TripleStore()
+    store.upsert_entity(
+        EntityRecord(entity="entity:root", name="Joe Root", aliases=("Root",), popularity=0.8)
+    )
+    store.upsert_entity(
+        EntityRecord(entity="entity:england", name="England", popularity=0.9)
+    )
+    return DictionaryMentionDetector(AliasTable(store))
+
+
+class TestDetection:
+    def test_finds_full_names(self, detector):
+        mentions = detector.detect("Joe Root hits a hundred as England celebrate")
+        surfaces = {m.surface for m in mentions}
+        assert "Joe Root" in surfaces
+        assert "England" in surfaces
+
+    def test_offsets_correct(self, detector):
+        text = "Joe Root hits a hundred"
+        mention = detector.detect(text)[0]
+        assert text[mention.start : mention.end] == mention.surface
+
+    def test_longest_match_wins(self, detector):
+        mentions = detector.detect("Joe Root scored")
+        assert mentions[0].surface == "Joe Root"  # not just "Root"
+
+    def test_capitalisation_gate(self, detector):
+        # lowercase "root" (the word) must not fire the alias "Root".
+        mentions = detector.detect("the root of the problem in england")
+        assert mentions == []
+
+    def test_capitalised_alias_fires(self, detector):
+        mentions = detector.detect("Root hits hundred")
+        assert mentions and mentions[0].surface == "Root"
+
+    def test_no_overlapping_mentions(self, detector):
+        mentions = detector.detect("Joe Root and England and Joe Root again")
+        spans = [(m.start, m.end) for m in mentions]
+        for i in range(len(spans) - 1):
+            assert spans[i][1] <= spans[i + 1][0]
+
+    def test_gate_disabled(self, detector):
+        config = MentionDetectorConfig(require_capitalized=False)
+        permissive = DictionaryMentionDetector(detector.alias_table, config)
+        assert permissive.detect("talking about england today")
+
+    def test_empty_text(self, detector):
+        assert detector.detect("") == []
+
+    def test_min_surface_chars(self, detector):
+        store = TripleStore()
+        store.upsert_entity(EntityRecord(entity="entity:x", name="A", popularity=0.5))
+        tiny = DictionaryMentionDetector(
+            AliasTable(store), MentionDetectorConfig(min_surface_chars=2)
+        )
+        assert tiny.detect("A short letter") == []

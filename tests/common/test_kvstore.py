@@ -1,0 +1,128 @@
+"""Tests for the key-value stores (memory + disk)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.kvstore import DiskKVStore, MemoryKVStore
+
+
+class TestMemoryKVStore:
+    def test_put_get(self):
+        store = MemoryKVStore()
+        store.put("a", 1)
+        assert store.get("a") == 1
+
+    def test_get_default(self):
+        assert MemoryKVStore().get("missing", 42) == 42
+
+    def test_delete(self):
+        store = MemoryKVStore()
+        store.put("a", 1)
+        assert store.delete("a")
+        assert not store.delete("a")
+        assert "a" not in store
+
+    def test_lru_eviction(self):
+        store = MemoryKVStore(capacity=2)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.get("a")  # a is now most recent
+        store.put("c", 3)  # evicts b
+        assert "a" in store and "c" in store and "b" not in store
+        assert store.evictions == 1
+
+    def test_hit_rate(self):
+        store = MemoryKVStore()
+        store.put("a", 1)
+        store.get("a")
+        store.get("missing")
+        assert store.hit_rate == pytest.approx(0.5)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryKVStore(capacity=0)
+
+    def test_len_and_keys(self):
+        store = MemoryKVStore()
+        store.put("x", 1)
+        store.put("y", 2)
+        assert len(store) == 2
+        assert set(store.keys()) == {"x", "y"}
+
+
+class TestDiskKVStore:
+    def test_roundtrip(self, tmp_path):
+        store = DiskKVStore(tmp_path)
+        store.put("k", {"nested": [1, 2]})
+        assert store.get("k") == {"nested": [1, 2]}
+
+    def test_ndarray_roundtrip(self, tmp_path):
+        store = DiskKVStore(tmp_path)
+        vector = np.arange(5, dtype=np.float64)
+        store.put("v", vector)
+        assert np.array_equal(store.get("v"), vector)
+
+    def test_overwrite_wins(self, tmp_path):
+        store = DiskKVStore(tmp_path)
+        store.put("k", 1)
+        store.put("k", 2)
+        assert store.get("k") == 2
+        assert len(store) == 1
+
+    def test_delete_tombstone(self, tmp_path):
+        store = DiskKVStore(tmp_path)
+        store.put("k", 1)
+        assert store.delete("k")
+        assert store.get("k") is None
+        assert "k" not in store
+
+    def test_persistence_across_instances(self, tmp_path):
+        first = DiskKVStore(tmp_path)
+        first.put("k", "value")
+        first.delete("gone") if "gone" in first else None
+        second = DiskKVStore(tmp_path)
+        assert second.get("k") == "value"
+
+    def test_tombstone_survives_restart(self, tmp_path):
+        first = DiskKVStore(tmp_path)
+        first.put("k", 1)
+        first.delete("k")
+        second = DiskKVStore(tmp_path)
+        assert "k" not in second
+
+    def test_compact_preserves_live_data(self, tmp_path):
+        store = DiskKVStore(tmp_path)
+        for i in range(10):
+            store.put(f"k{i}", i)
+        store.delete("k3")
+        store.compact()
+        assert len(store) == 9
+        assert store.get("k4") == 4
+        assert "k3" not in store
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete"]),
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(),
+            ),
+            max_size=25,
+        )
+    )
+    def test_property_matches_dict_model(self, tmp_path_factory, ops):
+        """The disk store behaves exactly like a dict."""
+        store = DiskKVStore(tmp_path_factory.mktemp("kv"))
+        model: dict[str, int] = {}
+        for op, key, value in ops:
+            if op == "put":
+                store.put(key, value)
+                model[key] = value
+            else:
+                store.delete(key)
+                model.pop(key, None)
+        for key in ("a", "b", "c"):
+            assert store.get(key) == model.get(key)
+        assert len(store) == len(model)

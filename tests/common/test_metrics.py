@@ -1,0 +1,77 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.common.metrics import MetricsRegistry, _quantile
+
+
+class TestCounters:
+    def test_incr(self):
+        metrics = MetricsRegistry()
+        metrics.incr("x")
+        metrics.incr("x", 4)
+        assert metrics.counters["x"] == 5
+
+    def test_gauge_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("g", 1.0)
+        metrics.gauge("g", 2.0)
+        assert metrics.gauges["g"] == 2.0
+
+
+class TestTimers:
+    def test_observe_and_stats(self):
+        metrics = MetricsRegistry()
+        for value in (0.1, 0.2, 0.3):
+            metrics.observe("t", value)
+        stats = metrics.timer_stats("t")
+        assert stats.count == 3
+        assert stats.mean_s == pytest.approx(0.2)
+        assert stats.max_s == pytest.approx(0.3)
+        assert stats.p50_s == pytest.approx(0.2)
+
+    def test_timed_context(self):
+        metrics = MetricsRegistry()
+        with metrics.timed("work"):
+            pass
+        assert metrics.timer_stats("work").count == 1
+
+    def test_empty_timer_is_zeroes(self):
+        stats = MetricsRegistry().timer_stats("never")
+        assert stats.count == 0
+        assert stats.mean_s == 0.0
+
+
+class TestMergeAndSnapshot:
+    def test_merge(self):
+        parent = MetricsRegistry("parent")
+        child = MetricsRegistry("child")
+        child.incr("docs", 3)
+        child.observe("t", 0.5)
+        child.gauge("g", 7.0)
+        parent.incr("docs", 2)
+        parent.merge(child)
+        assert parent.counters["docs"] == 5
+        assert parent.gauges["g"] == 7.0
+        assert parent.timer_stats("t").count == 1
+
+    def test_snapshot_flattens(self):
+        metrics = MetricsRegistry()
+        metrics.incr("c")
+        metrics.gauge("g", 1.5)
+        metrics.observe("t", 0.1)
+        snap = metrics.snapshot()
+        assert snap["counter.c"] == 1.0
+        assert snap["gauge.g"] == 1.5
+        assert snap["timer.t.count"] == 1.0
+
+
+class TestQuantile:
+    def test_interpolates(self):
+        assert _quantile([0.0, 1.0], 0.5) == pytest.approx(0.5)
+
+    def test_single_sample(self):
+        assert _quantile([3.0], 0.95) == 3.0
+
+    def test_empty(self):
+        assert _quantile([], 0.5) == 0.0

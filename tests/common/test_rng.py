@@ -1,0 +1,65 @@
+"""Tests for deterministic RNG utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rng import rng_from_seed, stable_hash, substream, zipf_weights
+
+
+class TestSubstream:
+    def test_same_labels_same_stream(self):
+        a = substream(7, "x").integers(0, 1000, 10)
+        b = substream(7, "x").integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_labels_differ(self):
+        a = substream(7, "x").integers(0, 1000, 10)
+        b = substream(7, "y").integers(0, 1000, 10)
+        assert not np.array_equal(a, b)
+
+    def test_adjacent_seeds_are_independent(self):
+        a = substream(1, "x").integers(0, 1000, 10)
+        b = substream(2, "x").integers(0, 1000, 10)
+        assert not np.array_equal(a, b)
+
+    def test_mixed_label_types(self):
+        generator = substream(3, "trainer", 5)
+        assert generator.integers(0, 10) in range(10)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("hello", 100) == stable_hash("hello", 100)
+
+    def test_in_range(self):
+        for text in ("a", "b", "some longer text"):
+            assert 0 <= stable_hash(text, 7) < 7
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            stable_hash("x", 0)
+
+    @given(st.text(max_size=30), st.integers(min_value=1, max_value=10_000))
+    def test_property_always_in_range(self, text, modulus):
+        assert 0 <= stable_hash(text, modulus) < modulus
+
+
+class TestZipf:
+    def test_normalised(self):
+        weights = zipf_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 1.2)
+        assert all(weights[i] >= weights[i + 1] for i in range(49))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+    def test_default_seed(self):
+        a = rng_from_seed().random()
+        b = rng_from_seed().random()
+        assert a == b

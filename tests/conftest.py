@@ -1,0 +1,66 @@
+"""Shared fixtures: one small synthetic world reused across the suite.
+
+Expensive artifacts (KG, corpus, trained embeddings) are session-scoped;
+tests must treat them as read-only.  Tests that need to mutate a store
+build their own small one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annotation.pipeline import make_pipeline
+from repro.embeddings.pipeline import (
+    EmbeddingPipelineConfig,
+    run_embedding_pipeline,
+)
+from repro.embeddings.trainer import TrainConfig
+from repro.kg.generator import SyntheticKG, SyntheticKGConfig, generate_kg
+from repro.kg.views import embedding_training_view
+from repro.web.corpus import WebCorpus, WebCorpusConfig, generate_corpus
+from repro.web.search import BM25SearchEngine
+
+
+@pytest.fixture(scope="session")
+def kg() -> SyntheticKG:
+    """A small-but-complete synthetic world (read-only)."""
+    return generate_kg(SyntheticKGConfig(seed=7, scale=0.5))
+
+
+@pytest.fixture(scope="session")
+def corpus(kg: SyntheticKG) -> WebCorpus:
+    """A small web corpus over the shared KG (read-only)."""
+    return generate_corpus(
+        kg,
+        WebCorpusConfig(
+            seed=11,
+            num_profile_pages=80,
+            num_news_pages=120,
+            num_blog_pages=60,
+            num_list_pages=12,
+            num_distractor_pages=16,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def search_engine(corpus: WebCorpus) -> BM25SearchEngine:
+    """BM25 over the shared corpus (read-only)."""
+    return BM25SearchEngine(corpus)
+
+
+@pytest.fixture(scope="session")
+def trained(kg: SyntheticKG):
+    """Quick trained embeddings over the shared KG (read-only)."""
+    config = EmbeddingPipelineConfig(
+        train=TrainConfig(model="distmult", dim=16, epochs=8, seed=3),
+        view=embedding_training_view(min_predicate_frequency=3),
+        eval_max_queries=50,
+    )
+    return run_embedding_pipeline(kg.store, config)
+
+
+@pytest.fixture(scope="session")
+def full_annotation_pipeline(kg: SyntheticKG):
+    """A full-tier annotation pipeline over the shared KG (read-only)."""
+    return make_pipeline(kg.store, tier="full")

@@ -1,0 +1,83 @@
+"""Tests for dataset encoding and splits."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import EmbeddingError
+from repro.embeddings.dataset import build_dataset
+from repro.kg.store import TripleStore
+from repro.kg.triple import LiteralType, entity_fact, literal_fact
+
+
+@pytest.fixture()
+def store():
+    s = TripleStore()
+    s.add(entity_fact("entity:a", "predicate:p", "entity:b"))
+    s.add(entity_fact("entity:b", "predicate:p", "entity:c"))
+    s.add(entity_fact("entity:c", "predicate:q", "entity:a"))
+    s.add(literal_fact("entity:a", "predicate:h", 1, LiteralType.NUMBER))
+    return s
+
+
+class TestBuild:
+    def test_literals_excluded(self, store):
+        dataset = build_dataset(store)
+        assert len(dataset) == 3
+        assert "predicate:h" not in dataset.relation_index
+
+    def test_vocabulary_sorted_deterministic(self, store):
+        a = build_dataset(store)
+        b = build_dataset(store)
+        assert a.entities == b.entities == sorted(a.entities)
+        assert np.array_equal(a.triples, b.triples)
+
+    def test_encode_decode_roundtrip(self, store):
+        dataset = build_dataset(store)
+        h, r, t = dataset.encode("entity:a", "predicate:p", "entity:b")
+        assert dataset.decode(h, r, t) == ("entity:a", "predicate:p", "entity:b")
+
+    def test_encode_unknown_raises(self, store):
+        dataset = build_dataset(store)
+        with pytest.raises(EmbeddingError):
+            dataset.encode("entity:zzz", "predicate:p", "entity:b")
+
+    def test_empty_store_raises(self):
+        with pytest.raises(EmbeddingError):
+            build_dataset(TripleStore())
+
+    def test_known_set(self, store):
+        dataset = build_dataset(store)
+        known = dataset.known_set()
+        assert len(known) == 3
+        assert dataset.encode("entity:a", "predicate:p", "entity:b") in known
+
+
+class TestSplit:
+    def test_split_partitions(self, kg):
+        from repro.embeddings.dataset import build_dataset as build
+
+        dataset = build(kg.store)
+        train, valid, test = dataset.split(valid_fraction=0.1, test_fraction=0.1, seed=1)
+        assert len(train) + len(valid) + len(test) == len(dataset)
+        train_keys = {tuple(row) for row in train.triples}
+        valid_keys = {tuple(row) for row in valid}
+        test_keys = {tuple(row) for row in test}
+        assert not (train_keys & valid_keys)
+        assert not (train_keys & test_keys)
+        assert not (valid_keys & test_keys)
+
+    def test_split_keeps_vocabulary(self, store):
+        dataset = build_dataset(store)
+        train, _, _ = dataset.split(0.3, 0.3, seed=2)
+        assert train.entities == dataset.entities
+
+    def test_split_rejects_bad_fractions(self, store):
+        dataset = build_dataset(store)
+        with pytest.raises(EmbeddingError):
+            dataset.split(0.6, 0.5)
+
+    def test_split_deterministic(self, store):
+        dataset = build_dataset(store)
+        _, valid_a, _ = dataset.split(0.3, 0.3, seed=4)
+        _, valid_b, _ = dataset.split(0.3, 0.3, seed=4)
+        assert np.array_equal(valid_a, valid_b)

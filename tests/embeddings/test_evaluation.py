@@ -1,0 +1,111 @@
+"""Tests for link prediction and triple classification."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.dataset import TripleDataset
+from repro.embeddings.evaluation import (
+    _auc,
+    _filtered_rank,
+    _rankdata,
+    corrupt_uniform,
+    link_prediction,
+    triple_classification,
+)
+from repro.embeddings.models import DistMult, ModelConfig
+from repro.embeddings.trainer import TrainedEmbeddings
+
+
+def _perfect_model():
+    """A DistMult whose scores strongly favour triple (0, 0, 1)."""
+    model = DistMult(4, 1, ModelConfig(dim=2, seed=0))
+    model.entity_emb[:] = 0.0
+    model.entity_emb[0] = [1.0, 0.0]
+    model.entity_emb[1] = [1.0, 0.0]
+    model.relation_emb[0] = [1.0, 1.0]
+    return model
+
+
+class TestHelpers:
+    def test_rankdata_ties(self):
+        ranks = _rankdata(np.array([1.0, 2.0, 2.0, 3.0]))
+        assert list(ranks) == [1.0, 2.5, 2.5, 4.0]
+
+    def test_auc_perfect(self):
+        assert _auc(np.array([2.0, 3.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_auc_random(self):
+        assert _auc(np.array([1.0]), np.array([1.0])) == 0.5
+
+    def test_auc_empty(self):
+        assert _auc(np.array([]), np.array([1.0])) == 0.5
+
+    def test_filtered_rank_masks_known(self):
+        scores = np.array([5.0, 4.0, 3.0])  # entity 0 scores best
+        # true tail is 2; entity 0 is a *known* other answer → masked.
+        known = {(9, 0, 0)}
+        rank = _filtered_rank(scores, true_index=2, known=known, pattern=(9, 0, None))
+        assert rank == 2  # only entity 1 outranks after masking
+
+    def test_filtered_rank_unmasked(self):
+        scores = np.array([5.0, 4.0, 3.0])
+        rank = _filtered_rank(scores, true_index=2, known=set(), pattern=(9, 0, None))
+        assert rank == 3
+
+
+class TestLinkPrediction:
+    def test_perfect_model_ranks_first(self):
+        model = _perfect_model()
+        dataset = TripleDataset(
+            entities=[f"entity:e{i}" for i in range(4)],
+            relations=["predicate:p"],
+            triples=np.array([[0, 0, 1]]),
+        )
+        trained = TrainedEmbeddings(model=model, dataset=dataset)
+        report = link_prediction(trained, np.array([[0, 0, 1]]))
+        assert report.hits_at_1 >= 0.5  # tail query ranks 1; head query too (symmetric)
+        assert report.mrr > 0.5
+        assert report.num_queries == 2
+
+    def test_max_queries_limits(self, trained):
+        report = link_prediction(
+            trained.trained, trained.test_triples, max_queries=5
+        )
+        assert report.num_queries == 10  # 5 triples × (head + tail)
+
+
+class TestClassification:
+    def test_separable_scores(self):
+        model = _perfect_model()
+        positives = np.array([[0, 0, 1]])
+        negatives = np.array([[2, 0, 3]])
+        report = triple_classification(model, positives, negatives)
+        assert report.auc == 1.0
+        assert report.accuracy == 1.0
+        # threshold separates the two scores
+        pos_score = model.score_triples(positives)[0]
+        neg_score = model.score_triples(negatives)[0]
+        assert neg_score < report.threshold <= pos_score
+
+    def test_counts(self):
+        model = _perfect_model()
+        report = triple_classification(
+            model, np.array([[0, 0, 1], [1, 0, 0]]), np.array([[2, 0, 3]])
+        )
+        assert report.num_positive == 2
+        assert report.num_negative == 1
+
+
+class TestCorruptUniform:
+    def test_avoids_known(self):
+        triples = np.array([[0, 0, 1], [1, 0, 2]])
+        known = {(0, 0, 1), (1, 0, 2)}
+        negatives = corrupt_uniform(triples, num_entities=50, known=known, seed=1)
+        for row in negatives:
+            assert (int(row[0]), int(row[1]), int(row[2])) not in known
+
+    def test_deterministic(self):
+        triples = np.array([[0, 0, 1]])
+        a = corrupt_uniform(triples, 10, set(), seed=3)
+        b = corrupt_uniform(triples, 10, set(), seed=3)
+        assert np.array_equal(a, b)

@@ -1,0 +1,59 @@
+"""Tests for negative sampling."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.negative_sampling import NegativeSampler
+
+
+@pytest.fixture()
+def positives():
+    return np.array([[0, 0, 1], [2, 1, 3], [4, 0, 5]], dtype=np.int64)
+
+
+class TestCorrupt:
+    def test_output_shape(self, positives):
+        sampler = NegativeSampler(num_entities=10, negatives_per_positive=4, filtered=False)
+        negatives = sampler.corrupt(positives)
+        assert negatives.shape == (12, 3)
+
+    def test_relation_preserved(self, positives):
+        sampler = NegativeSampler(num_entities=10, negatives_per_positive=3, filtered=False)
+        negatives = sampler.corrupt(positives)
+        expected_relations = np.repeat(positives[:, 1], 3)
+        assert np.array_equal(negatives[:, 1], expected_relations)
+
+    def test_exactly_one_slot_corrupted_or_collided(self, positives):
+        sampler = NegativeSampler(num_entities=1000, negatives_per_positive=2, filtered=False)
+        negatives = sampler.corrupt(positives)
+        repeated = np.repeat(positives, 2, axis=0)
+        changed = (negatives != repeated).sum(axis=1)
+        # With 1000 entities a random replacement almost surely differs,
+        # and only one of head/tail is replaced.
+        assert np.all(changed <= 1)
+
+    def test_filtered_avoids_known(self):
+        # Dense graph over 3 entities: every (h, 0, t) with h != t is true.
+        known = {(h, 0, t) for h in range(3) for t in range(3)}
+        positives = np.array([[0, 0, 1]] * 20, dtype=np.int64)
+        sampler = NegativeSampler(
+            num_entities=30, negatives_per_positive=2, filtered=True, known=known, seed=1
+        )
+        negatives = sampler.corrupt(positives)
+        collisions = sum(
+            1 for row in negatives if (int(row[0]), int(row[1]), int(row[2])) in known
+        )
+        assert collisions == 0
+
+    def test_deterministic_per_seed(self, positives):
+        a = NegativeSampler(10, 2, filtered=False, seed=5).corrupt(positives)
+        b = NegativeSampler(10, 2, filtered=False, seed=5).corrupt(positives)
+        assert np.array_equal(a, b)
+
+    def test_rejects_tiny_vocab(self):
+        with pytest.raises(ValueError):
+            NegativeSampler(num_entities=1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            NegativeSampler(num_entities=5, negatives_per_positive=0)

@@ -1,0 +1,97 @@
+"""Tests for the RotatE model."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.models import ModelConfig, RotatE, create_model
+
+
+@pytest.fixture()
+def model():
+    return RotatE(num_entities=12, num_relations=4, config=ModelConfig(dim=6, seed=5))
+
+
+class TestScoring:
+    def test_factory_registration(self):
+        assert create_model("rotate", 5, 2, ModelConfig(dim=3)).name == "rotate"
+
+    def test_storage_dim_doubled(self, model):
+        assert model.entity_emb.shape == (12, 12)
+
+    def test_perfect_rotation_scores_zero(self):
+        model = RotatE(4, 2, ModelConfig(dim=2, seed=0))
+        d = 2
+        model.entity_emb[0, :d] = [1.0, 0.5]   # h real
+        model.entity_emb[0, d:] = [0.0, 0.5]   # h imag
+        theta = np.array([np.pi / 3, -np.pi / 5])
+        model.relation_emb[0, :d] = theta
+        hr, hi = model.entity_emb[0, :d], model.entity_emb[0, d:]
+        model.entity_emb[1, :d] = hr * np.cos(theta) - hi * np.sin(theta)
+        model.entity_emb[1, d:] = hr * np.sin(theta) + hi * np.cos(theta)
+        score = model.score(np.array([0]), np.array([0]), np.array([1]))
+        assert score[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_rotation_is_antisymmetric(self, model):
+        forward = model.score(np.array([0]), np.array([0]), np.array([1]))
+        backward = model.score(np.array([1]), np.array([0]), np.array([0]))
+        assert forward[0] != pytest.approx(backward[0])
+
+    def test_scores_nonpositive(self, model):
+        h = np.arange(4)
+        r = np.zeros(4, dtype=np.int64)
+        t = np.arange(4, 8)
+        assert np.all(model.score(h, r, t) <= 0)
+
+
+class TestGradients:
+    def test_numeric_gradient_check(self, model):
+        h, r, t = np.array([1]), np.array([2]), np.array([3])
+        dscore = np.array([1.0])
+        gh, gr, gt = model.grads(h, r, t, dscore)
+        eps = 1e-6
+
+        def check(matrix, row, grad_row, cols):
+            for d in cols:
+                original = matrix[row, d]
+                matrix[row, d] = original + eps
+                up = model.score(h, r, t)[0]
+                matrix[row, d] = original - eps
+                down = model.score(h, r, t)[0]
+                matrix[row, d] = original
+                numeric = (up - down) / (2 * eps)
+                assert numeric == pytest.approx(grad_row[d], abs=1e-4)
+
+        dims = model.storage_dim
+        check(model.entity_emb, 1, gh[0], range(dims))
+        check(model.entity_emb, 3, gt[0], range(dims))
+        # Relation gradient only on the phase half; padding must be zero.
+        check(model.relation_emb, 2, gr[0], range(model.config.dim))
+        assert np.all(gr[0][model.config.dim :] == 0)
+
+    def test_normalize_bounds_modulus(self, model):
+        model.entity_emb *= 50
+        model.normalize_entities()
+        d = model.config.dim
+        modulus = np.sqrt(model.entity_emb[:, :d] ** 2 + model.entity_emb[:, d:] ** 2)
+        assert np.all(modulus <= 1.0 + 1e-9)
+
+
+class TestTraining:
+    def test_rotate_trains(self):
+        from repro.embeddings.dataset import build_dataset
+        from repro.embeddings.trainer import TrainConfig, train_embeddings
+        from repro.kg.store import TripleStore
+        from repro.kg.triple import entity_fact
+
+        store = TripleStore()
+        rng = np.random.default_rng(0)
+        for _ in range(120):
+            a, b = rng.integers(0, 20, size=2)
+            if a != b:
+                store.add(entity_fact(f"entity:e{a}", "predicate:p", f"entity:e{b}"))
+        dataset = build_dataset(store)
+        trained = train_embeddings(
+            dataset, TrainConfig(model="rotate", dim=8, epochs=10, seed=1)
+        )
+        losses = [epoch.mean_loss for epoch in trained.history]
+        assert losses[-1] < losses[0]

@@ -1,0 +1,125 @@
+"""Property-based invariants that cut across subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annotation.pipeline import make_pipeline
+from repro.common.text import normalize_name
+from repro.kg.store import EntityRecord, TripleStore
+from repro.odke.extractors.base import normalize_date
+from repro.web.search import BM25SearchEngine
+
+
+class TestAnnotationOffsets:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        prefix=st.text(alphabet="abc XYZ.,", max_size=30),
+        suffix=st.text(alphabet="abc XYZ.,", max_size=30),
+    )
+    def test_property_link_offsets_always_match_surface(self, prefix, suffix):
+        """Wherever a known name lands in arbitrary text, the produced link
+        span must slice back to exactly the mention surface."""
+        store = TripleStore()
+        store.upsert_entity(
+            EntityRecord(
+                entity="entity:x", name="Quorvin Blather််ski".replace("်", ""),
+                popularity=0.9, types=("type:person",),
+            )
+        )
+        name = store.entity("entity:x").name
+        pipeline = make_pipeline(store, tier="lite")
+        text = f"{prefix} {name} {suffix}"
+        for link in pipeline.annotate(text):
+            assert text[link.mention.start : link.mention.end] == link.mention.surface
+
+    def test_annotation_idempotent(self, kg, full_annotation_pipeline):
+        person = next(
+            r for r in kg.store.entities() if "type:person" in r.types
+        )
+        text = f"{person.name} was in the news again today."
+        first = full_annotation_pipeline.annotate(text)
+        second = full_annotation_pipeline.annotate(text)
+        assert [(l.mention, l.entity) for l in first] == [
+            (l.mention, l.entity) for l in second
+        ]
+
+
+class TestSearchInvariants:
+    def test_search_deterministic(self, corpus):
+        engine_a = BM25SearchEngine(corpus)
+        engine_b = BM25SearchEngine(corpus)
+        for query in ("championship game", "born in", "music album"):
+            a = [(r.doc_id, round(r.score, 9)) for r in engine_a.search(query, k=10)]
+            b = [(r.doc_id, round(r.score, 9)) for r in engine_b.search(query, k=10)]
+            assert a == b
+
+    def test_results_contain_query_terms(self, corpus, search_engine):
+        results = search_engine.search("basketball", k=10)
+        for result in results:
+            assert "basketball" in result.document.full_text.lower()
+
+
+class TestDateNormalization:
+    @given(
+        year=st.integers(1900, 2030),
+        month=st.integers(1, 12),
+        day=st.integers(1, 28),
+    )
+    def test_property_long_format_roundtrips(self, year, month, day):
+        from repro.web.corpus import format_date_long
+
+        iso = f"{year:04d}-{month:02d}-{day:02d}"
+        assert normalize_date(format_date_long(iso)) == iso
+
+    @given(st.text(max_size=25))
+    def test_property_never_raises(self, raw):
+        result = normalize_date(raw)
+        assert result is None or len(result) == 10
+
+
+class TestNameNormalizationAgreement:
+    @given(st.sampled_from([
+        "Michael Jordan", "MICHAEL JORDAN", "michael jordan",
+        " Michael  Jordan ", "Michael Jordan.",
+    ]))
+    def test_property_all_variants_share_one_key(self, variant):
+        assert normalize_name(variant) == "michael jordan"
+
+
+class TestStoreViewConsistency:
+    def test_view_is_subset_of_base(self, kg):
+        from repro.kg.views import embedding_training_view, materialize
+
+        view = materialize(embedding_training_view(), kg.store)
+        base_keys = {f.key for f in kg.store.scan()}
+        for fact in view.store.scan():
+            assert fact.key in base_keys
+
+    def test_store_copy_preserves_scan_order_independence(self, kg):
+        clone = TripleStore()
+        clone.copy_entities_from(kg.store)
+        for fact in kg.store.scan():
+            clone.add(fact)
+        assert {f.key for f in clone.scan()} == {f.key for f in kg.store.scan()}
+
+
+class TestEmbeddingDeterminism:
+    def test_two_pipelines_identical(self, kg):
+        from repro.embeddings.pipeline import (
+            EmbeddingPipelineConfig,
+            run_embedding_pipeline,
+        )
+        from repro.embeddings.trainer import TrainConfig
+        from repro.kg.views import embedding_training_view
+
+        config = EmbeddingPipelineConfig(
+            train=TrainConfig(model="distmult", dim=8, epochs=2, seed=11),
+            view=embedding_training_view(min_predicate_frequency=3),
+            eval_max_queries=10,
+        )
+        a = run_embedding_pipeline(kg.store, config)
+        b = run_embedding_pipeline(kg.store, config)
+        assert np.array_equal(a.trained.model.entity_emb, b.trained.model.entity_emb)
+        assert a.evaluation.mrr == b.evaluation.mrr

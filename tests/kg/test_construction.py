@@ -1,0 +1,158 @@
+"""Tests for batch and streaming construction."""
+
+import pytest
+
+from repro.common.errors import StoreError
+from repro.kg.construction import (
+    BatchIngestor,
+    Delta,
+    DeltaOp,
+    KnowledgeSource,
+    StreamIngestor,
+)
+from repro.kg.generator import build_ontology
+from repro.kg.store import TripleStore
+from repro.kg.triple import LiteralType, entity_fact, literal_fact
+
+DOB = "predicate:date_of_birth"
+
+
+def _dob(subject, value, confidence=1.0):
+    return literal_fact(subject, DOB, value, LiteralType.DATE, confidence=confidence)
+
+
+class TestBatch:
+    def test_basic_ingest(self):
+        store = TripleStore()
+        source = KnowledgeSource(
+            name="feed",
+            trust=1.0,
+            facts=[entity_fact("entity:a", "predicate:occupation", "entity:o")],
+        )
+        report = BatchIngestor(store, build_ontology()).ingest([source])
+        assert report.facts_applied == 1
+        assert len(store) == 1
+
+    def test_source_provenance_stamped(self):
+        store = TripleStore()
+        source = KnowledgeSource(
+            name="wiki", trust=1.0,
+            facts=[entity_fact("entity:a", "predicate:occupation", "entity:o")],
+        )
+        BatchIngestor(store, build_ontology()).ingest([source])
+        fact = store.get("entity:a", "predicate:occupation", "entity:o")
+        assert "source:wiki" in fact.sources
+
+    def test_functional_conflict_higher_trust_wins(self):
+        store = TripleStore()
+        low = KnowledgeSource(name="blog", trust=0.3, facts=[_dob("entity:a", "1990-01-01")])
+        high = KnowledgeSource(name="registry", trust=0.95, facts=[_dob("entity:a", "1991-02-02")])
+        report = BatchIngestor(store, build_ontology()).ingest([low, high])
+        values = store.objects("entity:a", DOB)
+        assert values == ["1991-02-02"]
+        assert report.conflicts_resolved == 1
+
+    def test_functional_conflict_lower_trust_dropped(self):
+        store = TripleStore()
+        high = KnowledgeSource(name="registry", trust=0.95, facts=[_dob("entity:a", "1991-02-02")])
+        low = KnowledgeSource(name="blog", trust=0.3, facts=[_dob("entity:a", "1990-01-01")])
+        # Sorted by trust internally, so the high-trust fact lands last anyway;
+        # ingest them in one call and check the winner.
+        BatchIngestor(store, build_ontology()).ingest([high, low])
+        assert store.objects("entity:a", DOB) == ["1991-02-02"]
+
+    def test_multivalued_predicates_accumulate(self):
+        store = TripleStore()
+        source = KnowledgeSource(
+            name="feed", trust=1.0,
+            facts=[
+                entity_fact("entity:a", "predicate:occupation", "entity:o1"),
+                entity_fact("entity:a", "predicate:occupation", "entity:o2"),
+            ],
+        )
+        BatchIngestor(store, build_ontology()).ingest([source])
+        assert len(store.objects("entity:a", "predicate:occupation")) == 2
+
+    def test_schema_rejection(self):
+        store = TripleStore()
+        source = KnowledgeSource(
+            name="feed", trust=1.0,
+            facts=[entity_fact("entity:a", "predicate:not_in_schema", "entity:b")],
+        )
+        report = BatchIngestor(store, build_ontology()).ingest([source])
+        assert report.schema_rejections == 1
+        assert len(store) == 0
+
+    def test_kind_mismatch_rejected(self):
+        store = TripleStore()
+        # date_of_birth must be a literal; an entity-valued version is rejected.
+        source = KnowledgeSource(
+            name="feed", trust=1.0,
+            facts=[entity_fact("entity:a", DOB, "entity:b")],
+        )
+        report = BatchIngestor(store, build_ontology()).ingest([source])
+        assert report.schema_rejections == 1
+
+    def test_no_ontology_accepts_everything(self):
+        store = TripleStore()
+        source = KnowledgeSource(
+            name="feed", trust=1.0,
+            facts=[entity_fact("entity:a", "predicate:whatever", "entity:b")],
+        )
+        report = BatchIngestor(store, None).ingest([source])
+        assert report.facts_applied == 1
+
+    def test_bad_trust_rejected(self):
+        with pytest.raises(StoreError):
+            KnowledgeSource(name="x", trust=1.5)
+
+
+class TestStreaming:
+    def test_upsert_and_retract(self):
+        store = TripleStore()
+        ingestor = StreamIngestor(store, build_ontology())
+        fact = entity_fact("entity:a", "predicate:occupation", "entity:o")
+        ingestor.apply(Delta(sequence=1, op=DeltaOp.UPSERT, fact=fact))
+        assert len(store) == 1
+        report = ingestor.apply(Delta(sequence=2, op=DeltaOp.RETRACT, fact=fact))
+        assert report.retractions == 1
+        assert len(store) == 0
+
+    def test_out_of_order_rejected(self):
+        store = TripleStore()
+        ingestor = StreamIngestor(store)
+        fact = entity_fact("entity:a", "predicate:p", "entity:b")
+        ingestor.apply(Delta(sequence=5, op=DeltaOp.UPSERT, fact=fact))
+        with pytest.raises(StoreError):
+            ingestor.apply(Delta(sequence=5, op=DeltaOp.UPSERT, fact=fact))
+
+    def test_apply_all_accumulates(self):
+        store = TripleStore()
+        ingestor = StreamIngestor(store, build_ontology())
+        deltas = [
+            Delta(1, DeltaOp.UPSERT, entity_fact("entity:a", "predicate:occupation", "entity:o1")),
+            Delta(2, DeltaOp.UPSERT, entity_fact("entity:a", "predicate:occupation", "entity:o2")),
+            Delta(3, DeltaOp.RETRACT, entity_fact("entity:a", "predicate:occupation", "entity:o1")),
+        ]
+        report = ingestor.apply_all(deltas)
+        assert report.facts_applied == 2
+        assert report.retractions == 1
+        assert store.objects("entity:a", "predicate:occupation") == ["entity:o2"]
+        assert ingestor.last_sequence == 3
+
+    def test_batch_and_stream_converge(self):
+        """The paper's invariant: both paths produce the same store state."""
+        facts = [
+            entity_fact("entity:a", "predicate:occupation", "entity:o1"),
+            _dob("entity:a", "1990-01-01", confidence=0.9),
+        ]
+        batch_store = TripleStore()
+        BatchIngestor(batch_store, build_ontology()).ingest(
+            [KnowledgeSource(name="s", trust=1.0, facts=facts)]
+        )
+        stream_store = TripleStore()
+        ingestor = StreamIngestor(stream_store, build_ontology())
+        for i, fact in enumerate(facts):
+            stamped = fact.with_metadata(sources=("source:s",))
+            ingestor.apply(Delta(sequence=i, op=DeltaOp.UPSERT, fact=stamped))
+        assert {f.key for f in batch_store.scan()} == {f.key for f in stream_store.scan()}

@@ -1,0 +1,105 @@
+"""Tests for the synthetic KG generator."""
+
+from repro.common import ids
+from repro.kg.generator import (
+    SyntheticKGConfig,
+    generate_kg,
+    hold_out_facts,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self, kg):
+        other = generate_kg(SyntheticKGConfig(seed=7, scale=0.5))
+        assert {f.key for f in other.store.scan()} == {f.key for f in kg.store.scan()}
+        assert other.store.entity_ids() == kg.store.entity_ids()
+
+    def test_different_seed_differs(self, kg):
+        other = generate_kg(SyntheticKGConfig(seed=8, scale=0.5))
+        assert {f.key for f in other.store.scan()} != {f.key for f in kg.store.scan()}
+
+
+class TestStructure:
+    def test_scale_knob(self):
+        small = generate_kg(SyntheticKGConfig(seed=1, scale=0.2))
+        large = generate_kg(SyntheticKGConfig(seed=1, scale=0.6))
+        assert len(large.store) > len(small.store)
+
+    def test_every_fact_conforms_to_ontology(self, kg):
+        for fact in kg.store.scan():
+            assert kg.ontology.has_predicate(fact.predicate)
+            schema = kg.ontology.schema(fact.predicate)
+            assert schema.is_literal == fact.is_literal
+
+    def test_people_have_expected_facts(self, kg):
+        people = [r for r in kg.store.entities() if ids.type_id("person") in r.types]
+        assert people
+        for record in people[:20]:
+            assert kg.store.objects(record.entity, ids.predicate_id("occupation"))
+            assert kg.store.objects(record.entity, ids.predicate_id("date_of_birth"))
+
+    def test_popularity_skewed(self, kg):
+        pops = sorted((r.popularity for r in kg.store.entities()), reverse=True)
+        assert pops[0] > 10 * pops[-1]
+
+    def test_ambiguous_names_share_surface(self, kg):
+        assert kg.truth.ambiguous_names
+        for name, members in kg.truth.ambiguous_names.items():
+            assert len(members) >= 2
+            for entity in members:
+                assert kg.store.entity(entity).name == name
+
+    def test_occupation_order_primary_first(self, kg):
+        for person, order in list(kg.truth.occupation_order.items())[:20]:
+            stored = set(kg.store.objects(person, ids.predicate_id("occupation")))
+            assert set(order) <= stored
+            assert order[0] in stored
+
+    def test_noise_facts_are_low_confidence(self, kg):
+        assert kg.truth.noise_facts
+        for fact in kg.truth.noise_facts:
+            stored = kg.store.get(*fact.key)
+            assert stored is not None
+            assert stored.confidence <= 0.5
+
+    def test_related_truth_symmetric(self, kg):
+        for entity, related in kg.truth.related.items():
+            for other in related:
+                assert entity in kg.truth.related[other]
+
+    def test_stale_facts_recorded(self, kg):
+        assert kg.truth.stale_facts
+        for entity, predicate in kg.truth.stale_facts[:10]:
+            facts = list(kg.store.scan(subject=entity, predicate=predicate))
+            assert facts
+            assert facts[0].updated_at < kg.now - 2 * 365 * 24 * 3600
+
+
+class TestHoldOut:
+    def test_holdout_removes_from_deployed(self, kg):
+        deployed, held_out = hold_out_facts(kg, fraction=0.3, seed=5)
+        assert held_out
+        for fact in held_out:
+            assert fact.key not in deployed
+            assert kg.store.get(*fact.key) is not None
+
+    def test_holdout_preserves_other_facts(self, kg):
+        deployed, held_out = hold_out_facts(kg, fraction=0.3, seed=5)
+        held_keys = {fact.key for fact in held_out}
+        for fact in kg.store.scan():
+            if fact.key not in held_keys:
+                assert fact.key in deployed
+
+    def test_holdout_deterministic(self, kg):
+        _, a = hold_out_facts(kg, fraction=0.2, seed=9)
+        _, b = hold_out_facts(kg, fraction=0.2, seed=9)
+        assert [f.key for f in a] == [f.key for f in b]
+
+    def test_holdout_entities_kept(self, kg):
+        deployed, _ = hold_out_facts(kg, fraction=0.2, seed=9)
+        assert set(deployed.entity_ids()) == set(kg.store.entity_ids())
+
+    def test_zero_fraction(self, kg):
+        deployed, held_out = hold_out_facts(kg, fraction=0.0, seed=1)
+        assert held_out == []
+        assert len(deployed) == len(kg.store)

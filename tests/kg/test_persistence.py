@@ -1,0 +1,61 @@
+"""Tests for store save/load."""
+
+import pytest
+
+from repro.common.errors import StoreError
+from repro.kg.persistence import load_store, save_store
+from repro.kg.store import TripleStore
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self, kg, tmp_path):
+        counts = save_store(kg.store, tmp_path / "world")
+        assert counts["facts"] == len(kg.store)
+        loaded = load_store(tmp_path / "world")
+        assert loaded.name == kg.store.name
+        assert {f.key for f in loaded.scan()} == {f.key for f in kg.store.scan()}
+        assert set(loaded.entity_ids()) == set(kg.store.entity_ids())
+
+    def test_metadata_preserved(self, kg, tmp_path):
+        save_store(kg.store, tmp_path / "world")
+        loaded = load_store(tmp_path / "world")
+        original = next(iter(kg.store.scan()))
+        clone = loaded.get(*original.key)
+        assert clone is not None
+        assert clone.confidence == original.confidence
+        assert clone.sources == original.sources
+        assert clone.updated_at == original.updated_at
+
+    def test_entity_descriptors_preserved(self, kg, tmp_path):
+        save_store(kg.store, tmp_path / "world")
+        loaded = load_store(tmp_path / "world")
+        entity = kg.store.entity_ids()[0]
+        assert loaded.entity(entity) == kg.store.entity(entity)
+
+    def test_loaded_store_is_queryable(self, kg, tmp_path):
+        save_store(kg.store, tmp_path / "world")
+        loaded = load_store(tmp_path / "world")
+        person = next(
+            r.entity for r in kg.store.entities() if "type:person" in r.types
+        )
+        assert loaded.objects(person, "predicate:occupation") == kg.store.objects(
+            person, "predicate:occupation"
+        )
+
+
+class TestErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(StoreError):
+            load_store(tmp_path / "nothing")
+
+    def test_bad_format_version(self, tmp_path):
+        save_store(TripleStore(), tmp_path / "s")
+        meta = tmp_path / "s" / "meta.json"
+        meta.write_text('{"format_version": 99}', encoding="utf-8")
+        with pytest.raises(StoreError):
+            load_store(tmp_path / "s")
+
+    def test_empty_store_roundtrip(self, tmp_path):
+        save_store(TripleStore(name="empty"), tmp_path / "e")
+        loaded = load_store(tmp_path / "e")
+        assert len(loaded) == 0

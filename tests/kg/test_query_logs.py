@@ -1,0 +1,95 @@
+"""Tests for query-log synthesis and analysis."""
+
+from repro.common import ids
+from repro.kg.generator import SYNTHETIC_NOW
+from repro.kg.query_logs import QueryLogAnalyzer, QueryLogEntry, synthesize_query_log
+from repro.kg.store import EntityRecord, TripleStore
+from repro.kg.triple import LiteralType, literal_fact
+
+DOB = ids.predicate_id("date_of_birth")
+WEEK = 7 * 24 * 3600.0
+
+
+def _store_with_gap():
+    store = TripleStore()
+    store.upsert_entity(
+        EntityRecord(entity="entity:covered", name="C", popularity=0.9)
+    )
+    store.upsert_entity(
+        EntityRecord(entity="entity:missing", name="M", popularity=0.9)
+    )
+    store.add(
+        literal_fact("entity:covered", DOB, "1980-01-01", LiteralType.DATE)
+    )
+    return store
+
+
+class TestSynthesis:
+    def test_answered_reflects_store(self):
+        store = _store_with_gap()
+        log = synthesize_query_log(store, [DOB], 500, now=SYNTHETIC_NOW, seed=1)
+        for entry in log:
+            expected = bool(store.objects(entry.entity, DOB))
+            assert entry.answered == expected
+
+    def test_deterministic(self):
+        store = _store_with_gap()
+        a = synthesize_query_log(store, [DOB], 100, now=SYNTHETIC_NOW, seed=2)
+        b = synthesize_query_log(store, [DOB], 100, now=SYNTHETIC_NOW, seed=2)
+        assert a == b
+
+    def test_empty_inputs(self):
+        assert synthesize_query_log(TripleStore(), [DOB], 10, now=0.0) == []
+        assert synthesize_query_log(_store_with_gap(), [], 10, now=0.0) == []
+
+    def test_timestamps_in_window(self):
+        store = _store_with_gap()
+        log = synthesize_query_log(
+            store, [DOB], 50, now=SYNTHETIC_NOW, window_seconds=WEEK, seed=3
+        )
+        assert all(SYNTHETIC_NOW - WEEK <= e.timestamp <= SYNTHETIC_NOW for e in log)
+
+    def test_trending_burst_included(self):
+        store = _store_with_gap()
+        log = synthesize_query_log(
+            store, [DOB], 100, now=SYNTHETIC_NOW, seed=4,
+            trending_entities=["entity:missing"],
+        )
+        burst = [e for e in log if e.entity == "entity:missing"]
+        assert len(burst) >= 3
+
+
+class TestAnalyzer:
+    def test_unanswered_demand_ranked(self):
+        store = _store_with_gap()
+        log = synthesize_query_log(store, [DOB], 400, now=SYNTHETIC_NOW, seed=5)
+        demand = QueryLogAnalyzer(log).unanswered_demand()
+        assert demand, "expected unanswered demand for the gap entity"
+        assert demand[0].entity == "entity:missing"
+        assert demand[0].query_count >= demand[-1].query_count
+
+    def test_answer_rate(self):
+        entries = [
+            QueryLogEntry("entity:a", DOB, 0.0, True),
+            QueryLogEntry("entity:a", DOB, 1.0, False),
+        ]
+        assert QueryLogAnalyzer(entries).answer_rate() == 0.5
+        assert QueryLogAnalyzer([]).answer_rate() == 1.0
+
+    def test_min_count_filter(self):
+        entries = [QueryLogEntry("entity:a", DOB, 0.0, False)]
+        assert QueryLogAnalyzer(entries).unanswered_demand(min_count=2) == []
+
+    def test_trending_detection(self):
+        now = 1000.0 * WEEK
+        entries = []
+        # steady entity: equal traffic in both windows.
+        for i in range(4):
+            entries.append(QueryLogEntry("entity:steady", DOB, now - 1.5 * WEEK, True))
+            entries.append(QueryLogEntry("entity:steady", DOB, now - 0.5 * WEEK, True))
+        # spiking entity: traffic only in the recent window.
+        for i in range(6):
+            entries.append(QueryLogEntry("entity:spike", DOB, now - 0.2 * WEEK, True))
+        trending = QueryLogAnalyzer(entries).trending_entities(now, WEEK)
+        assert "entity:spike" in trending
+        assert "entity:steady" not in trending

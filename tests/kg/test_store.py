@@ -1,0 +1,151 @@
+"""Tests for the triple store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import StoreError
+from repro.kg.store import EntityRecord, TripleStore
+from repro.kg.triple import LiteralType, entity_fact, literal_fact
+
+
+@pytest.fixture()
+def store() -> TripleStore:
+    s = TripleStore()
+    s.upsert_entity(EntityRecord(entity="entity:a", name="A", popularity=0.9))
+    s.upsert_entity(EntityRecord(entity="entity:b", name="B", popularity=0.1))
+    s.add(entity_fact("entity:a", "predicate:knows", "entity:b"))
+    s.add(entity_fact("entity:b", "predicate:knows", "entity:a"))
+    s.add(literal_fact("entity:a", "predicate:height", 180, LiteralType.NUMBER))
+    return s
+
+
+class TestEntities:
+    def test_upsert_and_get(self, store):
+        assert store.entity("entity:a").name == "A"
+
+    def test_unknown_entity_raises(self, store):
+        with pytest.raises(StoreError):
+            store.entity("entity:zzz")
+
+    def test_bad_entity_id_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.upsert_entity(EntityRecord(entity="doc:x", name="X"))
+
+    def test_entity_ids(self, store):
+        assert set(store.entity_ids()) == {"entity:a", "entity:b"}
+
+
+class TestFacts:
+    def test_add_and_get(self, store):
+        assert store.get("entity:a", "predicate:knows", "entity:b") is not None
+
+    def test_len(self, store):
+        assert len(store) == 3
+
+    def test_contains(self, store):
+        assert ("entity:a", "predicate:knows", "entity:b") in store
+
+    def test_remove(self, store):
+        assert store.remove("entity:a", "predicate:knows", "entity:b")
+        assert not store.remove("entity:a", "predicate:knows", "entity:b")
+        assert len(store) == 2
+
+    def test_upsert_merges_metadata(self, store):
+        first = entity_fact(
+            "entity:a", "predicate:knows", "entity:b",
+            confidence=0.4, sources=("source:x",), updated_at=1.0,
+        )
+        second = entity_fact(
+            "entity:a", "predicate:knows", "entity:b",
+            confidence=0.8, sources=("source:y",), updated_at=2.0,
+        )
+        store.add(first)
+        merged = store.add(second)
+        assert merged.confidence == 1.0  # fixture fact had confidence 1.0
+        assert "source:x" in merged.sources and "source:y" in merged.sources
+        assert merged.updated_at == 2.0
+        assert len(store) == 3  # no duplicate edge
+
+    def test_version_advances(self, store):
+        before = store.version
+        store.add(entity_fact("entity:b", "predicate:likes", "entity:a"))
+        assert store.version > before
+
+
+class TestScans:
+    def test_scan_full_wildcard(self, store):
+        assert len(list(store.scan())) == 3
+
+    def test_scan_by_subject(self, store):
+        facts = list(store.scan(subject="entity:a"))
+        assert len(facts) == 2
+
+    def test_scan_by_predicate(self, store):
+        facts = list(store.scan(predicate="predicate:knows"))
+        assert len(facts) == 2
+
+    def test_scan_by_object(self, store):
+        facts = list(store.scan(obj="entity:b"))
+        assert {fact.subject for fact in facts} == {"entity:a"}
+
+    def test_scan_exact(self, store):
+        facts = list(store.scan("entity:a", "predicate:knows", "entity:b"))
+        assert len(facts) == 1
+
+    def test_scan_subject_predicate(self, store):
+        facts = list(store.scan(subject="entity:a", predicate="predicate:height"))
+        assert facts[0].obj == "180"
+
+    def test_objects_and_subjects(self, store):
+        assert store.objects("entity:a", "predicate:knows") == ["entity:b"]
+        assert store.subjects("predicate:knows", "entity:a") == ["entity:b"]
+
+    def test_predicate_counts(self, store):
+        counts = store.predicate_counts()
+        assert counts["predicate:knows"] == 2
+        assert counts["predicate:height"] == 1
+
+    def test_degrees(self, store):
+        assert store.out_degree("entity:a") == 2
+        assert store.in_degree("entity:a") == 1  # only entity-valued in-edges
+
+    def test_neighbors_undirected(self, store):
+        assert store.neighbors("entity:a") == {"entity:b"}
+        assert store.neighbors("entity:b") == {"entity:a"}
+
+    def test_stats(self, store):
+        stats = store.stats()
+        assert stats.num_entities == 2
+        assert stats.num_facts == 3
+        assert stats.num_literal_facts == 1
+
+
+class TestRemoveConsistency:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove"]),
+                st.sampled_from(["entity:x", "entity:y", "entity:z"]),
+                st.sampled_from(["entity:x", "entity:y", "entity:z"]),
+            ),
+            max_size=30,
+        )
+    )
+    def test_property_indexes_stay_consistent(self, ops):
+        """After arbitrary add/remove, all three indexes agree with a model set."""
+        store = TripleStore()
+        model: set[tuple[str, str, str]] = set()
+        for op, subj, obj in ops:
+            if op == "add":
+                store.add(entity_fact(subj, "predicate:p", obj))
+                model.add((subj, "predicate:p", obj))
+            else:
+                store.remove(subj, "predicate:p", obj)
+                model.discard((subj, "predicate:p", obj))
+        assert {fact.key for fact in store.scan()} == model
+        for subj, pred, obj in model:
+            assert obj in store.objects(subj, pred)
+            assert subj in store.subjects(pred, obj)
+        assert len(store) == len(model)

@@ -1,0 +1,156 @@
+"""Tests for evidence grouping and the corroboration model."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ExtractionError
+from repro.odke.corroboration import (
+    FEATURE_NAMES,
+    EvidenceGroup,
+    LabeledGroup,
+    featurize_group,
+    group_candidates,
+    majority_vote,
+    select_best_per_target,
+    train_corroboration_model,
+)
+from repro.odke.extractors.base import CandidateFact
+
+
+def _candidate(value="1979-07-23", extractor="pattern", confidence=0.6,
+               doc_id="doc:web/1", quality=0.5, ts=100.0):
+    return CandidateFact(
+        entity="entity:mw", predicate="predicate:date_of_birth", value=value,
+        extractor=extractor, confidence=confidence, doc_id=doc_id,
+        source_quality=quality, doc_timestamp=ts,
+    )
+
+
+class TestGrouping:
+    def test_groups_by_value_case_insensitive(self):
+        groups = group_candidates([
+            _candidate(value="Lakemont"), _candidate(value="lakemont"),
+            _candidate(value="Rivergate"),
+        ])
+        assert len(groups) == 2
+        by_value = {g.value.lower(): g for g in groups}
+        assert by_value["lakemont"].support == 2
+
+    def test_distinct_docs_and_extractors(self):
+        group = group_candidates([
+            _candidate(doc_id="doc:web/1", extractor="pattern"),
+            _candidate(doc_id="doc:web/1", extractor="neural"),
+            _candidate(doc_id="doc:web/2", extractor="pattern"),
+        ])[0]
+        assert group.support == 3
+        assert group.distinct_docs == 2
+        assert group.extractors == {"pattern", "neural"}
+
+    def test_empty(self):
+        assert group_candidates([]) == []
+
+
+class TestFeatures:
+    def test_feature_vector_shape(self):
+        group = group_candidates([_candidate()])[0]
+        features = featurize_group(group, total_support=1, now=200.0)
+        assert features.shape == (len(FEATURE_NAMES),)
+
+    def test_structured_flag(self):
+        group = group_candidates([_candidate(extractor="structured")])[0]
+        features = featurize_group(group, 1, 200.0)
+        assert features[FEATURE_NAMES.index("has_structured")] == 1.0
+
+    def test_agreement_ratio(self):
+        group = group_candidates([_candidate(), _candidate(doc_id="doc:web/2")])[0]
+        features = featurize_group(group, total_support=4, now=200.0)
+        assert features[FEATURE_NAMES.index("agreement_ratio")] == pytest.approx(0.5)
+
+    def test_recency_decays(self):
+        fresh = group_candidates([_candidate(ts=200.0)])[0]
+        old = group_candidates([_candidate(ts=-1e9)])[0]
+        idx = FEATURE_NAMES.index("recency")
+        assert featurize_group(fresh, 1, 200.0)[idx] > featurize_group(old, 1, 200.0)[idx]
+
+
+def _training_data(n=60, seed=0):
+    """Synthetic separable data: correct groups have higher support/quality."""
+    rng = np.random.default_rng(seed)
+    examples = []
+    for i in range(n):
+        label = bool(i % 2)
+        support = rng.integers(3, 8) if label else rng.integers(1, 3)
+        quality = 0.9 if label else 0.3
+        candidates = [
+            _candidate(doc_id=f"doc:web/{i}-{j}", quality=quality,
+                       extractor="structured" if label and j == 0 else "pattern")
+            for j in range(int(support))
+        ]
+        group = group_candidates(candidates)[0]
+        examples.append(
+            LabeledGroup(
+                features=featurize_group(group, int(support) + 2, 200.0),
+                label=label,
+            )
+        )
+    return examples
+
+
+class TestModel:
+    def test_learns_separable_data(self):
+        examples = _training_data()
+        model = train_corroboration_model(examples)
+        correct = sum(
+            1 for example in examples
+            if (model.probability(example.features) >= 0.5) == example.label
+        )
+        assert correct / len(examples) > 0.9
+
+    def test_probability_in_unit_interval(self):
+        model = train_corroboration_model(_training_data())
+        for example in _training_data(seed=1):
+            assert 0.0 <= model.probability(example.features) <= 1.0
+
+    def test_feature_importance_keys(self):
+        model = train_corroboration_model(_training_data())
+        assert set(model.feature_importance()) == set(FEATURE_NAMES)
+
+    def test_rejects_empty_or_single_class(self):
+        with pytest.raises(ExtractionError):
+            train_corroboration_model([])
+        same = [LabeledGroup(features=np.ones(len(FEATURE_NAMES)), label=True)] * 4
+        with pytest.raises(ExtractionError):
+            train_corroboration_model(same)
+
+    def test_score_groups_per_target_totals(self):
+        model = train_corroboration_model(_training_data())
+        groups = group_candidates([
+            _candidate(value="A"), _candidate(value="A"), _candidate(value="B"),
+        ])
+        scored = model.score_groups(groups, now=200.0)
+        assert len(scored) == 2
+
+
+class TestSelection:
+    def test_majority_vote_shares(self):
+        groups = group_candidates([
+            _candidate(value="A"), _candidate(value="A"), _candidate(value="B"),
+        ])
+        scored = dict(
+            (g.value, p) for g, p in majority_vote(groups)
+        )
+        assert scored["A"] == pytest.approx(2 / 3)
+        assert scored["B"] == pytest.approx(1 / 3)
+
+    def test_select_best_per_target(self):
+        groups = group_candidates([
+            _candidate(value="A"), _candidate(value="A"), _candidate(value="B"),
+        ])
+        accepted = select_best_per_target(majority_vote(groups), min_probability=0.5)
+        assert len(accepted) == 1
+        assert accepted[0][0].value == "A"
+
+    def test_threshold_filters(self):
+        groups = group_candidates([_candidate(value="A"), _candidate(value="B")])
+        accepted = select_best_per_target(majority_vote(groups), min_probability=0.9)
+        assert accepted == []

@@ -1,0 +1,192 @@
+"""Tests for the three extractor tiers."""
+
+import pytest
+
+from repro.common import ids
+from repro.odke.extractors import (
+    AnnotationGuidedExtractor,
+    PatternExtractor,
+    StructuredDataExtractor,
+    normalize_date,
+)
+from repro.odke.gaps import ExtractionTarget
+from repro.web.document import WebDocument
+
+DOB = ids.predicate_id("date_of_birth")
+POB = ids.predicate_id("place_of_birth")
+
+
+class TestNormalizeDate:
+    def test_iso_passthrough(self):
+        assert normalize_date("1979-07-23") == "1979-07-23"
+
+    def test_long_format(self):
+        assert normalize_date("July 23, 1979") == "1979-07-23"
+
+    def test_single_digit_day(self):
+        assert normalize_date("March 5, 2001") == "2001-03-05"
+
+    def test_garbage_none(self):
+        assert normalize_date("sometime in the 80s") is None
+        assert normalize_date("Juplember 5, 2001") is None
+
+
+def _target(kg, predicate=DOB):
+    person = next(
+        r for r in kg.store.entities() if ids.type_id("person") in r.types
+    )
+    return person, ExtractionTarget(entity=person.entity, predicate=predicate, priority=1.0)
+
+
+class TestStructuredExtractor:
+    def test_extracts_matching_payload(self, kg):
+        person, target = _target(kg)
+        doc = WebDocument(
+            doc_id="doc:web/t1", url="u", title=person.name, text="",
+            structured_data={"@type": "Person", "name": person.name,
+                             "birthDate": "1980-02-03"},
+            quality=0.9,
+        )
+        facts = StructuredDataExtractor(kg.store).extract(doc, target)
+        assert len(facts) == 1
+        assert facts[0].value == "1980-02-03"
+        assert facts[0].extractor == "structured"
+
+    def test_name_mismatch_rejected(self, kg):
+        person, target = _target(kg)
+        doc = WebDocument(
+            doc_id="doc:web/t2", url="u", title="x", text="",
+            structured_data={"@type": "Person", "name": "Somebody Else",
+                             "birthDate": "1980-02-03"},
+        )
+        assert StructuredDataExtractor(kg.store).extract(doc, target) == []
+
+    def test_no_payload_no_facts(self, kg):
+        person, target = _target(kg)
+        doc = WebDocument(doc_id="doc:web/t3", url="u", title=person.name, text="")
+        assert StructuredDataExtractor(kg.store).extract(doc, target) == []
+
+    def test_unparseable_date_skipped(self, kg):
+        person, target = _target(kg)
+        doc = WebDocument(
+            doc_id="doc:web/t4", url="u", title=person.name, text="",
+            structured_data={"@type": "Person", "name": person.name,
+                             "birthDate": "long ago"},
+        )
+        assert StructuredDataExtractor(kg.store).extract(doc, target) == []
+
+    def test_list_values(self, kg):
+        person, target = _target(kg, predicate=ids.predicate_id("occupation"))
+        doc = WebDocument(
+            doc_id="doc:web/t5", url="u", title=person.name, text="",
+            structured_data={"@type": "Person", "name": person.name,
+                             "jobTitle": ["actor", "singer"]},
+        )
+        facts = StructuredDataExtractor(kg.store).extract(doc, target)
+        assert {f.value for f in facts} == {"actor", "singer"}
+
+
+class TestPatternExtractor:
+    def test_born_on_iso(self, kg):
+        person, target = _target(kg)
+        doc = WebDocument(
+            doc_id="doc:web/p1", url="u", title="t",
+            text=f"{person.name} was born on 1975-12-01 in a small town.",
+        )
+        facts = PatternExtractor(kg.store).extract(doc, target)
+        assert facts and facts[0].value == "1975-12-01"
+
+    def test_born_on_long_date(self, kg):
+        person, target = _target(kg)
+        doc = WebDocument(
+            doc_id="doc:web/p2", url="u", title="t",
+            text=f"{person.name} was born on December 1, 1975. ",
+        )
+        facts = PatternExtractor(kg.store).extract(doc, target)
+        assert facts and facts[0].value == "1975-12-01"
+
+    def test_place_pattern(self, kg):
+        person, target = _target(kg, POB)
+        doc = WebDocument(
+            doc_id="doc:web/p3", url="u", title="t",
+            text=f"{person.name} was born in Lakemont. ",
+        )
+        facts = PatternExtractor(kg.store).extract(doc, target)
+        assert facts and facts[0].value == "Lakemont"
+
+    def test_spanish_pattern(self, kg):
+        person, target = _target(kg, POB)
+        doc = WebDocument(
+            doc_id="doc:web/p4", url="u", title="t", language="es",
+            text=f"{person.name} nació en Lakemont. ",
+        )
+        facts = PatternExtractor(kg.store).extract(doc, target)
+        assert facts and facts[0].value == "Lakemont"
+
+    def test_alias_anchor_lower_confidence(self, kg):
+        person, target = _target(kg)
+        alias = person.aliases[-1]
+        doc_full = WebDocument(
+            doc_id="doc:web/p5", url="u", title="t",
+            text=f"{person.name} was born on 1975-12-01. ",
+        )
+        doc_alias = WebDocument(
+            doc_id="doc:web/p6", url="u", title="t",
+            text=f"{alias} was born on 1975-12-01. ",
+        )
+        extractor = PatternExtractor(kg.store)
+        full_conf = extractor.extract(doc_full, target)[0].confidence
+        alias_conf = extractor.extract(doc_alias, target)[0].confidence
+        assert alias_conf < full_conf
+
+    def test_no_match_no_facts(self, kg):
+        person, target = _target(kg)
+        doc = WebDocument(doc_id="doc:web/p7", url="u", title="t",
+                          text="Nothing biographical here.")
+        assert PatternExtractor(kg.store).extract(doc, target) == []
+
+
+class TestAnnotationGuidedExtractor:
+    def test_date_near_anchor(self, kg, full_annotation_pipeline):
+        person, target = _target(kg)
+        text = f"{person.name} was born on 1975-12-01 and grew up nearby."
+        doc = WebDocument(doc_id="doc:web/n1", url="u", title="t", text=text)
+        links = full_annotation_pipeline.annotate(text)
+        facts = AnnotationGuidedExtractor().extract_with_links(doc, target, links)
+        assert facts and facts[0].value == "1975-12-01"
+        assert facts[0].extractor == "neural"
+
+    def test_no_trigger_no_extraction(self, kg, full_annotation_pipeline):
+        person, target = _target(kg)
+        text = f"{person.name} had dinner on 1975-12-01 with friends."
+        # 'dinner' is not a DOB trigger ('born', 'birthday', 'birth')... but
+        # wait: the window only needs a trigger word; none here.
+        doc = WebDocument(doc_id="doc:web/n2", url="u", title="t", text=text)
+        links = full_annotation_pipeline.annotate(text)
+        facts = AnnotationGuidedExtractor().extract_with_links(doc, target, links)
+        assert facts == []
+
+    def test_entity_valued_place(self, kg, full_annotation_pipeline):
+        person, target = _target(kg, POB)
+        city = next(
+            r for r in kg.store.entities() if ids.type_id("city") in r.types
+        )
+        text = f"{person.name} was born in {city.name} many years ago."
+        doc = WebDocument(doc_id="doc:web/n3", url="u", title="t", text=text)
+        links = full_annotation_pipeline.annotate(text)
+        facts = AnnotationGuidedExtractor().extract_with_links(doc, target, links)
+        assert any(f.value == city.name for f in facts)
+
+    def test_anchor_required(self, kg, full_annotation_pipeline):
+        person, target = _target(kg)
+        text = "Somebody Unknown was born on 1975-12-01."
+        doc = WebDocument(doc_id="doc:web/n4", url="u", title="t", text=text)
+        links = full_annotation_pipeline.annotate(text)
+        facts = AnnotationGuidedExtractor().extract_with_links(doc, target, links)
+        assert facts == []
+
+    def test_plain_extract_returns_nothing(self, kg):
+        person, target = _target(kg)
+        doc = WebDocument(doc_id="doc:web/n5", url="u", title="t",
+                          text=f"{person.name} was born on 1975-12-01.")
+        assert AnnotationGuidedExtractor().extract(doc, target) == []

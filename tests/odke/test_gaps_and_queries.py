@@ -1,0 +1,143 @@
+"""Tests for gap detection and query synthesis."""
+
+import pytest
+
+from repro.common import ids
+from repro.kg.generator import hold_out_facts
+from repro.kg.query_logs import synthesize_query_log
+from repro.odke.gaps import ExtractionTarget, GapDetector
+from repro.odke.query_synthesizer import QuerySynthesizer
+
+DOB = ids.predicate_id("date_of_birth")
+POB = ids.predicate_id("place_of_birth")
+
+
+@pytest.fixture(scope="module")
+def deployed(kg):
+    store, held_out = hold_out_facts(kg, fraction=0.3, seed=11)
+    return store, held_out
+
+
+class TestGapDetector:
+    def test_proactive_finds_held_out_gaps(self, kg, deployed):
+        store, held_out = deployed
+        detector = GapDetector(store, kg.ontology, now=kg.now)
+        targets = {t.key for t in detector.proactive_targets()}
+        held_keys = {
+            (f.subject, f.predicate) for f in held_out if f.predicate in (DOB, POB)
+        }
+        # Every held-out expected-predicate fact shows up as a gap.
+        assert held_keys <= targets
+
+    def test_reactive_requires_min_queries(self, kg, deployed):
+        store, _ = deployed
+        log = synthesize_query_log(store, [DOB], 800, now=kg.now, seed=2)
+        detector = GapDetector(store, kg.ontology, now=kg.now, query_log=log)
+        strict = detector.reactive_targets(min_queries=3)
+        loose = detector.reactive_targets(min_queries=1)
+        assert len(strict) <= len(loose)
+        assert all(t.origin == "reactive" for t in loose)
+
+    def test_stale_targets_flag_volatile_facts(self, kg):
+        detector = GapDetector(kg.store, kg.ontology, now=kg.now)
+        stale = detector.stale_targets()
+        assert stale
+        assert all(t.kind == "stale" for t in stale)
+        stale_truth = set(kg.truth.stale_facts)
+        assert {t.key for t in stale} <= stale_truth | {t.key for t in stale}
+
+    def test_trending_targets(self, kg, deployed):
+        store, held_out = deployed
+        gap_entity = next(f.subject for f in held_out if f.predicate == DOB)
+        log = synthesize_query_log(
+            store, [DOB], 300, now=kg.now, seed=3, trending_entities=[gap_entity]
+        )
+        detector = GapDetector(store, kg.ontology, now=kg.now, query_log=log)
+        trending = detector.trending_targets()
+        assert any(t.entity == gap_entity for t in trending)
+
+    def test_merged_targets_deduplicated_and_ranked(self, kg, deployed):
+        store, _ = deployed
+        log = synthesize_query_log(store, [DOB, POB], 500, now=kg.now, seed=4)
+        detector = GapDetector(store, kg.ontology, now=kg.now, query_log=log)
+        targets = detector.all_targets()
+        keys = [t.key for t in targets]
+        assert len(keys) == len(set(keys))
+        priorities = [t.priority for t in targets]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_max_targets(self, kg, deployed):
+        store, _ = deployed
+        detector = GapDetector(store, kg.ontology, now=kg.now)
+        assert len(detector.all_targets(max_targets=5)) == 5
+
+    def test_multi_path_targets_boosted(self, kg, deployed):
+        """A gap found by both reactive and proactive paths outranks a
+        proactive-only gap of the same entity popularity."""
+        store, held_out = deployed
+        gap_entity = next(f.subject for f in held_out if f.predicate == DOB)
+        log = synthesize_query_log(
+            store, [DOB], 50, now=kg.now, seed=5, trending_entities=[gap_entity]
+        )
+        detector = GapDetector(store, kg.ontology, now=kg.now, query_log=log)
+        merged = {t.key: t for t in detector.all_targets()}
+        target = merged.get((gap_entity, DOB))
+        assert target is not None
+        assert "+" in target.origin or target.origin in ("reactive", "proactive")
+
+
+class TestQuerySynthesizer:
+    def test_queries_contain_name(self, kg):
+        synthesizer = QuerySynthesizer(kg.store)
+        person = next(
+            r for r in kg.store.entities() if ids.type_id("person") in r.types
+        )
+        queries = synthesizer.synthesize(
+            ExtractionTarget(entity=person.entity, predicate=DOB, priority=1.0)
+        )
+        assert queries
+        assert all(person.name in q.text for q in queries)
+
+    def test_queries_per_target_limit(self, kg):
+        synthesizer = QuerySynthesizer(kg.store, queries_per_target=2)
+        person = next(
+            r for r in kg.store.entities() if ids.type_id("person") in r.types
+        )
+        queries = synthesizer.synthesize(
+            ExtractionTarget(entity=person.entity, predicate=DOB, priority=1.0)
+        )
+        assert len(queries) == 2
+
+    def test_type_hint_appended_for_athletes(self, kg):
+        synthesizer = QuerySynthesizer(kg.store)
+        player = next(
+            (r for r in kg.store.entities()
+             if ids.type_id("basketball_player") in r.types),
+            None,
+        )
+        if player is None:
+            pytest.skip("no basketball player at this scale")
+        queries = synthesizer.synthesize(
+            ExtractionTarget(entity=player.entity, predicate=DOB, priority=1.0)
+        )
+        assert all(q.text.endswith("basketball") for q in queries)
+
+    def test_unknown_entity_no_queries(self, kg):
+        synthesizer = QuerySynthesizer(kg.store)
+        assert synthesizer.synthesize(
+            ExtractionTarget(entity="entity:ghost", predicate=DOB, priority=1.0)
+        ) == []
+
+    def test_default_template_for_unmapped_predicate(self, kg):
+        synthesizer = QuerySynthesizer(kg.store)
+        person = next(
+            r for r in kg.store.entities() if ids.type_id("person") in r.types
+        )
+        queries = synthesizer.synthesize(
+            ExtractionTarget(
+                entity=person.entity,
+                predicate=ids.predicate_id("height_cm"),
+                priority=1.0,
+            )
+        )
+        assert queries

@@ -1,0 +1,214 @@
+"""End-to-end ODKE tests: retrieval → extraction → corroboration → fusion."""
+
+import pytest
+
+from repro.annotation.pipeline import make_pipeline
+from repro.common import ids
+from repro.kg.generator import hold_out_facts
+from repro.odke.fusion import FusionEngine
+from repro.odke.gaps import ExtractionTarget, GapDetector
+from repro.odke.pipeline import (
+    ODKEConfig,
+    ODKEPipeline,
+    build_training_examples,
+)
+from repro.odke.corroboration import EvidenceGroup, train_corroboration_model
+from repro.odke.retrieval import TargetRetriever
+from repro.odke.query_synthesizer import QuerySynthesizer
+
+DOB = ids.predicate_id("date_of_birth")
+POB = ids.predicate_id("place_of_birth")
+
+
+@pytest.fixture(scope="module")
+def odke_world(kg, corpus, search_engine):
+    """Deployed KG with gaps + annotation pipeline over it."""
+    deployed, held_out = hold_out_facts(kg, fraction=0.3, seed=13)
+    annotation = make_pipeline(deployed, tier="full")
+    truth = {}
+    for fact in held_out:
+        if fact.predicate == DOB:
+            truth[(fact.subject, fact.predicate)] = fact.obj
+        elif fact.predicate == POB:
+            truth[(fact.subject, fact.predicate)] = kg.store.entity(fact.obj).name
+    targets = [
+        ExtractionTarget(entity=entity, predicate=predicate, priority=1.0)
+        for (entity, predicate) in sorted(truth)
+    ]
+    return deployed, annotation, truth, targets
+
+
+class TestRetrieval:
+    def test_retrieves_relevant_docs(self, kg, search_engine, odke_world):
+        deployed, _, _, targets = odke_world
+        retriever = TargetRetriever(search_engine, QuerySynthesizer(deployed))
+        # Pick a target whose entity has a profile page (popular entity).
+        popular = max(
+            targets,
+            key=lambda t: deployed.entity(t.entity).popularity,
+        )
+        retrieved = retriever.retrieve(popular)
+        assert retrieved
+        name = deployed.entity(popular.entity).name
+        assert any(name in item.document.full_text for item in retrieved)
+
+    def test_dedup_across_queries(self, search_engine, odke_world):
+        deployed, _, _, targets = odke_world
+        retriever = TargetRetriever(search_engine, QuerySynthesizer(deployed))
+        retrieved = retriever.retrieve(targets[0])
+        doc_ids = [item.document.doc_id for item in retrieved]
+        assert len(doc_ids) == len(set(doc_ids))
+
+    def test_max_docs_cap(self, search_engine, odke_world):
+        deployed, _, _, targets = odke_world
+        retriever = TargetRetriever(
+            search_engine, QuerySynthesizer(deployed), max_docs_per_target=3
+        )
+        assert len(retriever.retrieve(targets[0])) <= 3
+
+
+class TestPipeline:
+    def test_majority_run_recovers_facts(self, kg, search_engine, odke_world):
+        deployed, annotation, truth, targets = odke_world
+        pipeline = ODKEPipeline(
+            deployed, kg.ontology, search_engine, annotation,
+            config=ODKEConfig(use_trained_model=False), now=kg.now,
+        )
+        report = pipeline.run(targets[:40], fuse=False)
+        assert report.candidates_extracted > 0
+        assert report.accepted > 0
+        correct = sum(
+            1 for key, (value, _p) in report.accepted_values.items()
+            if truth.get(key, "").lower() == value.lower()
+        )
+        assert correct > 0
+
+    def test_trained_model_beats_majority_precision(self, kg, search_engine, odke_world):
+        """The §4 claim: the trained evidence model is more precise than
+        support-count majority voting."""
+        deployed, annotation, truth, targets = odke_world
+        train_targets = targets[::2][:40]
+        eval_targets = targets[1::2][:40]
+
+        base = ODKEPipeline(
+            deployed, kg.ontology, search_engine, annotation,
+            config=ODKEConfig(use_trained_model=False), now=kg.now,
+        )
+        examples = build_training_examples(base, train_targets, truth)
+        assert any(e.label for e in examples) and any(not e.label for e in examples)
+        model = train_corroboration_model(examples)
+
+        def precision(pipeline):
+            report = pipeline.run(eval_targets, fuse=False)
+            if not report.accepted:
+                return 0.0, 0
+            correct = sum(
+                1 for key, (value, _p) in report.accepted_values.items()
+                if truth.get(key, "").lower() == value.lower()
+            )
+            return correct / report.accepted, report.accepted
+
+        trained_pipeline = ODKEPipeline(
+            deployed, kg.ontology, search_engine, annotation,
+            corroboration_model=model, now=kg.now,
+        )
+        majority_pipeline = ODKEPipeline(
+            deployed, kg.ontology, search_engine, annotation,
+            config=ODKEConfig(use_trained_model=False), now=kg.now,
+        )
+        trained_precision, trained_n = precision(trained_pipeline)
+        majority_precision, _ = precision(majority_pipeline)
+        assert trained_n > 0
+        assert trained_precision >= majority_precision
+
+    def test_fusion_writes_to_store(self, kg, search_engine, odke_world):
+        deployed, annotation, truth, targets = odke_world
+        before = len(deployed)
+        pipeline = ODKEPipeline(
+            deployed, kg.ontology, search_engine, annotation,
+            config=ODKEConfig(use_trained_model=False), now=kg.now,
+        )
+        report = pipeline.run(targets[:20], fuse=True)
+        assert report.fusion is not None
+        if report.fusion.written:
+            assert len(deployed) > before
+            # Written facts carry ODKE provenance.
+            fact = report.fusion.facts[0]
+            stored = deployed.get(*fact.key)
+            assert stored is not None
+            assert any("odke" in source for source in stored.sources)
+
+    def test_annotation_cache_reused(self, kg, search_engine, odke_world):
+        deployed, annotation, truth, targets = odke_world
+        pipeline = ODKEPipeline(
+            deployed, kg.ontology, search_engine, annotation,
+            config=ODKEConfig(use_trained_model=False), now=kg.now,
+        )
+        pipeline.run(targets[:10], fuse=False)
+        misses_first = pipeline.metrics.counters.get("annotation.cache_miss", 0)
+        pipeline.run(targets[:10], fuse=False)
+        misses_second = pipeline.metrics.counters.get("annotation.cache_miss", 0)
+        assert misses_second == misses_first  # all hits on the second pass
+
+
+class TestFusionEngine:
+    def test_literal_fused_with_datatype(self, kg):
+        from repro.kg.store import TripleStore
+
+        store = TripleStore()
+        store.copy_entities_from(kg.store)
+        engine = FusionEngine(store, kg.ontology)
+        person = next(
+            r.entity for r in kg.store.entities() if ids.type_id("person") in r.types
+        )
+        group = EvidenceGroup(entity=person, predicate=DOB, value="1980-01-01")
+        report = engine.fuse([(group, 0.9)], now=kg.now)
+        assert report.written == 1
+        fact = store.get(person, DOB, "1980-01-01")
+        assert fact is not None and fact.is_literal
+
+    def test_entity_value_resolved_via_alias(self, kg):
+        from repro.kg.store import TripleStore
+
+        store = TripleStore()
+        store.copy_entities_from(kg.store)
+        engine = FusionEngine(store, kg.ontology)
+        person = next(
+            r.entity for r in kg.store.entities() if ids.type_id("person") in r.types
+        )
+        city = next(
+            r for r in kg.store.entities() if ids.type_id("city") in r.types
+        )
+        group = EvidenceGroup(entity=person, predicate=POB, value=city.name)
+        report = engine.fuse([(group, 0.8)], now=kg.now)
+        assert report.written == 1
+        assert city.entity in store.objects(person, POB)
+
+    def test_unresolvable_entity_value_counted(self, kg):
+        from repro.kg.store import TripleStore
+
+        store = TripleStore()
+        store.copy_entities_from(kg.store)
+        engine = FusionEngine(store, kg.ontology)
+        person = next(
+            r.entity for r in kg.store.entities() if ids.type_id("person") in r.types
+        )
+        group = EvidenceGroup(entity=person, predicate=POB, value="Atlantis Prime")
+        report = engine.fuse([(group, 0.8)], now=kg.now)
+        assert report.written == 0
+        assert report.unresolved_entity_values == 1
+
+    def test_unknown_predicate_rejected(self, kg):
+        from repro.kg.store import TripleStore
+
+        store = TripleStore()
+        store.copy_entities_from(kg.store)
+        engine = FusionEngine(store, kg.ontology)
+        person = next(
+            r.entity for r in kg.store.entities() if ids.type_id("person") in r.types
+        )
+        group = EvidenceGroup(
+            entity=person, predicate="predicate:made_up", value="x"
+        )
+        report = engine.fuse([(group, 0.8)], now=kg.now)
+        assert report.schema_rejections == 1

@@ -1,0 +1,172 @@
+"""Tests for global enrichment paths and model compression."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DeviceError
+from repro.kg.store import TripleStore
+from repro.ondevice.compression import (
+    FP16,
+    FP32,
+    INT8,
+    knn_overlap,
+    quantize_vectors,
+    random_projection,
+    sweep_compression,
+)
+from repro.ondevice.enrichment import (
+    EnrichmentPlanner,
+    EnrichmentPlannerConfig,
+    GlobalKnowledgeServer,
+    dp_count_query,
+)
+
+
+@pytest.fixture(scope="module")
+def server(kg):
+    return GlobalKnowledgeServer(kg.store)
+
+
+class TestStaticAsset:
+    def test_popular_entities_included(self, kg, server):
+        asset, size = server.build_static_asset(top_k=50)
+        assert size > 0
+        ranked = sorted(kg.store.entities(), key=lambda r: -r.popularity)
+        top_entity = ranked[0].entity
+        assert asset.has_entity(top_entity)
+
+    def test_asset_size_grows_with_k(self, server):
+        _, small = server.build_static_asset(top_k=20)
+        _, large = server.build_static_asset(top_k=200)
+        assert large > small
+
+
+class TestEnrichmentPlanner:
+    def test_paths_partition_coverage(self, kg, server):
+        needed = sorted(kg.store.entity_ids())[:60]
+        planner = EnrichmentPlanner(
+            server, EnrichmentPlannerConfig(static_asset_top_k=80, pir_budget_bytes=10**9)
+        )
+        report = planner.enrich(needed, interaction_entities=set(needed[:10]))
+        covered = report.covered_static + report.covered_piggyback + report.covered_pir
+        assert covered <= report.needed
+        assert report.coverage == pytest.approx(covered / report.needed)
+
+    def test_only_interaction_entities_revealed(self, kg, server):
+        """Privacy invariant: static + PIR reveal nothing; only piggyback
+        entities (already user-initiated) appear in revealed_entities."""
+        needed = sorted(kg.store.entity_ids())[:40]
+        interaction = set(needed[5:10])
+        planner = EnrichmentPlanner(
+            server, EnrichmentPlannerConfig(static_asset_top_k=10, pir_budget_bytes=10**9)
+        )
+        report = planner.enrich(needed, interaction_entities=interaction)
+        assert set(report.revealed_entities) <= interaction
+
+    def test_pir_budget_caps_spending(self, kg, server):
+        needed = sorted(kg.store.entity_ids())[:50]
+        tight = EnrichmentPlanner(
+            server,
+            EnrichmentPlannerConfig(static_asset_top_k=5, pir_budget_bytes=1),
+        )
+        report = tight.enrich(needed, interaction_entities=set())
+        # One PIR fetch may land before the budget check trips; never more
+        # than budget + one block.
+        assert report.covered_pir <= 1
+
+    def test_pir_more_expensive_than_piggyback(self, kg, server):
+        entity = sorted(kg.store.entity_ids())[0]
+        _, piggy_cost = server.piggyback(entity)
+        _, pir_cost = server.pir_fetch(entity)
+        assert pir_cost > piggy_cost
+
+    def test_facts_installed_on_device(self, kg, server):
+        needed = sorted(kg.store.entity_ids())[:20]
+        device_store = TripleStore("device")
+        planner = EnrichmentPlanner(
+            server,
+            EnrichmentPlannerConfig(static_asset_top_k=100, pir_budget_bytes=10**9),
+        )
+        report = planner.enrich(needed, interaction_entities=set(), device_store=device_store)
+        covered = report.covered_static + report.covered_pir
+        assert len(device_store.entity_ids()) >= covered
+
+
+class TestDPQuery:
+    def test_noise_added(self):
+        noisy = dp_count_query(100, epsilon=0.5, seed=1)
+        assert noisy != 100
+
+    def test_smaller_epsilon_more_noise(self):
+        tight = [abs(dp_count_query(100, 0.1, seed=s) - 100) for s in range(30)]
+        loose = [abs(dp_count_query(100, 10.0, seed=s) - 100) for s in range(30)]
+        assert np.mean(tight) > np.mean(loose)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(DeviceError):
+            dp_count_query(5, epsilon=0)
+
+
+class TestQuantization:
+    @pytest.fixture()
+    def vectors(self):
+        return np.random.default_rng(2).normal(size=(50, 32))
+
+    def test_fp16_smaller_than_fp32(self, vectors):
+        assert quantize_vectors(vectors, FP16).nbytes < quantize_vectors(vectors, FP32).nbytes
+
+    def test_int8_smallest(self, vectors):
+        assert (
+            quantize_vectors(vectors, INT8).nbytes
+            < quantize_vectors(vectors, FP16).nbytes
+        )
+
+    def test_int8_reconstruction_bounded(self, vectors):
+        quantized = quantize_vectors(vectors, INT8)
+        max_error = np.abs(quantized.reconstructed - vectors).max()
+        scale = np.abs(vectors).max()
+        assert max_error <= scale / 127 + 1e-9
+
+    def test_unknown_mode(self, vectors):
+        with pytest.raises(DeviceError):
+            quantize_vectors(vectors, "fp8")
+
+    def test_quality_order(self, vectors):
+        fp16 = knn_overlap(vectors, quantize_vectors(vectors, FP16).reconstructed)
+        int8 = knn_overlap(vectors, quantize_vectors(vectors, INT8).reconstructed)
+        assert fp16 >= int8 - 0.05  # fp16 at least as faithful (tolerance for ties)
+        assert fp16 > 0.9
+
+
+class TestDistillation:
+    def test_projection_shape(self):
+        vectors = np.random.default_rng(3).normal(size=(40, 64))
+        student = random_projection(vectors, 16, seed=1)
+        assert student.shape == (40, 16)
+
+    def test_projection_preserves_some_structure(self):
+        vectors = np.random.default_rng(4).normal(size=(60, 64))
+        student = random_projection(vectors, 32, seed=1)
+        assert knn_overlap(vectors, student, k=5) > 0.3
+
+    def test_target_wider_than_source_is_identity_normalised(self):
+        vectors = np.random.default_rng(5).normal(size=(10, 8))
+        student = random_projection(vectors, 16, seed=1)
+        assert student.shape == (10, 8)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(DeviceError):
+            random_projection(np.ones((3, 4)), 0)
+
+    def test_sweep_reports(self):
+        vectors = np.random.default_rng(6).normal(size=(30, 32))
+        reports = sweep_compression(vectors, distill_dims=(8,))
+        modes = {r.mode for r in reports}
+        assert {"fp32", "fp16", "int8", "distill8-rand+fp16", "distill8-pca+fp16"} <= modes
+        for report in reports:
+            assert 0.0 <= report.overlap_at_5 <= 1.0
+            assert report.nbytes > 0
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(DeviceError):
+            knn_overlap(np.ones((3, 2)), np.ones((4, 2)))

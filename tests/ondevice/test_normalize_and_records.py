@@ -1,0 +1,94 @@
+"""Tests for record normalization and the source-record model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ondevice.normalize import (
+    name_key,
+    name_token_keys,
+    normalize_email,
+    normalize_phone,
+)
+from repro.ondevice.records import CALENDAR, CONTACTS, MESSAGES, SourceRecord
+
+
+class TestPhones:
+    def test_figure7_formats_agree(self):
+        """The exact Figure 7 case: contact vs message sender formats."""
+        assert normalize_phone("+1 (123) 555 1234") == normalize_phone("123-555-1234")
+
+    def test_country_code_added(self):
+        assert normalize_phone("1235551234") == "11235551234"
+
+    def test_already_has_country_code(self):
+        assert normalize_phone("+1 123 555 1234") == "11235551234"
+
+    def test_empty_and_garbage(self):
+        assert normalize_phone("") == ""
+        assert normalize_phone("no digits") == ""
+
+    @given(st.text(alphabet="0123456789 ()-+", max_size=20))
+    def test_property_idempotent(self, raw):
+        once = normalize_phone(raw)
+        assert normalize_phone(once) in ("", once, "1" + once)
+
+
+class TestEmails:
+    def test_case_insensitive(self):
+        assert normalize_email("Tim@Example.com") == "tim@example.com"
+
+    def test_non_address_rejected(self):
+        assert normalize_email("not-an-email") == ""
+
+    def test_whitespace_trimmed(self):
+        assert normalize_email("  a@b.c  ") == "a@b.c"
+
+
+class TestNameKeys:
+    def test_name_key(self):
+        assert name_key("Tim  SMITH") == "tim smith"
+
+    def test_token_keys_skip_initials(self):
+        assert name_token_keys("Tim J Smith") == ["tim", "smith"]
+
+
+class TestSourceRecord:
+    def test_contact_accessors(self):
+        record = SourceRecord(
+            record_id="r1", source=CONTACTS,
+            fields={"first_name": "Tim", "last_name": "Smith",
+                    "phone": "+1 (123) 555 1234", "email": "tim@example.com"},
+        )
+        assert record.display_name == "Tim Smith"
+        assert record.phone == "+1 (123) 555 1234"
+        assert record.email == "tim@example.com"
+
+    def test_message_accessors(self):
+        record = SourceRecord(
+            record_id="r2", source=MESSAGES,
+            fields={"sender_name": "Tim Smith", "sender_number": "123-555-1234"},
+        )
+        assert record.display_name == "Tim Smith"
+        assert record.phone == "123-555-1234"
+        assert record.email == ""
+
+    def test_calendar_accessors(self):
+        record = SourceRecord(
+            record_id="r3", source=CALENDAR,
+            fields={"attendee_name": "Tim Smith", "attendee_email": "tim@example.com"},
+        )
+        assert record.display_name == "Tim Smith"
+        assert record.email == "tim@example.com"
+        assert record.phone == ""
+
+    def test_dict_roundtrip(self):
+        record = SourceRecord(
+            record_id="r4", source=CONTACTS,
+            fields={"first_name": "A"}, true_person="persona/001", sequence=9,
+        )
+        assert SourceRecord.from_dict(record.to_dict()) == record
+
+    def test_hashable(self):
+        record = SourceRecord(record_id="r5", source=CONTACTS, fields={"x": 1})
+        assert record in {record}

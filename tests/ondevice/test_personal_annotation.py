@@ -1,0 +1,128 @@
+"""Tests for on-device semantic annotation with contextual relevance."""
+
+import pytest
+
+from repro.ondevice.annotation import PersonalAnnotator, PersonalAnnotatorConfig
+from repro.ondevice.incremental import IncrementalPipeline
+from repro.ondevice.records import MESSAGES
+from repro.ondevice.sources import (
+    PersonaWorldConfig,
+    generate_device_dataset,
+    generate_personas,
+)
+
+
+@pytest.fixture(scope="module")
+def personal_world():
+    cfg = PersonaWorldConfig(seed=13, num_personas=20, namesake_pairs=2)
+    personas = generate_personas(cfg)
+    dataset = generate_device_dataset("user", personas, cfg)
+    result = IncrementalPipeline(dataset.all_records()).run_to_completion(4096)
+    return personas, dataset, result
+
+
+@pytest.fixture(scope="module")
+def annotator(personal_world):
+    _, _, result = personal_world
+    return PersonalAnnotator(result.store, result.people, result.clusters)
+
+
+def _person_for(result, persona):
+    """The fused person entity whose records belong to ``persona``."""
+    for root, members in result.clusters.items():
+        if any(m.true_person == persona.person_id for m in members):
+            ids_ = tuple(sorted(m.record_id for m in members))
+            for person in result.people:
+                if tuple(person.record_ids) == ids_:
+                    return person
+    return None
+
+
+class TestBasicLinking:
+    def test_full_name_links(self, personal_world, annotator):
+        personas, _, result = personal_world
+        persona = personas[-1]
+        links = annotator.annotate(f"call {persona.full_name} tomorrow")
+        assert links
+        fused = _person_for(result, persona)
+        assert fused is not None
+        assert links[0].entity == fused.entity
+
+    def test_unknown_name_nil(self, annotator):
+        assert annotator.annotate("call Zebulon Crabtree now") == []
+
+    def test_empty_utterance(self, annotator):
+        assert annotator.annotate("") == []
+
+
+class TestContextualRelevance:
+    def test_sigmod_example(self, personal_world):
+        """§5's example: 'message Tim that I've added comments to the
+        SIGMOD draft' ranks the coworker Tim above other Tims."""
+        personas, _, result = personal_world
+        namesakes = {}
+        for persona in personas:
+            namesakes.setdefault(persona.first_name, []).append(persona)
+        shared_first = next(
+            (first for first, group in namesakes.items() if len(group) >= 2), None
+        )
+        assert shared_first is not None, "world must contain namesakes"
+        group = namesakes[shared_first]
+        coworkers = [p for p in group if p.relationship == "coworker"]
+        if not coworkers:
+            pytest.skip("no coworker namesake in this seed")
+
+        annotator = PersonalAnnotator(result.store, result.people, result.clusters)
+        # Coworker message topics include "the SIGMOD draft" (sources.py);
+        # several namesakes may be coworkers, any of them is a correct pick.
+        links = annotator.annotate(
+            f"message {shared_first} that I've added comments to the SIGMOD draft"
+        )
+        assert links
+        # A persona's records may split over several fused entities; any
+        # fragment whose records belong to a coworker persona is correct.
+        coworker_ids = {p.person_id for p in coworkers}
+        by_records = {
+            tuple(sorted(m.record_id for m in members)): {
+                m.true_person for m in members
+            }
+            for members in result.clusters.values()
+        }
+        coworker_entities = {
+            person.entity
+            for person in result.people
+            if by_records.get(tuple(person.record_ids), set()) & coworker_ids
+        }
+        assert links[0].entity in coworker_entities
+
+    def test_context_weight_zero_falls_back_to_prior(self, personal_world):
+        personas, _, result = personal_world
+        config = PersonalAnnotatorConfig(weight_context=0.0)
+        annotator = PersonalAnnotator(result.store, result.people, result.clusters, config)
+        persona = personas[-1]
+        links = annotator.annotate(f"message {persona.full_name} hello")
+        assert links  # still links, just without context signal
+
+    def test_quantized_index_still_disambiguates(self, personal_world):
+        personas, _, result = personal_world
+        config = PersonalAnnotatorConfig(quantize_int8=True)
+        annotator = PersonalAnnotator(result.store, result.people, result.clusters, config)
+        persona = personas[-1]
+        links = annotator.annotate(f"message {persona.full_name} about dinner")
+        assert links
+
+
+class TestCandidateScores:
+    def test_candidates_sorted(self, personal_world, annotator):
+        personas, _, _ = personal_world
+        shared = {}
+        for persona in personas:
+            shared.setdefault(persona.first_name, []).append(persona)
+        first = next((f for f, g in shared.items() if len(g) >= 2), None)
+        if first is None:
+            pytest.skip("no shared first name")
+        links = annotator.annotate(f"message {first} about the plan")
+        if not links:
+            pytest.skip("first name below NIL threshold")
+        scores = [c.score for c in links[0].candidates]
+        assert scores == sorted(scores, reverse=True)

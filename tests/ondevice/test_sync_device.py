@@ -1,0 +1,135 @@
+"""Tests for devices, sync and computation offloading."""
+
+import pytest
+
+from repro.common.errors import DeviceError, SyncError
+from repro.ondevice.device import Device, DeviceProfile
+from repro.ondevice.records import CALENDAR, CONTACTS, MESSAGES
+from repro.ondevice.sources import (
+    PersonaWorldConfig,
+    generate_device_dataset,
+    generate_personas,
+)
+from repro.ondevice.sync import SyncCoordinator, kg_signature, offload_construction
+
+
+@pytest.fixture()
+def fleet():
+    cfg = PersonaWorldConfig(seed=9, num_personas=16)
+    personas = generate_personas(cfg)
+    data = generate_device_dataset("user", personas, cfg)
+    phone = Device(
+        "phone", DeviceProfile.named("phone"),
+        records={CONTACTS: data.records[CONTACTS], MESSAGES: data.records[MESSAGES]},
+    )
+    laptop = Device(
+        "laptop", DeviceProfile.named("laptop"),
+        records={CONTACTS: [], CALENDAR: data.records[CALENDAR]},
+    )
+    watch = Device(
+        "watch", DeviceProfile.named("watch"),
+        records={MESSAGES: data.records[MESSAGES][:20]},
+    )
+    return phone, laptop, watch, data
+
+
+class TestDeviceProfiles:
+    def test_named_profiles(self):
+        assert DeviceProfile.named("watch").memory_budget_keys < DeviceProfile.named(
+            "laptop"
+        ).memory_budget_keys
+
+    def test_unknown_profile(self):
+        with pytest.raises(DeviceError):
+            DeviceProfile.named("toaster")
+
+    def test_watch_cannot_build_locally(self, fleet):
+        _, _, watch, _ = fleet
+        with pytest.raises(DeviceError):
+            watch.build_kg()
+
+    def test_phone_builds(self, fleet):
+        phone, _, _, _ = fleet
+        result = phone.build_kg()
+        assert result.people
+        assert phone.result is result
+
+    def test_add_records_dedupes(self, fleet):
+        phone, _, _, data = fleet
+        before = len(phone.records[CONTACTS])
+        added = phone.add_records(CONTACTS, data.records[CONTACTS])
+        assert added == 0
+        assert len(phone.records[CONTACTS]) == before
+
+
+class TestSync:
+    def test_converges(self, fleet):
+        phone, laptop, watch, _ = fleet
+        coordinator = SyncCoordinator([phone, laptop, watch])
+        reports = coordinator.sync_until_stable()
+        assert reports[-1].records_moved == 0
+        assert reports[0].bytes_moved > 0
+
+    def test_synced_sources_consistent(self, fleet):
+        phone, laptop, watch, _ = fleet
+        coordinator = SyncCoordinator([phone, laptop, watch])
+        coordinator.sync_until_stable()
+        assert coordinator.consistency_check(CONTACTS)
+        assert coordinator.consistency_check(CALENDAR)
+
+    def test_per_source_opt_out_respected(self, fleet):
+        phone, laptop, _, _ = fleet
+        laptop.sync_preferences[MESSAGES] = False
+        coordinator = SyncCoordinator([phone, laptop])
+        coordinator.sync_until_stable()
+        assert not laptop.records.get(MESSAGES)
+        # But contacts flowed phone → laptop.
+        assert laptop.record_ids(CONTACTS) == phone.record_ids(CONTACTS)
+
+    def test_same_records_same_kg(self, fleet):
+        """The consistency guarantee: equal record sets → identical KGs."""
+        phone, laptop, _, _ = fleet
+        laptop.sync_preferences[MESSAGES] = True
+        phone.sync_preferences[CALENDAR] = True
+        coordinator = SyncCoordinator([phone, laptop])
+        coordinator.sync_until_stable()
+        result_phone = phone.build_kg()
+        result_laptop = laptop.build_kg()
+        assert kg_signature(result_phone) == kg_signature(result_laptop)
+
+    def test_unsynced_source_diverges(self, fleet):
+        phone, laptop, _, _ = fleet
+        laptop.sync_preferences[MESSAGES] = False
+        SyncCoordinator([phone, laptop]).sync_until_stable()
+        phone_kg = phone.build_kg()
+        laptop_kg = laptop.build_kg()
+        # The phone sees message senders the laptop doesn't.
+        assert kg_signature(phone_kg) != kg_signature(laptop_kg)
+
+    def test_duplicate_device_ids_rejected(self, fleet):
+        phone, _, _, _ = fleet
+        with pytest.raises(SyncError):
+            SyncCoordinator([phone, phone])
+
+
+class TestOffload:
+    def test_offload_installs_result(self, fleet):
+        _, laptop, watch, _ = fleet
+        result, bytes_moved = offload_construction(watch, laptop)
+        assert watch.result is result
+        assert result.people
+        assert bytes_moved > 0
+
+    def test_offload_matches_local_build(self, fleet):
+        """Offloaded construction must equal what a capable device would
+        compute locally on the same records."""
+        phone, laptop, _, _ = fleet
+        local = phone.build_kg()
+        phone.result = None
+        offloaded, _ = offload_construction(phone, laptop)
+        assert kg_signature(offloaded) == kg_signature(local)
+
+    def test_offload_to_weak_device_rejected(self, fleet):
+        phone, _, watch, _ = fleet
+        with pytest.raises(SyncError):
+            offload_construction(phone, watch)

@@ -1,0 +1,141 @@
+"""Tests for the exact and IVF vector indexes."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import IndexError_
+from repro.vector.index import ExactIndex, IVFIndex, recall_at_k
+
+
+@pytest.fixture()
+def vectors():
+    rng = np.random.default_rng(4)
+    matrix = rng.normal(size=(200, 16))
+    keys = [f"entity:e{i:03d}" for i in range(200)]
+    return keys, matrix
+
+
+class TestExactIndex:
+    def test_self_is_nearest(self, vectors):
+        keys, matrix = vectors
+        index = ExactIndex()
+        index.add(keys, matrix)
+        hits = index.search(matrix[17], k=1)
+        assert hits[0].key == keys[17]
+
+    def test_results_sorted(self, vectors):
+        keys, matrix = vectors
+        index = ExactIndex()
+        index.add(keys, matrix)
+        hits = index.search(matrix[0], k=10)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_larger_than_index(self):
+        index = ExactIndex()
+        index.add(["entity:a"], np.ones((1, 4)))
+        assert len(index.search(np.ones(4), k=10)) == 1
+
+    def test_empty_index(self):
+        assert ExactIndex().search(np.ones(4), k=5) == []
+
+    def test_duplicate_key_rejected(self):
+        index = ExactIndex()
+        index.add(["entity:a"], np.ones((1, 4)))
+        with pytest.raises(IndexError_):
+            index.add(["entity:a"], np.ones((1, 4)))
+
+    def test_dimension_mismatch_rejected(self):
+        index = ExactIndex()
+        index.add(["entity:a"], np.ones((1, 4)))
+        with pytest.raises(IndexError_):
+            index.add(["entity:b"], np.ones((1, 5)))
+
+    def test_key_count_mismatch_rejected(self):
+        with pytest.raises(IndexError_):
+            ExactIndex().add(["entity:a", "entity:b"], np.ones((1, 4)))
+
+    def test_vector_lookup(self, vectors):
+        keys, matrix = vectors
+        index = ExactIndex()
+        index.add(keys, matrix)
+        assert np.allclose(index.vector(keys[5]), matrix[5])
+        with pytest.raises(IndexError_):
+            index.vector("entity:ghost")
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(IndexError_):
+            ExactIndex(metric="manhattan")
+
+    def test_incremental_add(self, vectors):
+        keys, matrix = vectors
+        index = ExactIndex()
+        index.add(keys[:100], matrix[:100])
+        index.add(keys[100:], matrix[100:])
+        assert len(index) == 200
+        assert index.search(matrix[150], k=1)[0].key == keys[150]
+
+
+class TestIVFIndex:
+    def test_self_is_nearest(self, vectors):
+        keys, matrix = vectors
+        index = IVFIndex(nlist=8, nprobe=8, seed=1)
+        index.add(keys, matrix)
+        index.train()
+        hits = index.search(matrix[17], k=1)
+        assert hits[0].key == keys[17]
+
+    def test_lazy_training_on_search(self, vectors):
+        keys, matrix = vectors
+        index = IVFIndex(nlist=8, nprobe=2, seed=1)
+        index.add(keys, matrix)
+        assert not index.is_trained
+        index.search(matrix[0], k=3)
+        assert index.is_trained
+
+    def test_add_invalidates_training(self, vectors):
+        keys, matrix = vectors
+        index = IVFIndex(nlist=4, nprobe=2, seed=1)
+        index.add(keys[:100], matrix[:100])
+        index.train()
+        index.add(keys[100:], matrix[100:])
+        assert not index.is_trained
+
+    def test_full_probe_equals_exact(self, vectors):
+        """nprobe == nlist probes everything → exact results."""
+        keys, matrix = vectors
+        exact = ExactIndex()
+        exact.add(keys, matrix)
+        ivf = IVFIndex(nlist=8, nprobe=8, seed=2)
+        ivf.add(keys, matrix)
+        recall = recall_at_k(ivf, exact, matrix[:20], k=10)
+        assert recall == pytest.approx(1.0)
+
+    def test_recall_increases_with_nprobe(self, vectors):
+        keys, matrix = vectors
+        exact = ExactIndex()
+        exact.add(keys, matrix)
+        recalls = []
+        for nprobe in (1, 4, 16):
+            ivf = IVFIndex(nlist=16, nprobe=nprobe, seed=2)
+            ivf.add(keys, matrix)
+            recalls.append(recall_at_k(ivf, exact, matrix[:20], k=10))
+        assert recalls[0] <= recalls[1] <= recalls[2]
+        assert recalls[2] == pytest.approx(1.0)
+
+    def test_train_empty_raises(self):
+        with pytest.raises(IndexError_):
+            IVFIndex().train()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(IndexError_):
+            IVFIndex(nlist=0)
+        with pytest.raises(IndexError_):
+            IVFIndex(nprobe=0)
+
+    def test_contains_and_len(self, vectors):
+        keys, matrix = vectors
+        index = IVFIndex()
+        index.add(keys, matrix)
+        assert keys[0] in index
+        assert len(index) == 200

@@ -1,0 +1,71 @@
+"""Tests for the embedding service."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import IndexError_
+from repro.vector.index import IVFIndex
+from repro.vector.service import EmbeddingService
+
+
+class TestService:
+    def test_vector_matches_model(self, trained):
+        service = EmbeddingService(trained.trained)
+        entity = trained.dataset.entities[0]
+        assert np.allclose(service.vector(entity), trained.trained.entity_vector(entity))
+
+    def test_cache_hits(self, trained):
+        service = EmbeddingService(trained.trained)
+        entity = trained.dataset.entities[0]
+        service.vector(entity)
+        service.vector(entity)
+        assert service.cache_hit_rate == pytest.approx(0.5)
+
+    def test_similarity_self(self, trained):
+        service = EmbeddingService(trained.trained)
+        entity = trained.dataset.entities[0]
+        assert service.similarity(entity, entity) == pytest.approx(1.0)
+
+    def test_knn_excludes_self(self, trained):
+        service = EmbeddingService(trained.trained)
+        entity = trained.dataset.entities[0]
+        hits = service.knn(entity, k=5)
+        assert entity not in {hit.key for hit in hits}
+        assert len(hits) == 5
+
+    def test_knn_include_self(self, trained):
+        service = EmbeddingService(trained.trained)
+        entity = trained.dataset.entities[0]
+        hits = service.knn(entity, k=3, exclude_self=False)
+        assert hits[0].key == entity
+
+    def test_knn_vector_query(self, trained):
+        service = EmbeddingService(trained.trained)
+        entity = trained.dataset.entities[3]
+        hits = service.knn_vector(service.vector(entity), k=1)
+        assert hits[0].key == entity
+
+    def test_batch_similarity_unknowns_zero(self, trained):
+        service = EmbeddingService(trained.trained)
+        entity = trained.dataset.entities[0]
+        sims = service.batch_similarity([(entity, entity), (entity, "entity:ghost")])
+        assert sims[0] == pytest.approx(1.0)
+        assert sims[1] == 0.0
+
+    def test_custom_index_populated(self, trained):
+        index = IVFIndex(nlist=4, nprobe=4, seed=0)
+        service = EmbeddingService(trained.trained, index=index)
+        assert len(index) == trained.trained.model.num_entities
+        entity = trained.dataset.entities[0]
+        assert service.knn(entity, k=1)
+
+    def test_require_entity(self, trained):
+        service = EmbeddingService(trained.trained)
+        with pytest.raises(IndexError_):
+            service.require_entity("entity:ghost")
+
+    def test_metrics_recorded(self, trained):
+        service = EmbeddingService(trained.trained)
+        entity = trained.dataset.entities[0]
+        service.knn(entity, k=2)
+        assert service.metrics.timer_stats("knn").count == 1

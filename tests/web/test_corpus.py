@@ -1,0 +1,127 @@
+"""Tests for the synthetic web corpus generator."""
+
+import pytest
+
+from repro.web.corpus import WebCorpusConfig, generate_corpus
+from repro.web.document import DocumentKind
+
+
+class TestGoldConsistency:
+    def test_offsets_match_surfaces(self, corpus):
+        for doc in corpus:
+            for mention in doc.gold_mentions:
+                assert doc.text[mention.start : mention.end] == mention.surface
+
+    def test_gold_entities_exist_in_kg(self, kg, corpus):
+        for doc in corpus:
+            for mention in doc.gold_mentions:
+                assert kg.store.has_entity(mention.entity)
+
+    def test_distractors_have_no_gold(self, corpus):
+        distractors = [d for d in corpus if d.kind == DocumentKind.BLOG and "corner" in d.title]
+        assert distractors
+        assert all(not d.gold_mentions for d in distractors)
+
+
+class TestComposition:
+    def test_page_counts(self, kg):
+        config = WebCorpusConfig(
+            seed=1, num_profile_pages=10, num_news_pages=20,
+            num_blog_pages=5, num_list_pages=4, num_distractor_pages=3,
+        )
+        corpus = generate_corpus(kg, config)
+        kinds = {}
+        for doc in corpus:
+            kinds[doc.kind] = kinds.get(doc.kind, 0) + 1
+        assert kinds[DocumentKind.PROFILE] == 10
+        assert kinds[DocumentKind.NEWS] == 20
+        assert kinds[DocumentKind.LIST] == 4
+
+    def test_profiles_carry_structured_data(self, corpus):
+        profiles = [d for d in corpus if d.kind == DocumentKind.PROFILE]
+        assert profiles
+        for doc in profiles:
+            assert doc.structured_data is not None
+            assert doc.structured_data["@type"] == "Person"
+            assert doc.structured_data["name"] == doc.title
+
+    def test_profiles_high_quality_blogs_low(self, corpus):
+        profiles = [d for d in corpus if d.kind == DocumentKind.PROFILE]
+        blogs = [d for d in corpus if d.kind == DocumentKind.BLOG and d.gold_mentions]
+        assert min(d.quality for d in profiles) > max(d.quality for d in blogs)
+
+    def test_some_non_english(self, corpus):
+        assert any(d.language != "en" for d in corpus)
+
+    def test_deterministic(self, kg):
+        config = WebCorpusConfig(seed=5, num_profile_pages=5, num_news_pages=5,
+                                 num_blog_pages=5, num_list_pages=2, num_distractor_pages=2)
+        a = generate_corpus(kg, config)
+        b = generate_corpus(kg, config)
+        assert [d.content_hash for d in a] == [d.content_hash for d in b]
+
+    def test_unique_doc_ids(self, corpus):
+        ids_seen = [d.doc_id for d in corpus]
+        assert len(ids_seen) == len(set(ids_seen))
+
+
+class TestVeracityHazards:
+    def test_some_blogs_carry_wrong_dob(self, kg, corpus):
+        """Blogs with wrong_fact_fraction must sometimes state a DOB that
+        contradicts the generator's ground truth."""
+        from repro.odke.extractors.base import normalize_date
+        import re
+
+        wrong = 0
+        pattern = re.compile(r"was born on ([A-Z][a-z]+ \d{1,2}, \d{4})")
+        for doc in corpus:
+            if doc.kind != DocumentKind.BLOG or not doc.gold_mentions:
+                continue
+            match = pattern.search(doc.text)
+            if not match:
+                continue
+            stated = normalize_date(match.group(1))
+            entity = doc.gold_mentions[0].entity
+            truth = kg.truth.birth_dates.get(entity)
+            if truth and stated != truth:
+                wrong += 1
+        assert wrong > 0
+
+    def test_profile_dob_is_correct(self, kg, corpus):
+        for doc in corpus:
+            if doc.kind != DocumentKind.PROFILE or not doc.structured_data:
+                continue
+            dob = doc.structured_data.get("birthDate")
+            if dob is None:
+                continue
+            entity = doc.gold_mentions[0].entity
+            assert dob == kg.truth.birth_dates[entity]
+
+
+class TestDocumentModel:
+    def test_dict_roundtrip(self, corpus):
+        from repro.web.document import WebDocument
+
+        doc = corpus.documents[0]
+        clone = WebDocument.from_dict(doc.to_dict())
+        assert clone.content_hash == doc.content_hash
+        assert clone.gold_mentions == doc.gold_mentions
+
+    def test_content_hash_changes_with_text(self, corpus):
+        from dataclasses import replace
+
+        doc = corpus.documents[0]
+        changed = replace(doc, text=doc.text + " extra")
+        assert changed.content_hash != doc.content_hash
+
+    def test_corpus_add_replaces(self, kg):
+        config = WebCorpusConfig(seed=2, num_profile_pages=3, num_news_pages=0,
+                                 num_blog_pages=0, num_list_pages=0, num_distractor_pages=0)
+        corpus = generate_corpus(kg, config)
+        from dataclasses import replace
+
+        doc = replace(corpus.documents[0], title="Changed")
+        before = len(corpus)
+        corpus.add(doc)
+        assert len(corpus) == before
+        assert corpus.get(doc.doc_id).title == "Changed"
