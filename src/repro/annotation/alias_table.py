@@ -12,7 +12,7 @@ annotation service calls it when the KG version moves.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass
 
 from repro.common.text import char_ngrams, dice_similarity, normalize_name
@@ -36,6 +36,7 @@ class AliasTable:
         self.fuzzy_threshold = fuzzy_threshold
         self._exact: dict[str, list[AliasEntry]] = {}
         self._by_first_char: dict[str, list[str]] = {}
+        self._key_grams: dict[str, Counter[str]] = {}
         self._built_version = -1
         self.refresh()
 
@@ -70,6 +71,10 @@ class AliasTable:
         for key in self._exact:
             by_first[key[0]].append(key)
         self._by_first_char = dict(by_first)
+        # Trigram multisets per key, computed once here: fuzzy lookup
+        # compares the query against every same-initial key, and recomputing
+        # key grams per query made each miss O(total key characters).
+        self._key_grams = {key: char_ngrams(key) for key in self._exact}
         self._built_version = self.store.version
 
     @property
@@ -97,9 +102,10 @@ class AliasTable:
         if exact:
             return list(exact[:limit])
         grams = char_ngrams(surface)
+        key_grams = self._key_grams
         candidates: list[tuple[float, AliasEntry]] = []
         for other_key in self._by_first_char.get(key[0], ()):
-            similarity = dice_similarity(grams, char_ngrams(other_key))
+            similarity = dice_similarity(grams, key_grams[other_key])
             if similarity >= self.fuzzy_threshold:
                 for entry in self._exact[other_key]:
                     candidates.append(

@@ -1,0 +1,107 @@
+"""Fast bounded-integer sampling that replays ``Generator.integers`` exactly.
+
+The graph engine's random walks must stay byte-identical per seed across
+refactors, which pins the draw sequence to ``numpy.random.Generator.integers``.
+Calling that method once per walk step costs ~1.5 microseconds of Python/C
+dispatch — more than the walk step itself once adjacency is a CSR slice.
+
+NumPy (>= 1.17) implements bounded draws for ranges that fit in 32 bits with
+Lemire's multiply-shift rejection over 32-bit halves of the 64-bit PCG64
+output stream, low half first (``pcg64_next32`` buffers the high half).  That
+algorithm is tiny, so we replicate it in Python over raw 64-bit words
+harvested in bulk from an identically-seeded generator: one vectorised
+``integers(0, 2**64)`` call refills the buffer for hundreds of draws.
+
+Because this ties determinism to a NumPy implementation detail,
+:func:`lemire_matches_numpy` empirically verifies the replication at first
+use; callers fall back to per-call ``Generator.integers`` when it fails
+(correct, just slower).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_REFILL_WORDS = 256  # 64-bit words per refill -> 512 buffered 32-bit draws
+
+MASK32 = 0xFFFFFFFF
+
+
+def refill_halves(rng: np.random.Generator) -> list[int]:
+    """Next batch of buffered 32-bit stream halves, low half of each word first.
+
+    This is the exact order ``pcg64_next32`` consumes a 64-bit word, so a
+    consumer drawing from this buffer tracks the generator's 32-bit stream.
+    Shared by :class:`Lemire32` and the graph engine's inlined walk sampler —
+    the two must consume the identical stream.
+    """
+    halves: list[int] = []
+    for word in rng.integers(0, 2**64, size=_REFILL_WORDS, dtype=np.uint64).tolist():
+        halves.append(word & MASK32)
+        halves.append(word >> 32)
+    return halves
+
+
+class Lemire32:
+    """Replay of ``rng.integers(n)`` draws for ``1 <= n < 2**32``.
+
+    Consumes the *same* underlying bit stream as the wrapped generator would,
+    so interleaving a ``Lemire32`` with direct ``integers`` calls on the same
+    generator is not supported — hand the sampler a dedicated substream.
+    """
+
+    __slots__ = ("_rng", "_half", "_pos")
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._half: list[int] = []
+        self._pos = 0
+
+    def randbelow(self, n: int) -> int:
+        """A draw identical to ``int(generator.integers(n))``.
+
+        NOTE: ``GraphEngine._walks_lemire`` inlines this exact arithmetic
+        (multiply-shift, leftover/threshold rejection) for its hot loop; the
+        two must stay in lockstep.  The walk reference-replay tests in
+        ``tests/kg/test_encoding_adjacency.py`` pin both against the real
+        ``Generator.integers``.
+        """
+        if n <= 1:
+            return 0
+        half, pos = self._half, self._pos
+        if pos >= len(half):
+            half = self._half = refill_halves(self._rng)
+            pos = 0
+        m = half[pos] * n
+        pos += 1
+        leftover = m & MASK32
+        if leftover < n:
+            threshold = (2**32 - n) % n
+            while leftover < threshold:
+                if pos >= len(half):
+                    half = self._half = refill_halves(self._rng)
+                    pos = 0
+                m = half[pos] * n
+                pos += 1
+                leftover = m & MASK32
+        self._pos = pos
+        return m >> 32
+
+
+_lemire_ok: bool | None = None
+
+
+def lemire_matches_numpy() -> bool:
+    """Whether :class:`Lemire32` reproduces this NumPy's ``integers`` stream.
+
+    Runs once per process (~100 microseconds) and caches the verdict.  Checks
+    a spread of bounds including powers of two and degree-one no-ops.
+    """
+    global _lemire_ok
+    if _lemire_ok is None:
+        bounds = [7, 1, 2, 3, 4, 8, 1, 5, 65536, 65537, 2**31, 6, 9, 1000] * 8
+        reference = np.random.default_rng(20230518)
+        truth = [int(reference.integers(bound)) for bound in bounds]
+        sampler = Lemire32(np.random.default_rng(20230518))
+        _lemire_ok = truth == [sampler.randbelow(bound) for bound in bounds]
+    return _lemire_ok

@@ -1,5 +1,7 @@
 """Knowledge-graph substrate: store, ontology, engine, views, construction."""
 
+from repro.kg.adjacency import AdjacencyIndex, CSRAdjacency, build_csr
+from repro.kg.encoding import Dictionary
 from repro.kg.generator import (
     SyntheticKG,
     SyntheticKGConfig,
@@ -20,6 +22,9 @@ from repro.kg.views import (
 )
 
 __all__ = [
+    "AdjacencyIndex",
+    "CSRAdjacency",
+    "Dictionary",
     "EntityRecord",
     "Fact",
     "GraphEngine",
@@ -33,6 +38,7 @@ __all__ = [
     "TripleStore",
     "ViewDefinition",
     "ViewRegistry",
+    "build_csr",
     "embedding_training_view",
     "entity_fact",
     "generate_kg",

@@ -1,0 +1,250 @@
+"""Versioned CSR adjacency snapshots over a :class:`TripleStore`.
+
+The graph engine's traversal hot paths (walks, k-hop neighborhoods,
+co-neighbor counts) used to rebuild and re-sort Python neighbor sets at
+every step.  A :class:`CSRAdjacency` snapshot pays that cost once: node
+strings are dictionary-encoded (:mod:`repro.kg.encoding`) and the undirected
+neighbor lists are laid out in two flat arrays —
+
+* ``indptr`` (int64, length ``num_nodes + 1``): row offsets;
+* ``indices`` (int32): neighbor ids, each row pre-sorted by neighbor
+  *string* so ``indices[indptr[v]:indptr[v+1]]`` is exactly
+  ``sorted(store.neighbors(v))`` in encoded form.
+
+Sorting by decoded string (not by id) is what keeps random walks
+byte-identical to the set-based implementation: the walk picks
+``sorted(neighbors)[draw]`` and CSR rows preserve that order.
+
+Neighbor semantics replicate :meth:`TripleStore.neighbors` for *every* node
+string: a fact ``(s, p, o)`` contributes ``s -> o`` only when the object is
+an entity, but ``o -> s`` always (the OSP index answers "who points at me"
+regardless of object kind), with self-loops dropped and duplicates merged.
+
+Snapshots are immutable; :class:`AdjacencyIndex` caches the latest one and
+rebuilds when ``TripleStore.version`` moves — the same invalidation contract
+``AliasTable.refresh`` uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kg.encoding import Dictionary
+from repro.kg.store import TripleStore
+from repro.kg.triple import ObjectKind
+
+
+@dataclass
+class CSRAdjacency:
+    """One immutable adjacency snapshot of a store version."""
+
+    dictionary: Dictionary
+    indptr: np.ndarray  # int64, shape (num_nodes + 1,)
+    indices: np.ndarray  # int32, row-sorted by neighbor string
+    # Fact-multiplicity degree per node over entity-valued edges only (what
+    # ``degree_distribution`` reports); distinct from CSR row lengths, which
+    # are deduplicated and include the OSP side of literal facts.
+    entity_edge_degrees: np.ndarray  # int64, shape (num_nodes,)
+    predicate_counts: dict[str, int]
+    built_version: int
+    # Python-list mirrors of the arrays, materialised lazily for the walk
+    # loop where list indexing beats numpy scalar indexing ~3x.
+    _indptr_list: list[int] | None = field(default=None, repr=False)
+    _indices_list: list[int] | None = field(default=None, repr=False)
+    _degrees_list: list[int] | None = field(default=None, repr=False)
+    _neighbor_strings: list[list[str]] | None = field(default=None, repr=False)
+    _neighbor_ids: list[list[int]] | None = field(default=None, repr=False)
+    _second_hop_rows: dict[str, list[list[str]]] | None = field(default=None, repr=False)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Directed (deduplicated) adjacency entries."""
+        return len(self.indices)
+
+    def neighbors_of(self, node_id: int) -> np.ndarray:
+        """Encoded neighbors of ``node_id``, sorted by decoded string."""
+        return self.indices[self.indptr[node_id] : self.indptr[node_id + 1]]
+
+    def neighbors(self, node: str) -> set[str]:
+        """Decoded neighbor set of ``node`` (empty for unknown nodes)."""
+        node_id = self.dictionary.get(node)
+        if node_id is None:
+            return set()
+        strings = self.dictionary._strings_view()
+        return {strings[i] for i in self.neighbors_of(node_id).tolist()}
+
+    def degree(self, node: str) -> int:
+        """Distinct-neighbor degree of ``node`` (0 for unknown nodes)."""
+        node_id = self.dictionary.get(node)
+        if node_id is None:
+            return 0
+        return int(self.indptr[node_id + 1] - self.indptr[node_id])
+
+    def lists(self) -> tuple[list[int], list[int], list[int], list[str]]:
+        """(indptr, indices, degrees, strings) as plain lists for tight loops."""
+        if self._indptr_list is None:
+            self._indptr_list = self.indptr.tolist()
+            self._indices_list = self.indices.tolist()
+            self._degrees_list = np.diff(self.indptr).tolist()
+        assert self._indices_list is not None and self._degrees_list is not None
+        return (
+            self._indptr_list,
+            self._indices_list,
+            self._degrees_list,
+            self.dictionary._strings_view(),
+        )
+
+    def neighbor_string_rows(self) -> list[list[str]]:
+        """Per-node decoded neighbor lists (row order), built once per snapshot.
+
+        Lets co-neighbor counting emit string keys with no per-query decode
+        pass; rows alias the dictionary's string objects, so hashing them is
+        cached-hash cheap.
+        """
+        if self._neighbor_strings is None:
+            id_rows = self.neighbor_id_rows()
+            strings = self.dictionary._strings_view()
+            self._neighbor_strings = [
+                [strings[i] for i in row] for row in id_rows
+            ]
+        return self._neighbor_strings
+
+    def neighbor_id_rows(self) -> list[list[int]]:
+        """Per-node encoded neighbor lists (row order), built once per snapshot."""
+        if self._neighbor_ids is None:
+            indptr, indices, _, _ = self.lists()
+            self._neighbor_ids = [
+                indices[indptr[node] : indptr[node + 1]]
+                for node in range(self.num_nodes)
+            ]
+        return self._neighbor_ids
+
+    def second_hop_string_rows(self) -> dict[str, list[list[str]]]:
+        """node string -> its neighbors' decoded neighbor rows, one per neighbor.
+
+        The co-neighbor hot path reduces to one dict lookup plus a C-level
+        count over these pre-grouped rows.  Rows are shared references into
+        :meth:`neighbor_string_rows`, so the grouping costs O(edges) pointers.
+        """
+        if self._second_hop_rows is None:
+            string_rows = self.neighbor_string_rows()
+            id_rows = self.neighbor_id_rows()
+            rows_at = string_rows.__getitem__
+            self._second_hop_rows = {
+                node: [rows_at(v) for v in row]
+                for node, row in zip(self.dictionary._strings_view(), id_rows)
+            }
+        return self._second_hop_rows
+
+
+
+def build_csr(store: TripleStore) -> CSRAdjacency:
+    """Build a :class:`CSRAdjacency` snapshot from the store's current state."""
+    version = store.version
+    dictionary = Dictionary()
+    intern = dictionary.intern
+    # Entities with descriptors get rows even when isolated, so traversal
+    # code can encode any catalogued entity without a membership dance.
+    for entity in store.entity_ids():
+        intern(entity)
+
+    sources: list[int] = []
+    targets: list[int] = []
+    entity_kind = ObjectKind.ENTITY
+    degree_of: dict[int, int] = {}
+    for fact in store.scan():
+        subject_id = intern(fact.subject)
+        object_id = intern(fact.obj)
+        if fact.obj_kind is entity_kind:
+            sources.append(subject_id)
+            targets.append(object_id)
+            degree_of[subject_id] = degree_of.get(subject_id, 0) + 1
+            degree_of[object_id] = degree_of.get(object_id, 0) + 1
+        sources.append(object_id)
+        targets.append(subject_id)
+
+    num_nodes = len(dictionary)
+    entity_edge_degrees = np.zeros(num_nodes, dtype=np.int64)
+    if degree_of:
+        entity_edge_degrees[list(degree_of)] = list(degree_of.values())
+
+    if not sources:
+        return CSRAdjacency(
+            dictionary=dictionary,
+            indptr=np.zeros(num_nodes + 1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int32),
+            entity_edge_degrees=entity_edge_degrees,
+            predicate_counts=store.predicate_counts(),
+            built_version=version,
+        )
+
+    src = np.asarray(sources, dtype=np.int64)
+    dst = np.asarray(targets, dtype=np.int64)
+    keep = src != dst  # neighbors() discards self
+    src, dst = src[keep], dst[keep]
+
+    # Rank nodes by string so each CSR row comes out in sorted-string order.
+    strings = dictionary._strings_view()
+    order = sorted(range(num_nodes), key=strings.__getitem__)
+    rank = np.empty(num_nodes, dtype=np.int64)
+    rank[order] = np.arange(num_nodes, dtype=np.int64)
+    id_at_rank = np.asarray(order, dtype=np.int64)
+
+    # One flat sort deduplicates and orders every row at once: the composite
+    # key (source, rank(target)) is unique per directed edge.
+    composite = src * num_nodes + rank[dst]
+    composite = np.unique(composite)
+    src = composite // num_nodes
+    dst = id_at_rank[composite % num_nodes]
+
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=num_nodes), out=indptr[1:])
+    return CSRAdjacency(
+        dictionary=dictionary,
+        indptr=indptr,
+        indices=dst.astype(np.int32),
+        entity_edge_degrees=entity_edge_degrees,
+        predicate_counts=store.predicate_counts(),
+        built_version=version,
+    )
+
+
+class AdjacencyIndex:
+    """Version-cached CSR snapshot of one store.
+
+    ``current()`` is cheap when the store hasn't moved and rebuilds the
+    snapshot otherwise — mirroring :meth:`AliasTable.refresh`.
+    """
+
+    def __init__(self, store: TripleStore) -> None:
+        self.store = store
+        self._snapshot: CSRAdjacency | None = None
+        self.rebuild_count = 0
+
+    @property
+    def is_stale(self) -> bool:
+        """True when no snapshot exists or the store version moved."""
+        return self._snapshot is None or self._snapshot.built_version != self.store.version
+
+    def current(self) -> CSRAdjacency:
+        """The up-to-date snapshot, rebuilding first when stale."""
+        if self.is_stale:
+            self._snapshot = build_csr(self.store)
+            self.rebuild_count += 1
+        assert self._snapshot is not None
+        return self._snapshot
+
+    def peek(self) -> CSRAdjacency | None:
+        """The snapshot only if already built and fresh; never rebuilds.
+
+        For callers that can use a warm snapshot opportunistically but
+        shouldn't pay a build for it (a CSR build dwarfs e.g. a plain
+        predicate-count sweep).
+        """
+        return None if self.is_stale else self._snapshot

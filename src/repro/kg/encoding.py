@@ -1,0 +1,86 @@
+"""Dictionary encoding: string node ids -> dense int32 ids.
+
+The physical layer under the graph engine (Saga-style "columnar, not
+object-per-edge"): every node string (entity ids, plus literal renderings
+that appear in object position) is interned once into a dense id space so
+adjacency can live in flat numpy arrays instead of dict-of-set objects.
+
+The dictionary is append-only and bidirectional: ids are assigned in
+insertion order, never reused, and both directions are O(1).  Snapshots
+(:mod:`repro.kg.adjacency`) embed the dictionary they were built with, so a
+decoded result is always consistent with the encoding that produced it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.common.errors import StoreError
+
+MAX_ID = 2**31 - 1  # ids must fit int32 (CSR ``indices`` dtype)
+
+
+class Dictionary:
+    """Append-only bidirectional string <-> int32 interner."""
+
+    __slots__ = ("_id_of", "_strings")
+
+    def __init__(self, strings: Iterable[str] = ()) -> None:
+        self._id_of: dict[str, int] = {}
+        self._strings: list[str] = []
+        for string in strings:
+            self.intern(string)
+
+    def intern(self, string: str) -> int:
+        """Id of ``string``, assigning the next dense id on first sight."""
+        node_id = self._id_of.get(string)
+        if node_id is None:
+            node_id = len(self._strings)
+            if node_id > MAX_ID:
+                raise StoreError("dictionary exceeds int32 id space")
+            self._id_of[string] = node_id
+            self._strings.append(string)
+        return node_id
+
+    def get(self, string: str) -> int | None:
+        """Id of ``string``, or ``None`` when never interned."""
+        return self._id_of.get(string)
+
+    def id_of(self, string: str) -> int:
+        """Id of ``string`` (raises for unknown strings)."""
+        try:
+            return self._id_of[string]
+        except KeyError:
+            raise StoreError(f"string not in dictionary: {string!r}") from None
+
+    def string_of(self, node_id: int) -> str:
+        """String interned as ``node_id`` (raises for out-of-range ids)."""
+        if 0 <= node_id < len(self._strings):
+            return self._strings[node_id]
+        raise StoreError(f"id not in dictionary: {node_id!r}")
+
+    def encode_many(self, strings: Iterable[str]) -> list[int]:
+        """Ids of already-interned ``strings`` (raises on unknowns)."""
+        id_of = self._id_of
+        try:
+            return [id_of[string] for string in strings]
+        except KeyError as exc:
+            raise StoreError(f"string not in dictionary: {exc.args[0]!r}") from None
+
+    def decode_many(self, node_ids: Iterable[int]) -> list[str]:
+        """Strings for ``node_ids`` (raises on out-of-range ids)."""
+        return [self.string_of(node_id) for node_id in node_ids]
+
+    def strings(self) -> list[str]:
+        """All interned strings, id order (a copy)."""
+        return list(self._strings)
+
+    def _strings_view(self) -> list[str]:
+        """Internal zero-copy view for hot paths; callers must not mutate."""
+        return self._strings
+
+    def __contains__(self, string: str) -> bool:
+        return string in self._id_of
+
+    def __len__(self) -> int:
+        return len(self._strings)

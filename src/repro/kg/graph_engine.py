@@ -6,17 +6,28 @@ sets* of entities/triples for batch inference, and *pre-computed graph
 traversals* (random walks) that power the specialized related-entities
 embeddings (§2: "we use the scalable graph processing capabilities of our
 graph engine to pre-compute graph traversals").
+
+Traversals run over a dictionary-encoded CSR snapshot of the store
+(:mod:`repro.kg.adjacency`), rebuilt lazily when ``TripleStore.version``
+moves.  A walk step is an O(1) row slice plus one bounded RNG draw; results
+are byte-identical to the historical set-based traversals (rows are
+pre-sorted by neighbor string, and draws replay ``Generator.integers``
+exactly via :mod:`repro.common.fastrand`).
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass
+from itertools import chain
 
 import numpy as np
 
+from repro.common import fastrand
+from repro.common.fastrand import MASK32, refill_halves
 from repro.common.rng import substream
+from repro.kg.adjacency import AdjacencyIndex, CSRAdjacency
 from repro.kg.store import TripleStore
 from repro.kg.triple import Fact, ObjectKind
 
@@ -38,6 +49,15 @@ class GraphEngine:
 
     def __init__(self, store: TripleStore) -> None:
         self.store = store
+        self._adjacency = AdjacencyIndex(store)
+
+    def snapshot(self) -> CSRAdjacency:
+        """The current CSR adjacency snapshot (rebuilt when the store moved)."""
+        return self._adjacency.current()
+
+    def peek_snapshot(self) -> CSRAdjacency | None:
+        """The CSR snapshot only if already built and fresh (no rebuild)."""
+        return self._adjacency.peek()
 
     # -- pattern matching -----------------------------------------------------
 
@@ -84,38 +104,76 @@ class GraphEngine:
         """
         if hops < 0:
             raise ValueError(f"hops must be >= 0, got {hops}")
-        frontier = {entity}
-        visited = {entity}
+        snapshot = self.snapshot()
+        node_id = snapshot.dictionary.get(entity)
+        if node_id is None:
+            return set()
+        # Frontier expansion via set.update over pre-sliced id rows: the
+        # C-level union beats per-node Python neighbor rebuilds and, at
+        # moderate frontier sizes, numpy's fixed per-hop costs too.
+        id_rows = snapshot.neighbor_id_rows()
+        visited = {node_id}
+        frontier: tuple[int, ...] = (node_id,)
         for _ in range(hops):
-            next_frontier: set[str] = set()
-            for node in frontier:
-                for neighbor in self.store.neighbors(node):
-                    if neighbor not in visited:
-                        visited.add(neighbor)
-                        next_frontier.add(neighbor)
-            frontier = next_frontier
             if not frontier:
                 break
-        visited.discard(entity)
-        return visited
+            expanded: set[int] = set()
+            update = expanded.update
+            for node in frontier:
+                update(id_rows[node])
+            expanded -= visited
+            visited |= expanded
+            frontier = tuple(expanded)
+        visited.discard(node_id)
+        strings = snapshot.dictionary._strings_view()
+        return {strings[i] for i in visited}
 
     def shortest_path_length(self, source: str, target: str, cutoff: int = 6) -> int | None:
         """Unweighted shortest-path length, or ``None`` beyond ``cutoff``."""
         if source == target:
             return 0
-        queue: deque[tuple[str, int]] = deque([(source, 0)])
-        visited = {source}
+        snapshot = self.snapshot()
+        source_id = snapshot.dictionary.get(source)
+        target_id = snapshot.dictionary.get(target)
+        if source_id is None or target_id is None:
+            return None
+        indptr, indices, _, _ = snapshot.lists()
+        queue: deque[tuple[int, int]] = deque([(source_id, 0)])
+        seen = {source_id}
         while queue:
             node, depth = queue.popleft()
             if depth >= cutoff:
                 continue
-            for neighbor in self.store.neighbors(node):
-                if neighbor == target:
+            for neighbor in indices[indptr[node] : indptr[node + 1]]:
+                if neighbor == target_id:
                     return depth + 1
-                if neighbor not in visited:
-                    visited.add(neighbor)
+                if neighbor not in seen:
+                    seen.add(neighbor)
                     queue.append((neighbor, depth + 1))
         return None
+
+    def random_walks_ids(
+        self,
+        entities: list[str],
+        walk_length: int = 8,
+        walks_per_entity: int = 4,
+        seed: int = 0,
+    ) -> tuple[list[list[int]], CSRAdjacency]:
+        """Random walks in encoded (dictionary-id) form, plus their snapshot.
+
+        A seed entity absent from the snapshot dictionary yields the
+        sentinel walk ``[-1]`` (it has no edges by construction).  Walks are
+        grouped ``walks_per_entity`` at a time in ``entities`` order —
+        exactly the layout :meth:`random_walks` decodes.
+        """
+        snapshot = self.snapshot()
+        rng = substream(seed, "random-walks")
+        steps = walk_length - 1
+        if fastrand.lemire_matches_numpy():
+            walks = _walks_lemire(snapshot, entities, steps, walks_per_entity, rng)
+        else:
+            walks = _walks_generator(snapshot, entities, steps, walks_per_entity, rng)
+        return walks, snapshot
 
     def random_walks(
         self,
@@ -129,19 +187,20 @@ class GraphEngine:
         Walks are the traversal samples the related-entities embedding
         consumes; dead ends truncate a walk early.  Deterministic per seed.
         """
-        rng = substream(seed, "random-walks")
+        encoded, snapshot = self.random_walks_ids(
+            entities, walk_length=walk_length, walks_per_entity=walks_per_entity, seed=seed
+        )
+        strings = snapshot.dictionary._strings_view()
         walks: list[list[str]] = []
+        cursor = 0
         for entity in entities:
             for _ in range(walks_per_entity):
-                walk = [entity]
-                current = entity
-                for _ in range(walk_length - 1):
-                    neighbors = sorted(self.store.neighbors(current))
-                    if not neighbors:
-                        break
-                    current = neighbors[int(rng.integers(len(neighbors)))]
-                    walk.append(current)
-                walks.append(walk)
+                walk = encoded[cursor]
+                cursor += 1
+                if walk[0] < 0:
+                    walks.append([entity])
+                else:
+                    walks.append([strings[node] for node in walk])
         return walks
 
     def co_neighbor_counts(self, entity: str) -> dict[str, int]:
@@ -150,12 +209,16 @@ class GraphEngine:
         Used as ground truth for the related-entities evaluation: LeBron and
         Curry share awards/teams, LeBron and a random city share nothing.
         """
-        mine = self.store.neighbors(entity)
-        counts: dict[str, int] = {}
-        for neighbor in mine:
-            for second in self.store.neighbors(neighbor):
-                if second != entity:
-                    counts[second] = counts.get(second, 0) + 1
+        snapshot = self._adjacency.current()
+        # Pre-grouped second-hop rows make this a dict lookup plus one
+        # C-level Counter pass over decoded strings (no per-query id->string
+        # decode); the seed itself is popped afterwards, matching the
+        # historical "skip self" filter.
+        rows = snapshot.second_hop_string_rows().get(entity)
+        if not rows:
+            return {}
+        counts: Counter[str] = Counter(chain.from_iterable(rows))
+        counts.pop(entity, None)
         return counts
 
     # -- candidate generation (Figure 3, inference path) ------------------------
@@ -202,9 +265,117 @@ class GraphEngine:
                 yield fact
 
     def degree_distribution(self) -> dict[str, int]:
-        """Total (in+out) degree per entity over entity-valued edges."""
-        degrees: dict[str, int] = {}
-        for fact in self.entity_edges():
-            degrees[fact.subject] = degrees.get(fact.subject, 0) + 1
-            degrees[fact.obj] = degrees.get(fact.obj, 0) + 1
-        return degrees
+        """Total (in+out) degree per entity over entity-valued edges.
+
+        Counts facts, not distinct neighbors: parallel edges under different
+        predicates each contribute, matching the historical scan-based
+        implementation.
+        """
+        snapshot = self.snapshot()
+        degrees = snapshot.entity_edge_degrees
+        nonzero = np.flatnonzero(degrees)
+        strings = snapshot.dictionary._strings_view()
+        return dict(
+            zip((strings[i] for i in nonzero.tolist()), degrees[nonzero].tolist())
+        )
+
+
+def _walks_lemire(
+    snapshot: CSRAdjacency,
+    entities: list[str],
+    steps: int,
+    walks_per_entity: int,
+    rng: np.random.Generator,
+) -> list[list[int]]:
+    """Walk sampler with inlined Lemire draws over the raw PCG64 stream.
+
+    The inner loop replays ``rng.integers(degree)`` bit-for-bit — it is a
+    hand-inlined copy of :meth:`fastrand.Lemire32.randbelow` (same buffer
+    via :func:`fastrand.refill_halves`, same multiply-shift/threshold
+    arithmetic) kept in lockstep because a method call per step would cost
+    more than the step itself.  ``test_walks_byte_identical_to_reference``
+    pins this copy against the real ``Generator.integers``.
+    """
+    indptr, indices, degrees, _ = snapshot.lists()
+    id_of = snapshot.dictionary.get
+    walks: list[list[int]] = []
+    half: list[int] = []
+    position = 0
+    limit = 0
+    for entity in entities:
+        start = id_of(entity)
+        for _ in range(walks_per_entity):
+            if start is None:
+                walks.append([-1])
+                continue
+            current = start
+            walk = [current]
+            append = walk.append
+            for _ in range(steps):
+                degree = degrees[current]
+                if degree == 0:
+                    break
+                if degree == 1:
+                    # integers(1) consumes no bits and returns 0.
+                    current = indices[indptr[current]]
+                else:
+                    if position >= limit:
+                        half = refill_halves(rng)
+                        position = 0
+                        limit = len(half)
+                    m = half[position] * degree
+                    position += 1
+                    leftover = m & MASK32
+                    if leftover < degree:
+                        threshold = (4294967296 - degree) % degree
+                        while leftover < threshold:
+                            if position >= limit:
+                                half = refill_halves(rng)
+                                position = 0
+                                limit = len(half)
+                            m = half[position] * degree
+                            position += 1
+                            leftover = m & MASK32
+                    current = indices[indptr[current] + (m >> 32)]
+                append(current)
+            walks.append(walk)
+    return walks
+
+
+def _walks_generator(
+    snapshot: CSRAdjacency,
+    entities: list[str],
+    steps: int,
+    walks_per_entity: int,
+    rng: np.random.Generator,
+) -> list[list[int]]:
+    """Fallback walk sampler: one ``Generator.integers`` call per step.
+
+    Used when this NumPy's bounded-integer algorithm differs from the
+    Lemire replication — slower but still CSR-based and byte-identical.
+    Unlike the Lemire loop, degree-1 nodes still call ``integers(1)``:
+    whether that call consumes stream bits is exactly the implementation
+    detail this fallback refuses to assume, and the historical code drew
+    unconditionally.
+    """
+    indptr, indices, degrees, _ = snapshot.lists()
+    id_of = snapshot.dictionary.get
+    integers = rng.integers
+    walks: list[list[int]] = []
+    for entity in entities:
+        start = id_of(entity)
+        for _ in range(walks_per_entity):
+            if start is None:
+                walks.append([-1])
+                continue
+            current = start
+            walk = [current]
+            append = walk.append
+            for _ in range(steps):
+                degree = degrees[current]
+                if degree == 0:
+                    break
+                current = indices[indptr[current] + int(integers(degree))]
+                append(current)
+            walks.append(walk)
+    return walks

@@ -88,9 +88,9 @@ class KGProfiler:
                     type_totals[type_id] = type_totals.get(type_id, 0) + 1
             if not expected and not record.types:
                 continue
-            present = {
-                fact.predicate for fact in self.store.scan(subject=record.entity)
-            }
+            # Index-level predicate lookup: O(distinct predicates) per
+            # entity instead of materialising every fact object.
+            present = self.store.predicates_of(record.entity)
             for type_id in record.types:
                 if not self.ontology.has_type(type_id):
                     continue

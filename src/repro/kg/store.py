@@ -120,6 +120,12 @@ class TripleStore:
         confidence and the newest timestamp — the fusion semantics the
         construction pipeline relies on.
         """
+        stored = self._upsert(fact)
+        self.version += 1
+        return stored
+
+    def _upsert(self, fact: Fact) -> Fact:
+        """Upsert without touching ``version`` (shared by add/add_all)."""
         existing = self._facts.get(fact.key)
         if existing is not None:
             merged = existing.with_metadata(
@@ -128,33 +134,63 @@ class TripleStore:
                 updated_at=max(existing.updated_at, fact.updated_at),
             )
             self._facts[fact.key] = merged
-            self.version += 1
             return merged
         self._facts[fact.key] = fact
         subject, predicate, obj = fact.key
         self._spo[subject][predicate].add(obj)
         self._pos[predicate][obj].add(subject)
         self._osp[obj][subject].add(predicate)
-        self.version += 1
         return fact
 
     def add_all(self, facts: Iterable[Fact]) -> int:
-        """Upsert many facts; returns the number processed."""
+        """Upsert many facts; returns the number processed.
+
+        The whole batch advances ``version`` once (not once per fact), so
+        bulk loads don't make version-watching consumers (views, alias
+        tables, adjacency snapshots) look hundreds of rebuilds behind.
+        The bump happens even when the iterable raises mid-batch —
+        whatever was upserted before the error must still invalidate
+        version-watching caches.
+        """
         count = 0
-        for fact in facts:
-            self.add(fact)
-            count += 1
+        try:
+            for fact in facts:
+                self._upsert(fact)
+                count += 1
+        finally:
+            if count:
+                self.version += 1
         return count
 
     def remove(self, subject: str, predicate: str, obj: str) -> bool:
-        """Delete the fact with key (s, p, o); returns whether it existed."""
+        """Delete the fact with key (s, p, o); returns whether it existed.
+
+        Inner index entries emptied by the delete are pruned so long
+        add/remove churn doesn't bloat the permutation indexes or skew
+        ``predicates()``/``predicate_counts()`` iteration cost.
+        """
         key = (subject, predicate, obj)
         if key not in self._facts:
             return False
         del self._facts[key]
-        self._spo[subject][predicate].discard(obj)
-        self._pos[predicate][obj].discard(subject)
-        self._osp[obj][subject].discard(predicate)
+        by_pred = self._spo[subject]
+        by_pred[predicate].discard(obj)
+        if not by_pred[predicate]:
+            del by_pred[predicate]
+            if not by_pred:
+                del self._spo[subject]
+        by_obj = self._pos[predicate]
+        by_obj[obj].discard(subject)
+        if not by_obj[obj]:
+            del by_obj[obj]
+            if not by_obj:
+                del self._pos[predicate]
+        by_subj = self._osp[obj]
+        by_subj[subject].discard(predicate)
+        if not by_subj[subject]:
+            del by_subj[subject]
+            if not by_subj:
+                del self._osp[obj]
         self.version += 1
         return True
 
@@ -220,6 +256,17 @@ class TripleStore:
     def facts_of(self, subject: str) -> list[Fact]:
         """All facts with ``subject`` as subject."""
         return list(self.scan(subject=subject))
+
+    def predicates_of(self, subject: str) -> set[str]:
+        """Distinct predicates on ``subject``'s outgoing facts (O(result)).
+
+        Reads the SPO index directly instead of materialising facts — the
+        profiler's per-entity coverage check runs on this.
+        """
+        by_pred = self._spo.get(subject)
+        if not by_pred:
+            return set()
+        return {pred for pred, objs in by_pred.items() if objs}
 
     def predicates(self) -> list[str]:
         """Distinct predicates with at least one fact."""

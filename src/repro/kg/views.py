@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import ViewError
+from repro.kg.graph_engine import GraphEngine
 from repro.kg.store import TripleStore
 from repro.kg.triple import Fact, LiteralType, ObjectKind
 
@@ -89,14 +90,29 @@ class MaterializedView:
         return self.facts_kept / self.facts_in if self.facts_in else 0.0
 
 
-def materialize(definition: ViewDefinition, base: TripleStore) -> MaterializedView:
+def materialize(
+    definition: ViewDefinition,
+    base: TripleStore,
+    engine: GraphEngine | None = None,
+) -> MaterializedView:
     """Build ``definition`` over ``base`` into a fresh store.
 
     Entity descriptors of surviving entities are copied so downstream
     consumers (alias tables, popularity priors) work off the view alone.
+
+    When ``engine`` (over ``base``) is provided and its CSR snapshot is
+    already warm for the current base version, predicate frequencies come
+    from that snapshot for free.  A cold engine is left alone — building a
+    full snapshot dwarfs the plain count sweep it would replace.
     """
+    predicate_counts: dict[str, int] | None = None
+    if engine is not None and engine.store is base:
+        snapshot = engine.peek_snapshot()
+        if snapshot is not None:
+            predicate_counts = snapshot.predicate_counts
+    if predicate_counts is None:
+        predicate_counts = base.predicate_counts()
     allowed_entities = _allowed_entities(definition, base)
-    predicate_counts = base.predicate_counts()
 
     view_store = TripleStore(name=f"view:{definition.name}")
     facts_in = 0
@@ -108,10 +124,11 @@ def materialize(definition: ViewDefinition, base: TripleStore) -> MaterializedVi
 
     surviving_entities: set[str] = set()
     for fact in kept:
-        view_store.add(fact)
         surviving_entities.add(fact.subject)
         if fact.obj_kind is ObjectKind.ENTITY:
             surviving_entities.add(fact.obj)
+    # One bulk upsert: a single version bump instead of one per fact.
+    view_store.add_all(kept)
     # Entity-scoped views (type / popularity clauses) ship descriptors for
     # every allowed entity even when none of its facts survive — the §5
     # static asset is "popular entities and facts", entities first.
@@ -185,8 +202,12 @@ class ViewRegistry:
     paper's automatically-maintained views.
     """
 
-    def __init__(self, base: TripleStore) -> None:
+    def __init__(self, base: TripleStore, engine: GraphEngine | None = None) -> None:
         self.base = base
+        # An engine shared by the caller lets view refreshes reuse its warm
+        # CSR snapshot (predicate counts come for free); without one, views
+        # fall back to plain store sweeps rather than forcing CSR builds.
+        self._engine = engine
         self._definitions: dict[str, ViewDefinition] = {}
         self._materialized: dict[str, MaterializedView] = {}
         self.refresh_count = 0
@@ -211,7 +232,9 @@ class ViewRegistry:
         """The materialized view, rebuilt first if stale."""
         self._require(name)
         if self.is_stale(name):
-            self._materialized[name] = materialize(self._definitions[name], self.base)
+            self._materialized[name] = materialize(
+                self._definitions[name], self.base, engine=self._engine
+            )
             self.refresh_count += 1
         return self._materialized[name]
 

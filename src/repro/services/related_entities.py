@@ -122,15 +122,24 @@ class TraversalRelatedEntities(RelatedEntitiesBackend):
     def _build(
         self, walk_length: int, walks_per_entity: int, window: int, seed: int, dim: int
     ) -> np.ndarray:
-        walks = self.engine.random_walks(
+        # Consume walks in encoded (dictionary-id) form straight from the
+        # engine's CSR snapshot: snapshot ids translate to local row indices
+        # through one flat table, with no string round-trip per step.
+        walks, snapshot = self.engine.random_walks_ids(
             self.entities,
             walk_length=walk_length,
             walks_per_entity=walks_per_entity,
             seed=seed,
         )
+        local_of = [-1] * (len(snapshot.dictionary) + 1)  # [-1] slot: sentinel seeds
+        for local, entity in enumerate(self.entities):
+            node_id = snapshot.dictionary.get(entity)
+            if node_id is not None:
+                local_of[node_id] = local
         counts: Counter[tuple[int, int]] = Counter()
         for walk in walks:
-            indexed = [self._index_of[node] for node in walk if node in self._index_of]
+            indexed = [local_of[node] for node in walk]
+            indexed = [local for local in indexed if local >= 0]
             for i, center in enumerate(indexed):
                 for j in range(max(0, i - window), min(len(indexed), i + window + 1)):
                     if i != j:

@@ -121,6 +121,70 @@ class TestScans:
         assert stats.num_literal_facts == 1
 
 
+class TestIndexHygiene:
+    def test_remove_prunes_empty_index_entries(self):
+        store = TripleStore()
+        store.add(entity_fact("entity:a", "predicate:p", "entity:b"))
+        store.remove("entity:a", "predicate:p", "entity:b")
+        assert "entity:a" not in store._spo
+        assert "predicate:p" not in store._pos
+        assert "entity:b" not in store._osp
+        assert store.predicates() == []
+
+    def test_remove_keeps_sibling_entries(self):
+        store = TripleStore()
+        store.add(entity_fact("entity:a", "predicate:p", "entity:b"))
+        store.add(entity_fact("entity:a", "predicate:p", "entity:c"))
+        store.remove("entity:a", "predicate:p", "entity:b")
+        assert store.objects("entity:a", "predicate:p") == ["entity:c"]
+        assert store.predicate_counts() == {"predicate:p": 1}
+
+    def test_churn_does_not_accumulate_empties(self):
+        store = TripleStore()
+        for i in range(50):
+            store.add(entity_fact("entity:a", f"predicate:p{i}", "entity:b"))
+            store.remove("entity:a", f"predicate:p{i}", "entity:b")
+        assert len(store._spo) == 0 and len(store._pos) == 0 and len(store._osp) == 0
+
+    def test_predicates_of(self):
+        store = TripleStore()
+        store.add(entity_fact("entity:a", "predicate:p", "entity:b"))
+        store.add(literal_fact("entity:a", "predicate:h", 1, LiteralType.NUMBER))
+        assert store.predicates_of("entity:a") == {"predicate:p", "predicate:h"}
+        assert store.predicates_of("entity:zzz") == set()
+
+
+class TestAddAllBatching:
+    def test_add_all_bumps_version_once(self):
+        store = TripleStore()
+        before = store.version
+        added = store.add_all(
+            entity_fact("entity:a", "predicate:p", f"entity:b{i}") for i in range(10)
+        )
+        assert added == 10
+        assert store.version == before + 1
+
+    def test_empty_add_all_keeps_version(self):
+        store = TripleStore()
+        before = store.version
+        assert store.add_all([]) == 0
+        assert store.version == before
+
+    def test_partial_batch_still_bumps_version(self):
+        """Facts upserted before a mid-batch error must invalidate caches."""
+        store = TripleStore()
+        before = store.version
+
+        def exploding():
+            yield entity_fact("entity:a", "predicate:p", "entity:b")
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            store.add_all(exploding())
+        assert ("entity:a", "predicate:p", "entity:b") in store
+        assert store.version > before
+
+
 class TestRemoveConsistency:
     @settings(max_examples=25, deadline=None)
     @given(

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common.errors import IndexError_
-from repro.vector.index import ExactIndex, IVFIndex, recall_at_k
+from repro.vector.index import ExactIndex, IVFIndex, _GrowableMatrix, recall_at_k
 
 
 @pytest.fixture()
@@ -74,6 +74,52 @@ class TestExactIndex:
         index.add(keys[100:], matrix[100:])
         assert len(index) == 200
         assert index.search(matrix[150], k=1)[0].key == keys[150]
+
+
+class TestGrowableMatrix:
+    def test_appends_accumulate_in_order(self):
+        storage = _GrowableMatrix()
+        rng = np.random.default_rng(0)
+        chunks = [rng.normal(size=(n, 8)) for n in (1, 3, 17, 40)]
+        for chunk in chunks:
+            storage.append(chunk)
+        stacked = np.vstack(chunks).astype(np.float32)
+        assert len(storage) == 61
+        assert np.array_equal(storage.view(), stacked)
+
+    def test_stores_float32(self):
+        storage = _GrowableMatrix()
+        storage.append(np.ones((2, 4), dtype=np.float64))
+        assert storage.view().dtype == np.float32
+
+    def test_capacity_grows_amortised(self):
+        storage = _GrowableMatrix()
+        for i in range(100):
+            storage.append(np.full((1, 4), float(i)))
+        assert len(storage) == 100
+        # Backing buffer is a power-of-two-ish capacity >= rows, not 100 copies.
+        assert len(storage._buffer) >= 100
+        assert np.array_equal(storage.view()[:, 0], np.arange(100, dtype=np.float32))
+
+    def test_dimension_mismatch_rejected(self):
+        storage = _GrowableMatrix()
+        storage.append(np.ones((1, 4)))
+        with pytest.raises(IndexError_):
+            storage.append(np.ones((1, 5)))
+
+    def test_one_by_one_adds_match_bulk_search(self):
+        rng = np.random.default_rng(9)
+        matrix = rng.normal(size=(50, 8))
+        keys = [f"entity:k{i}" for i in range(50)]
+        bulk = ExactIndex()
+        bulk.add(keys, matrix)
+        incremental = ExactIndex()
+        for key, row in zip(keys, matrix):
+            incremental.add([key], row[None, :])
+        for query in matrix[:5]:
+            assert [h.key for h in bulk.search(query, k=5)] == [
+                h.key for h in incremental.search(query, k=5)
+            ]
 
 
 class TestIVFIndex:
