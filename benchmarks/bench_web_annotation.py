@@ -102,7 +102,7 @@ def test_cached_entity_embeddings(benchmark, bench_kg):
 
     cold_index = EntityContextIndex(bench_kg.store)
     cold = make_pipeline(bench_kg.store, tier="full", context_index=cold_index)
-    cold_index.cache._data.clear()  # truly cold
+    cold_index.clear()  # truly cold: rows and the KV mirror both forgotten
     start = time.perf_counter()
     for text in texts:
         cold.annotate(text)

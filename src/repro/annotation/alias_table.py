@@ -28,6 +28,11 @@ class AliasEntry:
     exact: bool = True
 
 
+# Terminal marker inside trie nodes.  Trie edges are normalised words
+# (strings), so ``None`` can never collide with an edge label.
+TRIE_KEY = None
+
+
 class AliasTable:
     """Normalised-name lookup with optional fuzzy fallback."""
 
@@ -37,6 +42,8 @@ class AliasTable:
         self._exact: dict[str, list[AliasEntry]] = {}
         self._by_first_char: dict[str, list[str]] = {}
         self._key_grams: dict[str, Counter[str]] = {}
+        self._trie: dict = {}
+        self._max_key_tokens = 1
         self._built_version = -1
         self.refresh()
 
@@ -75,6 +82,22 @@ class AliasTable:
         # compares the query against every same-initial key, and recomputing
         # key grams per query made each miss O(total key characters).
         self._key_grams = {key: char_ngrams(key) for key in self._exact}
+        # Token-level longest-match trie over the normalised keys, walked by
+        # the mention detector: one dict hop per normalised word instead of
+        # re-normalising every token window (keys are non-empty, so the root
+        # never carries a terminal).  ``max_key_tokens`` is cached alongside
+        # it — the detector reads it once per document.
+        trie: dict = {}
+        max_key_tokens = 1
+        for key in self._exact:
+            words = key.split(" ")
+            max_key_tokens = max(max_key_tokens, len(words))
+            node = trie
+            for word in words:
+                node = node.setdefault(word, {})
+            node[TRIE_KEY] = True
+        self._trie = trie
+        self._max_key_tokens = max_key_tokens
         self._built_version = self.store.version
 
     @property
@@ -125,6 +148,15 @@ class AliasTable:
         """True when an exact-normalised entry exists for ``surface``."""
         return normalize_name(surface) in self._exact
 
+    @property
+    def trie(self) -> dict:
+        """Word-level trie over normalised keys (built at refresh).
+
+        Nested dicts: edge labels are normalised words; a ``TRIE_KEY``
+        entry marks that the path from the root spells a complete key.
+        """
+        return self._trie
+
     def max_key_tokens(self) -> int:
         """Longest key length in tokens (bounds the detector's n-grams)."""
-        return max((key.count(" ") + 1 for key in self._exact), default=1)
+        return self._max_key_tokens

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from repro.annotation.alias_table import AliasTable
 from repro.annotation.mention import Candidate, Mention
-from repro.common.text import name_similarity
+from repro.common.text import char_ngrams, dice_similarity
 from repro.kg.store import TripleStore
 
 
@@ -36,7 +36,12 @@ class CandidateGenerator:
         entries = self.alias_table.lookup(mention.surface)
         if not entries and self.config.enable_fuzzy:
             entries = self.alias_table.lookup_fuzzy(mention.surface)
+        if not entries:
+            return []
         candidates: list[Candidate] = []
+        # The mention-side n-grams are shared by every candidate's Dice
+        # comparison; hash them once per mention, not once per candidate.
+        mention_grams = char_ngrams(mention.surface)
         for entry in entries[: self.config.max_candidates]:
             entity_name = (
                 self.store.entity(entry.entity).name
@@ -47,7 +52,9 @@ class CandidateGenerator:
                 Candidate(
                     entity=entry.entity,
                     prior=entry.prior,
-                    name_similarity=name_similarity(mention.surface, entity_name),
+                    name_similarity=dice_similarity(
+                        mention_grams, char_ngrams(entity_name)
+                    ),
                 )
             )
         return candidates

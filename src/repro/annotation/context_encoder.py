@@ -6,16 +6,26 @@ popularity) and computing a similarity with the query embedding".
 
 The encoder hashes content tokens into a fixed-dimension signed bag-of-
 words vector (deterministic across processes — see
-:func:`repro.common.rng.stable_hash`).  Entity context vectors are built
-from the entity's description, type names and neighbour names, then cached
-in a low-latency KV store exactly as §3.2 prescribes, so query-time work
-is one text hash + dot products.
+:func:`repro.common.rng.stable_hash`).  Token → (slot, sign) pairs are
+memoised — the two SHA digests per token are paid once per distinct token,
+not once per occurrence — and all mention windows of a document can be
+encoded into one matrix with :meth:`HashingContextEncoder.encode_batch`.
+Because each pre-normalisation vector is a sum of ±1 contributions (exact
+in float64 regardless of accumulation order), batched encodings are
+bitwise identical to one-at-a-time encodings.
+
+Entity context vectors are built from the entity's description, type names
+and neighbour names.  :class:`EntityContextIndex` keeps them in a growable
+float64 row matrix keyed by a dense entity→row map — the columnar view the
+batched reranker does its one-matmul scoring against — while the
+low-latency KV store of §3.2 remains the persistence-facing view.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.common.growable import GrowableMatrix
 from repro.common.kvstore import KVStore, MemoryKVStore
 from repro.common.rng import stable_hash
 from repro.common.text import content_tokens
@@ -30,15 +40,42 @@ class HashingContextEncoder:
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         self.dim = dim
+        self._slot_sign: dict[str, tuple[int, float]] = {}
+
+    # Open-ended web vocabularies must not grow encoder state without
+    # bound; the memo is a pure function of the token, so a wholesale
+    # drop only costs recomputation.
+    _MEMO_LIMIT = 1_000_000
+
+    def _feature(self, token: str) -> tuple[int, float]:
+        """Memoised (slot, sign) of one token."""
+        cached = self._slot_sign.get(token)
+        if cached is None:
+            slot = stable_hash(token, self.dim)
+            sign = 1.0 if stable_hash("sign:" + token, 2) else -1.0
+            cached = (slot, sign)
+            if len(self._slot_sign) >= self._MEMO_LIMIT:
+                self._slot_sign.clear()
+            self._slot_sign[token] = cached
+        return cached
 
     def encode_tokens(self, tokens: list[str]) -> np.ndarray:
         """Unit-norm hashed embedding of a token list (zeros when empty)."""
         vector = np.zeros(self.dim, dtype=np.float64)
         for token in tokens:
-            slot = stable_hash(token, self.dim)
-            sign = 1.0 if stable_hash("sign:" + token, 2) else -1.0
+            slot, sign = self._feature(token)
             vector[slot] += sign
         return normalize_rows(vector[None, :])[0]
+
+    def encode_batch(self, token_lists: list[list[str]]) -> np.ndarray:
+        """One unit-norm row per token list — bitwise equal to per-list
+        :meth:`encode_tokens` (±1 accumulation is exact in float64)."""
+        matrix = np.zeros((len(token_lists), self.dim), dtype=np.float64)
+        for row, tokens in enumerate(token_lists):
+            for token in tokens:
+                slot, sign = self._feature(token)
+                matrix[row, slot] += sign
+        return normalize_rows(matrix)
 
     def encode_text(self, text: str) -> np.ndarray:
         """Hashed embedding of raw text (stopwords removed)."""
@@ -46,11 +83,15 @@ class HashingContextEncoder:
 
 
 class EntityContextIndex:
-    """Precomputed, cached context embeddings of KG entities.
+    """Precomputed context embeddings of KG entities, stored columnar.
 
     The §3.2 price/performance optimisation: entity vectors are computed
-    once per KG version and served from the KV cache; only the *query*
-    side is embedded at annotation time.
+    once per KG version and served from a dense row matrix; only the
+    *query* side is embedded at annotation time.  The KV cache mirrors the
+    matrix as the persistence-facing view (and absorbs vectors adopted
+    from it on a row-map miss).  Rows are float64 on purpose: the batched
+    reranker's scores are parity-checked against the scalar reference
+    implementation, which never leaves float64.
     """
 
     def __init__(
@@ -64,13 +105,19 @@ class EntityContextIndex:
         self.encoder = encoder or HashingContextEncoder()
         self.cache = cache or MemoryKVStore()
         self.neighbor_limit = neighbor_limit
+        self._matrix = GrowableMatrix(dtype=np.float64)
+        self._row_of: dict[str, int] = {}
         self._built_version = -1
 
     def build(self) -> int:
         """(Re)compute vectors for every entity; returns count built."""
+        self._matrix.clear()
+        self._row_of = {}
         count = 0
         for record in self.store.entities():
-            self.cache.put(record.entity, self._compute(record.entity))
+            vector = self._compute(record.entity)
+            self._adopt(record.entity, vector)
+            self.cache.put(record.entity, vector)
             count += 1
         self._built_version = self.store.version
         return count
@@ -80,14 +127,54 @@ class EntityContextIndex:
         """True when the store changed since the last build."""
         return self._built_version != self.store.version
 
+    def clear(self) -> None:
+        """Forget all vectors (rows and KV mirror); the index reads cold."""
+        self._matrix.clear()
+        self._row_of = {}
+        self.cache.clear()
+        self._built_version = -1
+
+    def __len__(self) -> int:
+        return len(self._row_of)
+
+    def _adopt(self, entity: str, vector: np.ndarray) -> int:
+        """Append ``vector`` as ``entity``'s row; returns the row id."""
+        row = len(self._row_of)
+        self._row_of[entity] = row
+        self._matrix.append(vector)
+        return row
+
+    def _row(self, entity: str) -> int:
+        """Row id of ``entity``, materialising a vector on miss.
+
+        Miss order mirrors the historical KV lookup: a vector already in
+        the cache (e.g. written before a rebuild) is adopted as-is;
+        otherwise one is computed from the live store and persisted.
+        """
+        row = self._row_of.get(entity)
+        if row is not None:
+            return row
+        vector = self.cache.get(entity)
+        if vector is None:
+            vector = self._compute(entity)
+            self.cache.put(entity, vector)
+        return self._adopt(entity, np.asarray(vector, dtype=np.float64))
+
     def vector(self, entity: str) -> np.ndarray:
-        """Cached context vector (computed on miss)."""
-        cached = self.cache.get(entity)
-        if cached is not None:
-            return cached
-        vector = self._compute(entity)
-        self.cache.put(entity, vector)
-        return vector
+        """Context vector of ``entity`` (computed and adopted on miss)."""
+        row = self._row(entity)
+        return self._matrix.view()[row]
+
+    def rows(self, entities: list[str]) -> np.ndarray:
+        """Context vectors of ``entities`` as one (len, dim) matrix."""
+        if not entities:
+            return np.zeros((0, self.encoder.dim), dtype=np.float64)
+        row_of = self._row_of
+        for entity in entities:
+            if entity not in row_of:
+                self._row(entity)
+        index = np.array([row_of[entity] for entity in entities], dtype=np.intp)
+        return self._matrix.view()[index]
 
     def _compute(self, entity: str) -> np.ndarray:
         """Description + type names + neighbour names, hashed."""

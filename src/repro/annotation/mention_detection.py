@@ -5,15 +5,61 @@ the alias table, with a capitalisation gate so common lowercase words
 ("root" the noun vs. "Root" the cricketer) don't fire spurious mentions.
 Modular per §3.2 — the pipeline accepts any detector implementing
 ``detect(text)``.
+
+The scan walks the alias table's word-level trie: each token is normalised
+once (memoised across documents) and a candidate window advances one dict
+hop per word, so detection is O(tokens · trie depth) with zero per-window
+substring slicing or re-normalisation.  The historical per-window
+``normalize_name`` path survives only as a fallback for the rare spans
+whose inter-token characters themselves normalise to word characters
+(accented names like "José"), where per-token normalisation cannot
+reproduce :func:`repro.common.text.normalize_name` of the joined surface.
 """
 
 from __future__ import annotations
 
+import re
+import unicodedata
 from dataclasses import dataclass
 
-from repro.annotation.alias_table import AliasTable
+from repro.annotation.alias_table import TRIE_KEY, AliasTable
 from repro.annotation.mention import Mention
 from repro.common.text import tokenize_with_offsets
+
+_WORD_RE = re.compile(r"\w")
+
+# Memo bounds: an open-ended web vocabulary must not grow detector state
+# without limit in a long-lived serving process.  The maps are pure
+# functions of their key, so dropping them wholesale only costs
+# recomputation.
+_TOKEN_MEMO_LIMIT = 500_000
+_GAP_MEMO_LIMIT = 100_000
+
+
+def _token_words(token: str) -> list[str]:
+    """Normalised words of one token (as ``normalize_name`` would emit).
+
+    Tokens match ``[A-Za-z0-9']+`` so NFKD and the ASCII round-trip are
+    identity; only lowercasing and the apostrophe→space substitution of
+    ``normalize_name`` apply.  A token can normalise to several words
+    ("O'Brien" → ["o", "brien"]) or to none ("'''").
+    """
+    return token.lower().replace("'", " ").split()
+
+
+def _gap_is_separator(gap: str) -> bool:
+    """True when the text between two tokens normalises to pure whitespace.
+
+    Such a gap contributes exactly the word boundary the trie walk assumes.
+    A gap that normalises to nothing at all would glue neighbouring words
+    ("Joe\\u0301Root" → "joeroot"), and one that normalises to word
+    characters ("é" → "e") would extend them — both are flagged dirty and
+    routed to the exact per-window fallback.
+    """
+    decomposed = unicodedata.normalize("NFKD", gap)
+    ascii_only = decomposed.encode("ascii", "ignore").decode("ascii").lower()
+    cleaned = re.sub(r"[^\w\s]", " ", ascii_only)
+    return bool(cleaned) and _WORD_RE.search(cleaned) is None
 
 
 @dataclass
@@ -26,39 +72,156 @@ class MentionDetectorConfig:
 
 
 class DictionaryMentionDetector:
-    """Greedy longest-match detection against the alias table."""
+    """Greedy longest-match detection against the alias table's trie."""
 
     def __init__(
         self, alias_table: AliasTable, config: MentionDetectorConfig | None = None
     ) -> None:
         self.alias_table = alias_table
         self.config = config or MentionDetectorConfig()
+        # Memoised normalisations: token vocabularies and separator strings
+        # repeat massively across a corpus; both maps are pure functions of
+        # their key so they survive alias-table refreshes.  The token memo
+        # stores ``(single_word_or_None, words, is_capitalised)`` — the
+        # overwhelmingly common one-word case advances the trie with a
+        # single dict hop, no list iteration.
+        self._token_memo: dict[str, tuple[str | None, list[str], bool]] = {}
+        self._gap_sep: dict[str, bool] = {}
 
     def detect(self, text: str) -> list[Mention]:
         """Non-overlapping mentions, left to right, longest match first."""
         tokens = tokenize_with_offsets(text)
+        if not tokens:
+            return []
         config = self.config
-        max_ngram = min(config.max_ngram, self.alias_table.max_key_tokens())
+        table = self.alias_table
+        trie = table.trie
+        max_ngram = min(config.max_ngram, table.max_key_tokens())
+        min_chars = config.min_surface_chars
+        require_cap = config.require_capitalized
+
+        memo = self._token_memo
+        singles: list[str | None] = []
+        words: list[list[str]] = []
+        caps: list[bool] = []
+        for token, _, _ in tokens:
+            cached = memo.get(token)
+            if cached is None:
+                token_words = _token_words(token)
+                single = token_words[0] if len(token_words) == 1 else None
+                cached = (single, token_words, token[:1].isupper())
+                if len(memo) >= _TOKEN_MEMO_LIMIT:
+                    memo.clear()
+                memo[token] = cached
+            singles.append(cached[0])
+            words.append(cached[1])
+            caps.append(cached[2])
+
+        # Gap classification.  Pure-ASCII text without underscores cannot
+        # contain a dirty gap (every non-token ASCII char normalises to
+        # whitespace), which skips per-gap work for almost every document.
+        clean_gap: list[bool] | None = None
+        all_clean = True
+        if not (text.isascii() and "_" not in text):
+            gap_memo = self._gap_sep
+            clean_gap = []
+            for idx in range(len(tokens) - 1):
+                gap = text[tokens[idx][2] : tokens[idx + 1][1]]
+                flag = gap_memo.get(gap)
+                if flag is None:
+                    flag = _gap_is_separator(gap)
+                    if len(gap_memo) >= _GAP_MEMO_LIMIT:
+                        gap_memo.clear()
+                    gap_memo[gap] = flag
+                clean_gap.append(flag)
+            all_clean = all(clean_gap)
+
         mentions: list[Mention] = []
+        num_tokens = len(tokens)
         i = 0
-        while i < len(tokens):
-            matched = False
-            for n in range(min(max_ngram, len(tokens) - i), 0, -1):
-                window = tokens[i : i + n]
-                surface = text[window[0][1] : window[-1][2]]
-                if len(surface) < config.min_surface_chars:
+        while i < num_tokens:
+            limit = min(max_ngram, num_tokens - i)
+            matched_n = 0
+            # A window of n tokens consumes gaps i .. i+n-2; if any of them
+            # is dirty the per-token word lists misrepresent the surface
+            # (glued or extended words), so the whole position goes through
+            # the exact per-window scan.
+            if not all_clean and not all(clean_gap[i : i + limit - 1]):
+                matched_n = self._match_at_slow(text, tokens, i, limit)
+                start_char = tokens[i][1]
+            else:
+                # First hop out of the root, before any window state.
+                single = singles[i]
+                if single is not None:
+                    node = trie.get(single)
+                else:
+                    node = trie
+                    for word in words[i]:
+                        node = node.get(word)
+                        if node is None:
+                            break
+                if node is None:
+                    i += 1
                     continue
-                if config.require_capitalized and not any(
-                    tok[0][:1].isupper() for tok in window
+                start_char = tokens[i][1]
+                any_cap = caps[i]
+                if (
+                    TRIE_KEY in node
+                    and tokens[i][2] - start_char >= min_chars
+                    and (any_cap or not require_cap)
                 ):
-                    continue
-                if self.alias_table.contains(surface):
-                    mentions.append(
-                        Mention(start=window[0][1], end=window[-1][2], surface=surface)
+                    matched_n = 1
+                for j in range(i + 1, i + limit):
+                    single = singles[j]
+                    if single is not None:
+                        node = node.get(single)
+                    else:
+                        for word in words[j]:
+                            node = node.get(word)
+                            if node is None:
+                                break
+                    if node is None:
+                        break
+                    if caps[j]:
+                        any_cap = True
+                    if TRIE_KEY in node:
+                        if tokens[j][2] - start_char < min_chars:
+                            continue
+                        if require_cap and not any_cap:
+                            continue
+                        matched_n = j - i + 1
+            if matched_n:
+                end_char = tokens[i + matched_n - 1][2]
+                mentions.append(
+                    Mention(
+                        start=start_char,
+                        end=end_char,
+                        surface=text[start_char:end_char],
                     )
-                    i += n
-                    matched = True
-                    break
-            if not matched:
+                )
+                i += matched_n
+            else:
                 i += 1
         return mentions
+
+    def _match_at_slow(
+        self, text: str, tokens: list[tuple[str, int, int]], i: int, limit: int
+    ) -> int:
+        """Exact per-window scan at position ``i`` (the historical path).
+
+        Only reached when a window spans a dirty inter-token gap; returns
+        the longest matching window length in tokens, or 0.
+        """
+        config = self.config
+        for n in range(limit, 0, -1):
+            window = tokens[i : i + n]
+            surface = text[window[0][1] : window[-1][2]]
+            if len(surface) < config.min_surface_chars:
+                continue
+            if config.require_capitalized and not any(
+                tok[0][:1].isupper() for tok in window
+            ):
+                continue
+            if self.alias_table.contains(surface):
+                return n
+        return 0

@@ -122,30 +122,38 @@ class AnnotationPipeline:
         mentions = self.detector.detect(text)
         self.metrics.incr("mentions", len(mentions))
 
-        resolved: list[EntityLink] = []
-        use_coherence = self.reranker.config.use_coherence
-        # First pass: context-only resolution.
         first_pass: list[tuple[Mention, list[Candidate]]] = []
         for mention in mentions:
             candidates = self.candidate_generator.generate(mention)
             if not candidates:
                 self.metrics.incr("nil.no_candidates")
                 continue
-            query_vector = self._query_vector(text, mention)
-            self.reranker.rerank(candidates, query_vector=query_vector)
             first_pass.append((mention, candidates))
+        if not first_pass:
+            return []
 
-        document_entities = [
-            cands[0].entity for _, cands in first_pass if cands
-        ]
+        # All mention windows hashed into one query matrix, all (mention,
+        # candidate) pairs scored in one batched rerank.
+        query_matrix = None
+        if self.encoder is not None:
+            query_matrix = self.encoder.encode_batch(
+                [self._window_tokens(text, mention) for mention, _ in first_pass]
+            )
+        candidate_lists = [candidates for _, candidates in first_pass]
+        self.reranker.rerank_batch(candidate_lists, query_matrix=query_matrix)
+
+        document_entities = [candidates[0].entity for candidates in candidate_lists]
+        if self.reranker.config.use_coherence and len(document_entities) > 1:
+            # Second pass: re-score with the coherence feature against the
+            # first-pass winners.  No query matrix — the candidates already
+            # carry their first-pass context similarities, which the batch
+            # reranker reuses unchanged (only the coherence term moves).
+            self.reranker.rerank_batch(
+                candidate_lists, document_entities=document_entities
+            )
+
+        resolved: list[EntityLink] = []
         for mention, candidates in first_pass:
-            if use_coherence and len(document_entities) > 1:
-                query_vector = self._query_vector(text, mention)
-                self.reranker.rerank(
-                    candidates,
-                    query_vector=query_vector,
-                    document_entities=document_entities,
-                )
             best = candidates[0]
             if not self.reranker.accepts(best):
                 self.metrics.incr("nil.below_threshold")
@@ -161,15 +169,19 @@ class AnnotationPipeline:
             )
         return resolved
 
-    def _query_vector(self, text: str, mention: Mention):
-        """Hashed embedding of the text window around ``mention``."""
-        if self.encoder is None:
-            return None
+    def _window_tokens(self, text: str, mention: Mention) -> list[str]:
+        """Tokens of the text window around ``mention`` (mention excluded)."""
         radius = self.context_window_chars
         lo = max(0, mention.start - radius)
         hi = min(len(text), mention.end + radius)
         window = text[lo : mention.start] + " " + text[mention.end : hi]
-        return self.encoder.encode_tokens(tokenize(window))
+        return tokenize(window)
+
+    def _query_vector(self, text: str, mention: Mention):
+        """Hashed embedding of the text window around ``mention``."""
+        if self.encoder is None:
+            return None
+        return self.encoder.encode_tokens(self._window_tokens(text, mention))
 
 
 def make_pipeline(

@@ -27,10 +27,16 @@ from repro.web.corpus import WebCorpus
 
 @dataclass
 class AnnotationStore:
-    """Doc→links and entity→docs projections of the annotated web."""
+    """Doc→links and entity→docs projections of the annotated web.
+
+    Mutate through :meth:`put` only — it maintains the entity→docs
+    projection and the O(1) link counter; writing ``documents`` directly
+    desyncs both.
+    """
 
     documents: dict[str, AnnotatedDocument] = field(default_factory=dict)
     _entity_docs: dict[str, set[str]] = field(default_factory=lambda: defaultdict(set))
+    _num_links: int = 0
 
     def put(self, annotated: AnnotatedDocument) -> None:
         """Insert or replace a document's annotations."""
@@ -38,9 +44,11 @@ class AnnotationStore:
         if previous is not None:
             for entity in previous.entities:
                 self._entity_docs[entity].discard(annotated.doc_id)
+            self._num_links -= len(previous.links)
         self.documents[annotated.doc_id] = annotated
         for entity in annotated.entities:
             self._entity_docs[entity].add(annotated.doc_id)
+        self._num_links += len(annotated.links)
 
     def docs_mentioning(self, entity: str) -> set[str]:
         """Documents whose annotations include ``entity``."""
@@ -52,8 +60,8 @@ class AnnotationStore:
 
     @property
     def num_links(self) -> int:
-        """Total entity links across all documents."""
-        return sum(len(doc.links) for doc in self.documents.values())
+        """Total entity links across all documents (O(1), kept by ``put``)."""
+        return self._num_links
 
     def __len__(self) -> int:
         return len(self.documents)

@@ -1,6 +1,7 @@
 """Shared infrastructure: ids, errors, rng, text, kvstore, metrics, io."""
 
 from repro.common.errors import ReproError
+from repro.common.growable import GrowableMatrix
 from repro.common.metrics import MetricsRegistry
 
-__all__ = ["ReproError", "MetricsRegistry"]
+__all__ = ["GrowableMatrix", "MetricsRegistry", "ReproError"]

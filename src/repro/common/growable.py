@@ -1,0 +1,69 @@
+"""Growable row matrices shared by the vector indexes and context caches.
+
+Generalised out of ``repro.vector.index`` (PR 1) so every columnar
+consumer — embedding indexes, the annotation context index — shares one
+append-only buffer with amortised O(1) inserts instead of reinventing
+``np.vstack``-per-row (O(N²) over a build).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import IndexError_
+
+
+class GrowableMatrix:
+    """Row matrix with amortised O(1) appends (capacity doubling).
+
+    Rows are stored in ``dtype`` (float32 by default: embedding scores
+    don't need float64 and the halved footprint doubles effective
+    cache/bandwidth on scan paths).  Consumers that must preserve exact
+    float64 arithmetic — e.g. the annotation context index, whose scores
+    are parity-checked against scalar reference implementations — pass
+    ``dtype=np.float64``.
+    """
+
+    __slots__ = ("_buffer", "_rows", "_dtype")
+
+    def __init__(self, dtype: np.dtype | type = np.float32) -> None:
+        self._buffer: np.ndarray | None = None
+        self._rows = 0
+        self._dtype = np.dtype(dtype)
+
+    def __len__(self) -> int:
+        return self._rows
+
+    @property
+    def dim(self) -> int | None:
+        return None if self._buffer is None else int(self._buffer.shape[1])
+
+    def append(self, rows: np.ndarray) -> None:
+        rows = np.atleast_2d(np.asarray(rows, dtype=self._dtype))
+        if self._buffer is None:
+            capacity = max(8, len(rows))
+            self._buffer = np.empty((capacity, rows.shape[1]), dtype=self._dtype)
+        elif rows.shape[1] != self._buffer.shape[1]:
+            raise IndexError_(
+                f"dimension mismatch: index has {self._buffer.shape[1]}, "
+                f"got {rows.shape[1]}"
+            )
+        needed = self._rows + len(rows)
+        if needed > len(self._buffer):
+            capacity = len(self._buffer)
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((capacity, self._buffer.shape[1]), dtype=self._dtype)
+            grown[: self._rows] = self._buffer[: self._rows]
+            self._buffer = grown
+        self._buffer[self._rows : needed] = rows
+        self._rows = needed
+
+    def clear(self) -> None:
+        """Drop all rows (capacity is retained for reuse)."""
+        self._rows = 0
+
+    def view(self) -> np.ndarray:
+        """The filled rows (a zero-copy view; do not mutate)."""
+        assert self._buffer is not None
+        return self._buffer[: self._rows]

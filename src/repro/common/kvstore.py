@@ -50,6 +50,10 @@ class KVStore:
     def delete(self, key: str) -> bool:
         raise NotImplementedError
 
+    def clear(self) -> None:
+        """Drop every entry (hit/miss statistics, where kept, survive)."""
+        raise NotImplementedError
+
     def __contains__(self, key: str) -> bool:
         raise NotImplementedError
 
@@ -97,6 +101,10 @@ class MemoryKVStore(KVStore):
     def delete(self, key: str) -> bool:
         with self._lock:
             return self._data.pop(key, _MISSING) is not _MISSING
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -195,6 +203,14 @@ class DiskKVStore(KVStore):
         with self._lock:
             live = [key for key, loc in self._index.items() if loc is not None]
         return iter(live)
+
+    def clear(self) -> None:
+        with self._lock:
+            for path in self._dir.glob("segment-*.jsonl"):
+                path.unlink()
+            self._index.clear()
+            self._segment_no += 1
+            self._active = self._dir / self._SEGMENT.format(self._segment_no)
 
     def compact(self) -> None:
         """Rewrite live records into a new segment and drop old segments."""

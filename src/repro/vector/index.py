@@ -19,7 +19,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.errors import IndexError_
+from repro.common.growable import GrowableMatrix
 from repro.vector.similarity import METRICS, normalize_rows
+
+# Backwards-compatible alias: the buffer was born here in PR 1 and moved to
+# repro.common once the annotation context index needed it too.
+_GrowableMatrix = GrowableMatrix
 
 
 @dataclass
@@ -28,55 +33,6 @@ class SearchHit:
 
     key: str
     score: float
-
-
-class _GrowableMatrix:
-    """Row matrix with amortised O(1) appends (capacity doubling).
-
-    Replaces the historical ``np.vstack``-per-``add`` pattern, which copied
-    the whole matrix on every insert (O(N²) over a build).  Rows are stored
-    float32: embedding scores don't need float64 and the halved footprint
-    doubles effective cache/bandwidth on the scan path.
-    """
-
-    __slots__ = ("_buffer", "_rows")
-
-    def __init__(self) -> None:
-        self._buffer: np.ndarray | None = None
-        self._rows = 0
-
-    def __len__(self) -> int:
-        return self._rows
-
-    @property
-    def dim(self) -> int | None:
-        return None if self._buffer is None else int(self._buffer.shape[1])
-
-    def append(self, rows: np.ndarray) -> None:
-        rows = np.atleast_2d(np.asarray(rows, dtype=np.float32))
-        if self._buffer is None:
-            capacity = max(8, len(rows))
-            self._buffer = np.empty((capacity, rows.shape[1]), dtype=np.float32)
-        elif rows.shape[1] != self._buffer.shape[1]:
-            raise IndexError_(
-                f"dimension mismatch: index has {self._buffer.shape[1]}, "
-                f"got {rows.shape[1]}"
-            )
-        needed = self._rows + len(rows)
-        if needed > len(self._buffer):
-            capacity = len(self._buffer)
-            while capacity < needed:
-                capacity *= 2
-            grown = np.empty((capacity, self._buffer.shape[1]), dtype=np.float32)
-            grown[: self._rows] = self._buffer[: self._rows]
-            self._buffer = grown
-        self._buffer[self._rows : needed] = rows
-        self._rows = needed
-
-    def view(self) -> np.ndarray:
-        """The filled rows (a zero-copy view; do not mutate)."""
-        assert self._buffer is not None
-        return self._buffer[: self._rows]
 
 
 class VectorIndex:
@@ -105,6 +61,15 @@ class ExactIndex(VectorIndex):
         self._keys: list[str] = []
         self._by_key: dict[str, int] = {}
         self._storage = _GrowableMatrix()
+        # Cosine fast path: the metric kernel used to re-normalise (and
+        # float64-copy) the whole stored matrix on *every* query.  Rows are
+        # normalised once at ``add`` — from the float32-stored values, so
+        # scores stay bitwise what the per-query path produced — and a
+        # search is a single matvec against this buffer.  Costs 8 resident
+        # bytes/element next to the 4-byte raw storage (which ``vector``
+        # still serves), traded for dropping the transient 8-byte copy +
+        # normalisation every query made.
+        self._normed = GrowableMatrix(dtype=np.float64) if metric == "cosine" else None
 
     @property
     def _matrix(self) -> np.ndarray | None:
@@ -123,11 +88,18 @@ class ExactIndex(VectorIndex):
         for offset, key in enumerate(keys):
             self._by_key[key] = start + offset
         self._storage.append(vectors)
+        if self._normed is not None:
+            self._normed.append(normalize_rows(vectors))
 
     def search(self, query: np.ndarray, k: int = 10) -> list[SearchHit]:
         if len(self._keys) == 0:
             return []
-        scores = METRICS[self.metric](np.asarray(query, dtype=np.float64), self._matrix)
+        query = np.asarray(query, dtype=np.float64)
+        if self._normed is not None:
+            unit = normalize_rows(np.atleast_2d(query))[0]
+            scores = self._normed.view() @ unit
+        else:
+            scores = METRICS[self.metric](query, self._matrix)
         k = min(k, len(scores))
         top = np.argpartition(-scores, k - 1)[:k]
         top = top[np.argsort(-scores[top], kind="mergesort")]

@@ -58,6 +58,36 @@ class TestLookup:
         assert AliasTable(store).max_key_tokens() == 2
 
 
+class TestTrie:
+    def test_trie_spells_every_key(self, store):
+        from repro.annotation.alias_table import TRIE_KEY
+
+        table = AliasTable(store)
+        for key in table._exact:
+            node = table.trie
+            for word in key.split(" "):
+                node = node[word]
+            assert TRIE_KEY in node
+
+    def test_trie_rejects_partial_key(self, store):
+        from repro.annotation.alias_table import TRIE_KEY
+
+        table = AliasTable(store)
+        node = table.trie["michael"]
+        assert TRIE_KEY not in node  # "michael" alone is not a surface form
+        assert TRIE_KEY in node["jordan"]
+
+    def test_trie_rebuilt_on_refresh(self, store):
+        table = AliasTable(store)
+        assert "fresh" not in table.trie
+        store.upsert_entity(
+            EntityRecord(entity="entity:new", name="Fresh Entity", popularity=0.1)
+        )
+        table.refresh()
+        assert "fresh" in table.trie
+        assert table.max_key_tokens() == 2
+
+
 class TestFuzzy:
     def test_typo_recovered(self, store):
         table = AliasTable(store, fuzzy_threshold=0.6)

@@ -66,6 +66,28 @@ class TestEncoder:
         with pytest.raises(ValueError):
             HashingContextEncoder(dim=0)
 
+    def test_batch_matches_single_bitwise(self):
+        encoder = HashingContextEncoder(dim=64)
+        token_lists = [
+            ["basketball", "game", "player"],
+            [],
+            ["professor", "students", "professor", "university"],
+            ["one"],
+        ]
+        batch = encoder.encode_batch(token_lists)
+        assert batch.shape == (4, 64)
+        for row, tokens in enumerate(token_lists):
+            assert np.array_equal(batch[row], encoder.encode_tokens(tokens))
+
+    def test_memoisation_does_not_change_vectors(self):
+        warm = HashingContextEncoder(dim=64)
+        warm.encode_tokens(["alpha", "beta"])  # warm the token memo
+        cold = HashingContextEncoder(dim=64)
+        assert np.array_equal(
+            warm.encode_tokens(["alpha", "beta", "gamma"]),
+            cold.encode_tokens(["alpha", "beta", "gamma"]),
+        )
+
 
 class TestEntityContextIndex:
     def test_build_counts(self, store):
@@ -98,6 +120,39 @@ class TestEntityContextIndex:
         index.build()
         store.upsert_entity(EntityRecord(entity="entity:new", name="New", popularity=0.1))
         assert index.is_stale
+
+    def test_rows_gather_matches_vectors(self, store):
+        index = EntityContextIndex(store)
+        index.build()
+        entities = ["entity:team", "entity:player", "entity:team"]
+        rows = index.rows(entities)
+        assert rows.shape == (3, index.encoder.dim)
+        for row, entity in zip(rows, entities):
+            assert np.array_equal(row, index.vector(entity))
+        assert index.rows([]).shape == (0, index.encoder.dim)
+
+    def test_rows_materialise_misses(self, store):
+        index = EntityContextIndex(store)  # never built
+        rows = index.rows(["entity:player", "entity:ghost"])
+        assert np.any(rows[0] != 0)
+        assert np.all(rows[1] == 0)
+
+    def test_kv_store_remains_persistence_view(self, store):
+        index = EntityContextIndex(store)
+        index.build()
+        assert len(index) == 3
+        for record in store.entities():
+            assert np.array_equal(index.cache.get(record.entity), index.vector(record.entity))
+
+    def test_clear_reads_cold(self, store):
+        index = EntityContextIndex(store)
+        index.build()
+        index.clear()
+        assert len(index) == 0
+        assert len(index.cache) == 0
+        assert index.is_stale
+        # Still serves vectors, recomputed from the live store.
+        assert np.any(index.vector("entity:player") != 0)
 
 
 class TestCandidateGenerator:

@@ -1,0 +1,377 @@
+"""Golden parity tests: the vectorized serving path vs the legacy one.
+
+The trie detector, batched encoder and one-matmul reranker must emit the
+same links the historical per-window / per-pair implementations did.  The
+legacy implementations are reproduced verbatim below (the PR-1 pattern)
+and run side by side with the shipped pipeline across randomized corpora,
+stale-refresh cycles, fuzzy fallback and unicode edge cases.
+
+Parity contract:
+
+* mention spans/surfaces, chosen entities, entity types, candidate order
+  and the prior/name-similarity features are **byte-identical**;
+* lite-tier scores are byte-identical (pure elementwise float64);
+* full-tier context/coherence scores agree to float64 rounding — the one
+  matmul reduces in a different order than per-pair BLAS ``ddot``, the
+  same class of difference a different BLAS build would produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.annotation.alias_table import AliasTable
+from repro.annotation.candidates import CandidateGenerator
+from repro.annotation.mention import Mention
+from repro.annotation.mention_detection import (
+    DictionaryMentionDetector,
+    MentionDetectorConfig,
+)
+from repro.annotation.pipeline import make_pipeline
+from repro.common.text import name_similarity, tokenize_with_offsets
+from repro.kg.store import EntityRecord, TripleStore
+from repro.vector.service import EmbeddingService
+
+SCORE_TOL = 1e-9
+
+
+class LegacyDictionaryMentionDetector:
+    """Seed implementation: per-window slicing + ``contains`` lookups."""
+
+    def __init__(self, alias_table, config=None):
+        self.alias_table = alias_table
+        self.config = config or MentionDetectorConfig()
+
+    def detect(self, text):
+        tokens = tokenize_with_offsets(text)
+        config = self.config
+        max_ngram = min(config.max_ngram, self.alias_table.max_key_tokens())
+        mentions = []
+        i = 0
+        while i < len(tokens):
+            matched = False
+            for n in range(min(max_ngram, len(tokens) - i), 0, -1):
+                window = tokens[i : i + n]
+                surface = text[window[0][1] : window[-1][2]]
+                if len(surface) < config.min_surface_chars:
+                    continue
+                if config.require_capitalized and not any(
+                    tok[0][:1].isupper() for tok in window
+                ):
+                    continue
+                if self.alias_table.contains(surface):
+                    mentions.append(
+                        Mention(start=window[0][1], end=window[-1][2], surface=surface)
+                    )
+                    i += n
+                    matched = True
+                    break
+            if not matched:
+                i += 1
+        return mentions
+
+
+def legacy_coherence(service, entity, document_entities):
+    """Seed implementation of the coherence feature (per-pair similarity)."""
+    if not service.has_entity(entity):
+        return 0.0
+    similarities = [
+        service.similarity(entity, other)
+        for other in document_entities
+        if other != entity and service.has_entity(other)
+    ]
+    return float(np.mean(similarities)) if similarities else 0.0
+
+
+def legacy_rerank(reranker, candidates, query_vector=None, document_entities=None):
+    """Seed implementation: one ``np.dot`` + dict lookup per candidate."""
+    cfg = reranker.config
+    for candidate in candidates:
+        if cfg.use_context and query_vector is not None:
+            candidate.context_similarity = reranker.context_index.similarity(
+                query_vector, candidate.entity
+            )
+        if (
+            cfg.use_coherence
+            and reranker.embedding_service is not None
+            and document_entities
+        ):
+            candidate.coherence = legacy_coherence(
+                reranker.embedding_service, candidate.entity, document_entities
+            )
+        candidate.score = (
+            cfg.weight_prior * candidate.prior
+            + cfg.weight_name * candidate.name_similarity
+            + cfg.weight_context * candidate.context_similarity
+            + cfg.weight_coherence * candidate.coherence
+        )
+    candidates.sort(key=lambda c: (-c.score, c.entity))
+    return candidates
+
+
+def legacy_annotate_text(pipeline, text):
+    """Seed implementation of ``AnnotationPipeline._annotate_text``."""
+    from repro.annotation.mention import EntityLink
+
+    if pipeline.alias_table.is_stale:
+        pipeline.alias_table.refresh()
+    detector = LegacyDictionaryMentionDetector(
+        pipeline.alias_table, pipeline.detector.config
+    )
+    mentions = detector.detect(text)
+    resolved = []
+    use_coherence = pipeline.reranker.config.use_coherence
+    first_pass = []
+    for mention in mentions:
+        candidates = pipeline.candidate_generator.generate(mention)
+        if not candidates:
+            continue
+        query_vector = pipeline._query_vector(text, mention)
+        legacy_rerank(pipeline.reranker, candidates, query_vector=query_vector)
+        first_pass.append((mention, candidates))
+    document_entities = [cands[0].entity for _, cands in first_pass if cands]
+    for mention, candidates in first_pass:
+        if use_coherence and len(document_entities) > 1:
+            query_vector = pipeline._query_vector(text, mention)
+            legacy_rerank(
+                pipeline.reranker,
+                candidates,
+                query_vector=query_vector,
+                document_entities=document_entities,
+            )
+        best = candidates[0]
+        if not pipeline.reranker.accepts(best):
+            continue
+        resolved.append(
+            EntityLink(
+                mention=mention,
+                entity=best.entity,
+                score=best.score,
+                entity_type=pipeline.typer.label_for_entity(best.entity),
+                candidates=candidates,
+            )
+        )
+    return resolved
+
+
+def snapshot_links(links):
+    """A deep, comparison-friendly copy of an ``EntityLink`` list.
+
+    ``legacy_annotate_text`` mutates the same ``Candidate`` objects the new
+    path produces, so each run must be snapshotted before the other runs.
+    """
+    return [
+        {
+            "mention": (link.mention.start, link.mention.end, link.mention.surface),
+            "entity": link.entity,
+            "score": link.score,
+            "entity_type": link.entity_type,
+            "candidates": [
+                (c.entity, c.prior, c.name_similarity, c.context_similarity,
+                 c.coherence, c.score)
+                for c in link.candidates
+            ],
+        }
+        for link in links
+    ]
+
+
+def assert_links_match(new, old, exact_scores):
+    assert len(new) == len(old)
+    for got, want in zip(new, old):
+        assert got["mention"] == want["mention"]
+        assert got["entity"] == want["entity"]
+        assert got["entity_type"] == want["entity_type"]
+        got_entities = [c[0] for c in got["candidates"]]
+        want_entities = [c[0] for c in want["candidates"]]
+        assert got_entities == want_entities, "candidate order must be identical"
+        if exact_scores:
+            assert got["score"] == want["score"]
+            assert got["candidates"] == want["candidates"]
+        else:
+            assert got["score"] == pytest.approx(want["score"], abs=SCORE_TOL)
+            for gc, wc in zip(got["candidates"], want["candidates"]):
+                assert gc[1] == wc[1]  # prior: byte-identical
+                assert gc[2] == wc[2]  # name similarity: byte-identical
+                for idx in (3, 4, 5):  # context, coherence, score
+                    assert gc[idx] == pytest.approx(wc[idx], abs=SCORE_TOL)
+
+
+def run_parity(pipeline, texts, exact_scores):
+    for text in texts:
+        new = snapshot_links(pipeline.annotate(text))
+        old = snapshot_links(legacy_annotate_text(pipeline, text))
+        assert_links_match(new, old, exact_scores=exact_scores)
+
+
+@pytest.fixture(scope="module")
+def corpus_texts(corpus):
+    return [doc.full_text for doc in corpus.documents[:80]]
+
+
+class TestDetectorParity:
+    def test_randomized_corpus(self, kg, corpus):
+        table = AliasTable(kg.store)
+        new = DictionaryMentionDetector(table)
+        old = LegacyDictionaryMentionDetector(table)
+        for doc in corpus.documents[:150]:
+            assert new.detect(doc.full_text) == old.detect(doc.full_text)
+
+    def test_unicode_and_punctuation_edges(self):
+        store = TripleStore()
+        for entity, name, aliases in [
+            ("entity:jose", "José García", ("Jose",)),
+            ("entity:obrien", "O'Brien", ()),
+            ("entity:mueller", "Müller", ()),
+            ("entity:root", "Joe Root", ("Root",)),
+            ("entity:ny", "New York City", ("New York",)),
+        ]:
+            store.upsert_entity(
+                EntityRecord(entity=entity, name=name, aliases=aliases, popularity=0.5)
+            )
+        table = AliasTable(store)
+        new = DictionaryMentionDetector(table)
+        old = LegacyDictionaryMentionDetector(table)
+        texts = [
+            "José García met O'Brien in New York City.",
+            "Jose Garcia, O'Brien and Müller toured New York.",
+            "Muller; Jose — and Joe Root!  ''' Root",
+            "JOSÉ GARCÍA and o'brien and new york city",  # caps + lowercase gates
+            "JoéRoot is glued; Joe Root is not.",  # combining char glue
+            "Joé Root and José García again",
+            "Joe, Root / New\tYork  City ... O'Brien's",
+            "…Müller… (José) [García] O''Brien",
+            "",
+        ]
+        for text in texts:
+            assert new.detect(text) == old.detect(text), text
+
+    def test_gate_configs(self, kg, corpus):
+        table = AliasTable(kg.store)
+        for config in [
+            MentionDetectorConfig(require_capitalized=False),
+            MentionDetectorConfig(max_ngram=2),
+            MentionDetectorConfig(min_surface_chars=6),
+        ]:
+            new = DictionaryMentionDetector(table, config)
+            old = LegacyDictionaryMentionDetector(table, config)
+            for doc in corpus.documents[:40]:
+                assert new.detect(doc.full_text) == old.detect(doc.full_text)
+
+
+class TestPipelineParity:
+    def test_full_tier(self, kg, corpus_texts):
+        pipeline = make_pipeline(kg.store, tier="full")
+        run_parity(pipeline, corpus_texts, exact_scores=False)
+
+    def test_lite_tier_byte_identical(self, kg, corpus_texts):
+        pipeline = make_pipeline(kg.store, tier="lite")
+        run_parity(pipeline, corpus_texts, exact_scores=True)
+
+    def test_full_tier_with_coherence(self, kg, trained, corpus_texts):
+        service = EmbeddingService(trained.trained)
+        pipeline = make_pipeline(kg.store, tier="full", embedding_service=service)
+        assert pipeline.reranker.config.use_coherence
+        run_parity(pipeline, corpus_texts[:30], exact_scores=False)
+
+    def test_query_vectors_byte_identical(self, kg, corpus_texts):
+        pipeline = make_pipeline(kg.store, tier="full")
+        for text in corpus_texts[:20]:
+            mentions = pipeline.detector.detect(text)
+            if not mentions:
+                continue
+            batch = pipeline.encoder.encode_batch(
+                [pipeline._window_tokens(text, m) for m in mentions]
+            )
+            for row, mention in enumerate(mentions):
+                single = pipeline._query_vector(text, mention)
+                assert np.array_equal(batch[row], single)
+
+
+class TestStaleRefreshParity:
+    def test_parity_across_refresh_cycles(self, corpus_texts):
+        from repro.kg.generator import SyntheticKGConfig, generate_kg
+
+        kg = generate_kg(SyntheticKGConfig(seed=23, scale=0.25))
+        pipeline = make_pipeline(kg.store, tier="full")
+        texts = corpus_texts[:15]
+        run_parity(pipeline, texts, exact_scores=False)
+
+        # Grow the KG: the alias table must pick up the new surface forms
+        # on its refresh, identically on both paths.
+        kg.store.upsert_entity(
+            EntityRecord(
+                entity="entity:new-star",
+                name="Zadie Mooncrest",
+                aliases=("Mooncrest",),
+                popularity=0.9,
+                types=("type:person",),
+                description="Zadie Mooncrest is a celebrated novelist.",
+            )
+        )
+        assert pipeline.alias_table.is_stale
+        run_parity(
+            pipeline,
+            ["Zadie Mooncrest published a novel.", *texts[:10]],
+            exact_scores=False,
+        )
+
+        # A second cycle, touching an existing surface form.
+        kg.store.upsert_entity(
+            EntityRecord(
+                entity="entity:new-star-2",
+                name="Zadie Mooncrest",
+                popularity=0.4,
+                types=("type:person",),
+                description="Another Zadie Mooncrest, a painter.",
+            )
+        )
+        run_parity(
+            pipeline,
+            ["Critics praised Zadie Mooncrest today.", *texts[:10]],
+            exact_scores=False,
+        )
+
+
+class TestFuzzyFallbackParity:
+    def test_fuzzy_candidates_and_scores(self, kg):
+        """Typo'd surfaces exercise ``lookup_fuzzy``; the generator features
+        and the batched rerank must match the legacy scalar path."""
+        pipeline = make_pipeline(kg.store, tier="full")
+        generator = CandidateGenerator(
+            pipeline.alias_table, kg.store, pipeline.candidate_generator.config
+        )
+        names = [r.name for r in list(kg.store.entities())[:40] if len(r.name) > 6]
+        checked = 0
+        for name in names:
+            typo = name[:-2] + name[-1]  # drop a letter near the end
+            mention = Mention(start=0, end=len(typo), surface=typo)
+            candidates = generator.generate(mention)
+            if not candidates or candidates[0].entity in {
+                e.entity for e in pipeline.alias_table.lookup(typo)
+            }:
+                continue
+            checked += 1
+            # Feature parity vs the seed name_similarity computation.
+            for candidate in candidates:
+                record_name = (
+                    kg.store.entity(candidate.entity).name
+                    if kg.store.has_entity(candidate.entity)
+                    else candidate.entity
+                )
+                assert candidate.name_similarity == name_similarity(typo, record_name)
+            # Rerank parity on the fuzzy candidates.
+            text = f"{typo} appeared in the news"
+            query = pipeline._query_vector(text, mention)
+            import copy
+
+            legacy_side = copy.deepcopy(candidates)
+            legacy_rerank(pipeline.reranker, legacy_side, query_vector=query)
+            pipeline.reranker.rerank_batch([candidates], query_matrix=query[None, :])
+            assert [c.entity for c in candidates] == [c.entity for c in legacy_side]
+            for got, want in zip(candidates, legacy_side):
+                assert got.prior == want.prior
+                assert got.name_similarity == want.name_similarity
+                assert got.score == pytest.approx(want.score, abs=SCORE_TOL)
+        assert checked >= 3, "expected several fuzzy-fallback cases"

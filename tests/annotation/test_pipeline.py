@@ -114,6 +114,21 @@ class TestWebAnnotator:
         for entity in annotated.entities:
             assert doc.doc_id in annotator.store.docs_mentioning(entity)
 
+    def test_num_links_counter_tracks_overwrites(self, kg, corpus, full_annotation_pipeline):
+        from repro.annotation.web_annotator import AnnotationStore
+
+        store = AnnotationStore()
+        docs = [d for d in corpus.documents[:10]]
+        annotated = [full_annotation_pipeline.annotate_document(d) for d in docs]
+        for doc in annotated:
+            store.put(doc)
+        expected = sum(len(d.links) for d in annotated)
+        assert store.num_links == expected
+        # Replacing a document must not double-count its links.
+        store.put(annotated[0])
+        assert store.num_links == expected
+        assert store.num_links == sum(len(d.links) for d in store.documents.values())
+
     def test_shard_assignment_stable(self, full_annotation_pipeline):
         annotator = WebAnnotator(full_annotation_pipeline, num_shards=8)
         assert annotator.shard_of("doc:web/000001") == annotator.shard_of("doc:web/000001")

@@ -51,6 +51,15 @@ class TestMemoryKVStore:
         assert len(store) == 2
         assert set(store.keys()) == {"x", "y"}
 
+    def test_clear(self):
+        store = MemoryKVStore()
+        store.put("x", 1)
+        store.get("x")
+        store.clear()
+        assert len(store) == 0
+        assert store.get("x") is None
+        assert store.hits == 1  # statistics survive a clear
+
 
 class TestDiskKVStore:
     def test_roundtrip(self, tmp_path):
@@ -101,6 +110,16 @@ class TestDiskKVStore:
         assert len(store) == 9
         assert store.get("k4") == 4
         assert "k3" not in store
+
+    def test_clear_and_restart(self, tmp_path):
+        store = DiskKVStore(tmp_path)
+        store.put("k", 1)
+        store.clear()
+        assert len(store) == 0 and "k" not in store
+        store.put("fresh", 2)
+        second = DiskKVStore(tmp_path)
+        assert second.get("k") is None
+        assert second.get("fresh") == 2
 
     @given(
         ops=st.lists(

@@ -75,6 +75,29 @@ class TestExactIndex:
         assert len(index) == 200
         assert index.search(matrix[150], k=1)[0].key == keys[150]
 
+    def test_cosine_prenormalised_scores_match_legacy_kernel(self, vectors):
+        """The rows-normalised-at-add fast path must reproduce the scores of
+        the historical normalise-the-whole-matrix-per-query kernel bitwise,
+        so recall@k against the old implementation is exactly 1.0."""
+        from repro.vector.similarity import METRICS
+
+        keys, matrix = vectors
+        index = ExactIndex(metric="cosine")
+        index.add(keys, matrix)
+        for query in matrix[:10]:
+            hits = index.search(query, k=7)
+            legacy = METRICS["cosine"](np.asarray(query, dtype=np.float64), index._matrix)
+            order = np.argsort(-legacy, kind="mergesort")[:7]
+            assert [h.key for h in hits] == [keys[i] for i in order]
+            assert [h.score for h in hits] == [float(legacy[i]) for i in order]
+
+    def test_non_cosine_metrics_unchanged(self, vectors):
+        keys, matrix = vectors
+        for metric in ("dot", "euclidean"):
+            index = ExactIndex(metric=metric)
+            index.add(keys, matrix)
+            assert index.search(matrix[3], k=1)[0].key == keys[3]
+
 
 class TestGrowableMatrix:
     def test_appends_accumulate_in_order(self):
@@ -106,6 +129,21 @@ class TestGrowableMatrix:
         storage.append(np.ones((1, 4)))
         with pytest.raises(IndexError_):
             storage.append(np.ones((1, 5)))
+
+    def test_dtype_parameter(self):
+        storage = _GrowableMatrix(dtype=np.float64)
+        storage.append(np.ones((2, 4), dtype=np.float32))
+        assert storage.view().dtype == np.float64
+
+    def test_clear_retains_capacity(self):
+        storage = _GrowableMatrix()
+        storage.append(np.ones((40, 4)))
+        capacity = len(storage._buffer)
+        storage.clear()
+        assert len(storage) == 0
+        assert len(storage._buffer) == capacity
+        storage.append(np.zeros((1, 4)))
+        assert np.array_equal(storage.view(), np.zeros((1, 4), dtype=np.float32))
 
     def test_one_by_one_adds_match_bulk_search(self):
         rng = np.random.default_rng(9)
