@@ -5,7 +5,6 @@ well as efficient k-nearest-neighbour retrieval".  We sweep the IVF index's
 ``nprobe`` against the exact index, reporting the latency/recall frontier.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import record_result

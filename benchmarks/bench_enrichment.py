@@ -27,7 +27,10 @@ def needed_entities(bench_kg):
     records = sorted(bench_kg.store.entities(), key=lambda r: (-r.popularity, r.entity))
     head = [r.entity for r in records[:150]]
     tail = [r.entity for r in records[150:]]
-    chosen = head[:40] + [tail[int(i)] for i in rng.integers(0, len(tail), 20)]
+    # Tiny smoke-scale worlds may not reach past the head; the draws (and
+    # therefore the scale=1.0 sample) are unchanged when the tail exists.
+    sampled = [tail[int(i)] for i in rng.integers(0, len(tail), 20)] if tail else []
+    chosen = head[:40] + sampled
     return chosen
 
 

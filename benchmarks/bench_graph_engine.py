@@ -14,7 +14,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import record_result
+from benchmarks.conftest import check_floor, record_result
 from repro.common.rng import substream
 from repro.kg.graph_engine import GraphEngine
 
@@ -118,7 +118,7 @@ def test_random_walks_speedup(benchmark, bench_kg, engine, walk_seeds):
             "identical": new_result == legacy_result,
         },
     )
-    assert speedup >= 10.0
+    check_floor(speedup >= 10.0, f"speedup {speedup:.1f} < 10x")
 
 
 def test_co_neighbor_counts_speedup(benchmark, bench_kg, engine, walk_seeds):
@@ -147,7 +147,7 @@ def test_co_neighbor_counts_speedup(benchmark, bench_kg, engine, walk_seeds):
             "identical": True,
         },
     )
-    assert speedup >= 10.0
+    check_floor(speedup >= 10.0, f"speedup {speedup:.1f} < 10x")
 
 
 def test_k_hop_neighborhood_speedup(benchmark, bench_kg, engine, walk_seeds):
@@ -177,7 +177,7 @@ def test_k_hop_neighborhood_speedup(benchmark, bench_kg, engine, walk_seeds):
         },
     )
     # No 10x bar here: 2-hop BFS was never the dominant cost; just must win.
-    assert speedup > 1.0
+    check_floor(speedup > 1.0, f"speedup {speedup:.1f} <= 1x")
 
 
 def test_snapshot_rebuild_cost(benchmark, bench_kg):

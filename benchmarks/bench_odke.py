@@ -10,7 +10,7 @@ resolution rate.
 
 import pytest
 
-from benchmarks.conftest import DOB, POB, record_result
+from benchmarks.conftest import DOB, record_result
 from repro.annotation.pipeline import make_pipeline
 from repro.odke.corroboration import train_corroboration_model
 from repro.odke.gaps import ExtractionTarget

@@ -14,7 +14,7 @@ from benchmarks.conftest import record_result
 from repro.ondevice.blocking import MemoryBoundedBlocker
 from repro.ondevice.compression import sweep_compression
 from repro.ondevice.fusion import evaluate_clusters
-from repro.ondevice.incremental import IncrementalPipeline, IncrementalPipelineConfig
+from repro.ondevice.incremental import IncrementalPipeline
 from repro.ondevice.sources import (
     PersonaWorldConfig,
     generate_device_dataset,

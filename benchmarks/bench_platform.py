@@ -6,7 +6,7 @@ The row reports every stage's volume and the closing coverage improvement —
 the "growing and serving" loop of the title.
 """
 
-from benchmarks.conftest import DOB, POB, record_result
+from benchmarks.conftest import DOB, POB, check_floor, record_result
 from repro.annotation.pipeline import make_pipeline
 from repro.core import KnowledgePlatform
 from repro.embeddings.trainer import TrainConfig
@@ -56,6 +56,6 @@ def test_full_platform_cycle(benchmark):
         }
 
     row = benchmark.pedantic(cycle, rounds=1, iterations=1)
-    assert row["gaps_after"] < row["gaps_before"]
+    check_floor(row["gaps_after"] < row["gaps_before"], "gap repair made no progress")
     benchmark.extra_info.update(row)
     record_result("F1-platform", row)

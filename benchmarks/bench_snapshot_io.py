@@ -1,0 +1,175 @@
+"""F-snapshot — zero-copy snapshot persistence vs full cold-start rebuild.
+
+The paper's serving story (§4) assumes immutable graph snapshots that
+workers load near-instantly and share read-only.  This benchmark pins the
+snapshot subsystem: *cold start to first query* — restore a KG bundle,
+stand up the graph engine + full-tier annotation pipeline, run the first
+random-walk batch and annotate a document sample — timed for
+
+* **rebuild**: replay the JSONL logical store, rebuild the CSR adjacency,
+  re-encode every entity context vector, rebuild the alias table (what
+  cold start cost before this subsystem existed), vs
+* **mmap**: ``load_snapshot`` — entity descriptors replay, fact log stays
+  lazy, every physical layer is memory-mapped/adopted.
+
+Outputs must be byte-identical (same walks per seed, same annotation
+spans/scores/candidates); acceptance is >= 5x at scale=1.0.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import check_floor, record_result
+from repro.annotation.pipeline import make_pipeline
+from repro.kg.graph_engine import GraphEngine
+from repro.kg.persistence import load_snapshot, load_store, save_snapshot
+
+WALK_ENTITIES = 200
+WALK_LENGTH = 8
+WALKS_PER_ENTITY = 4
+WALK_SEED = 3
+ANNOTATE_DOCS = 12
+
+
+def min_time(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(bench_kg, tmp_path_factory) -> Path:
+    """One persisted bundle of the benchmark world."""
+    directory = tmp_path_factory.mktemp("kg-bundle")
+    save_snapshot(bench_kg.store, directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def query_texts(bench_kg) -> list[str]:
+    """Documents whose mentions resolve to real KG entities."""
+    names = [
+        bench_kg.store.entity(entity).name
+        for entity in sorted(bench_kg.store.entity_ids())[: 3 * ANNOTATE_DOCS + 2]
+    ]
+    return [
+        f"{names[3 * i]} met {names[3 * i + 1]} and discussed {names[3 * i + 2]}."
+        for i in range(min(ANNOTATE_DOCS, (len(names) - 2) // 3))
+    ]
+
+
+def _first_queries(store, engine, pipeline, texts):
+    seeds = sorted(store.entity_ids())[:WALK_ENTITIES]
+    walks = engine.random_walks(
+        seeds, walk_length=WALK_LENGTH, walks_per_entity=WALKS_PER_ENTITY, seed=WALK_SEED
+    )
+    links = [
+        (
+            link.mention.start,
+            link.mention.end,
+            link.mention.surface,
+            link.entity,
+            link.score,
+            tuple(
+                (c.entity, c.score, c.prior, c.name_similarity)
+                for c in link.candidates
+            ),
+        )
+        for text in texts
+        for link in pipeline.annotate(text)
+    ]
+    return walks, links
+
+
+def cold_start_rebuild(directory, texts):
+    """The pre-snapshot cold start: replay JSONL, rebuild every layer."""
+    store = load_store(directory)
+    engine = GraphEngine(store)
+    pipeline = make_pipeline(store, tier="full")
+    return _first_queries(store, engine, pipeline, texts)
+
+
+def cold_start_mmap(directory, texts):
+    """Snapshot cold start: mmap + adopt, lazy fact log."""
+    snap = load_snapshot(directory)
+    engine = snap.engine()
+    pipeline = snap.annotation_pipeline(tier="full")
+    return _first_queries(snap.store, engine, pipeline, texts)
+
+
+def test_cold_start_speedup(benchmark, bench_kg, bundle_dir, query_texts):
+    rebuild_time, rebuild_result = min_time(
+        lambda: cold_start_rebuild(bundle_dir, query_texts)
+    )
+    mmap_time, mmap_result = min_time(lambda: cold_start_mmap(bundle_dir, query_texts))
+
+    # Parity is unconditional: a snapshot that changes results is corrupt.
+    assert mmap_result[0] == rebuild_result[0], "walks must stay byte-identical"
+    assert mmap_result[1] == rebuild_result[1], (
+        "annotation spans/scores must stay byte-identical"
+    )
+
+    benchmark(lambda: cold_start_mmap(bundle_dir, query_texts))
+    speedup = rebuild_time / mmap_time
+    benchmark.extra_info["speedup_vs_rebuild"] = speedup
+    stats = bench_kg.store.stats()
+    record_result(
+        "F-snapshot",
+        {
+            "op": "cold_start_first_query",
+            "entities": stats.num_entities,
+            "facts": stats.num_facts,
+            "links": len(rebuild_result[1]),
+            "rebuild_ms": round(rebuild_time * 1000, 3),
+            "new_ms": round(mmap_time * 1000, 3),
+            "speedup": round(speedup, 1),
+            "identical": True,
+        },
+    )
+    check_floor(speedup >= 5.0, f"cold start speedup {speedup:.1f} < 5x")
+
+
+def test_physical_layer_load_vs_build(benchmark, bench_kg, bundle_dir):
+    """The physical layers alone: mmap load vs in-Python rebuild."""
+    from repro.annotation.alias_table import AliasTable
+    from repro.annotation.context_encoder import EntityContextIndex
+    from repro.kg.adjacency import build_csr
+
+    store = bench_kg.store
+
+    def build_layers():
+        snapshot = build_csr(store)
+        index = EntityContextIndex(store)
+        index.build()
+        table = AliasTable(store)
+        return snapshot, index, table
+
+    def load_layers():
+        snap = load_snapshot(bundle_dir)
+        assert snap.adjacency is not None and snap.context is not None
+        return snap
+
+    build_time, _ = min_time(build_layers)
+    load_time, _ = min_time(load_layers)
+
+    benchmark(load_layers)
+    speedup = build_time / load_time
+    benchmark.extra_info["speedup_vs_build"] = speedup
+    bundle_bytes = sum(p.stat().st_size for p in bundle_dir.rglob("*") if p.is_file())
+    record_result(
+        "F-snapshot",
+        {
+            "op": "physical_layers",
+            "build_ms": round(build_time * 1000, 3),
+            "new_ms": round(load_time * 1000, 3),
+            "speedup": round(speedup, 1),
+            "bundle_kb": round(bundle_bytes / 1024, 1),
+        },
+    )
+    check_floor(speedup >= 2.0, f"layer load speedup {speedup:.1f} < 2x")

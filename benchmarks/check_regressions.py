@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Guard the benchmark trajectory: fail on >2x slowdown vs the baseline.
+
+``results.jsonl`` is an append-only log of benchmark rows; the *last*
+committed row per stage is the performance baseline this repo promises.
+This script compares a fresh run's rows against that baseline and exits
+non-zero when any previously benchmarked stage slowed down by more than
+``--threshold`` (default 2x).
+
+Usage:
+
+* ``python benchmarks/check_regressions.py``
+  Self-check the committed baseline (parses every row, verifies each
+  timed stage has a usable metric, compares the baseline to itself —
+  always exits 0 on a healthy file).  This is the CI invocation: it
+  guards the file's integrity without needing a full-scale bench run.
+
+* ``python benchmarks/check_regressions.py --fresh /tmp/fresh.jsonl``
+  Compare a fresh run (``BENCH_RESULTS=/tmp/fresh.jsonl python -m pytest
+  benchmarks``) against the committed baseline.  Stages missing from the
+  fresh file are skipped; stages missing from the baseline are new and
+  pass by definition.
+
+When a speedup legitimately shifts a baseline (a faster implementation
+lands), re-run the benchmarks at scale=1.0 so fresh rows are appended to
+``results.jsonl`` and commit the file — the newest row per stage becomes
+the new baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "results.jsonl"
+
+# Fields that discriminate stages within one experiment, in precedence
+# order (a row may carry several; all present ones join the key).
+STAGE_FIELDS = ("op", "index", "tier", "config", "backend", "model", "change_fraction")
+
+# Timing metrics, with their direction.  The first one present in a row
+# is the stage's canonical metric; rows with none are quality-only and
+# not regression-checked here.
+LOWER_IS_BETTER = ("new_ms", "mean_query_us", "cold_cache_s_per_50_texts")
+HIGHER_IS_BETTER = ("docs_per_s", "scored_per_s", "triples_per_s", "qps")
+
+
+def load_rows(path: Path) -> list[dict]:
+    rows = []
+    for line_no, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"{path}:{line_no}: corrupt results row: {exc}")
+    return rows
+
+
+def stage_key(row: dict) -> tuple:
+    parts = [row.get("experiment", "?")]
+    for field in STAGE_FIELDS:
+        if field in row:
+            parts.append(f"{field}={row[field]}")
+    return tuple(parts)
+
+
+def metric_of(row: dict) -> tuple[str, float, bool] | None:
+    """(name, value, lower_is_better) of a row's timing metric, if any."""
+    for name in LOWER_IS_BETTER:
+        if name in row:
+            return name, float(row[name]), True
+    for name in HIGHER_IS_BETTER:
+        if name in row:
+            return name, float(row[name]), False
+    return None
+
+
+def latest_metrics(rows: list[dict]) -> dict[tuple, tuple[str, float, bool]]:
+    """Last-seen timed metric per stage (later rows override earlier)."""
+    latest: dict[tuple, tuple[str, float, bool]] = {}
+    for row in rows:
+        metric = metric_of(row)
+        if metric is not None:
+            latest[stage_key(row)] = metric
+    return latest
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed results log (default: benchmarks/results.jsonl)",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=None,
+        help="fresh run's results log; omitted = self-check the baseline",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="slowdown factor that fails the check (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"baseline not found: {args.baseline}", file=sys.stderr)
+        return 1
+    baseline = latest_metrics(load_rows(args.baseline))
+    if not baseline:
+        print(f"no timed stages found in {args.baseline}", file=sys.stderr)
+        return 1
+    fresh = baseline if args.fresh is None else latest_metrics(load_rows(args.fresh))
+
+    regressions: list[str] = []
+    compared = 0
+    for key, (name, fresh_value, lower_better) in sorted(fresh.items()):
+        base = baseline.get(key)
+        if base is None:
+            continue  # new stage: no baseline yet
+        base_name, base_value, _ = base
+        if base_name != name or base_value <= 0 or fresh_value <= 0:
+            continue
+        compared += 1
+        slowdown = (
+            fresh_value / base_value if lower_better else base_value / fresh_value
+        )
+        marker = "REGRESSION" if slowdown > args.threshold else "ok"
+        print(
+            f"{marker:>10}  {' / '.join(key):<60} {name}: "
+            f"{base_value:g} -> {fresh_value:g}  ({slowdown:.2f}x)"
+        )
+        if slowdown > args.threshold:
+            regressions.append(" / ".join(key))
+
+    print(
+        f"\n{compared} stage(s) compared against {args.baseline}"
+        + ("" if args.fresh is None else f" (fresh: {args.fresh})")
+    )
+    if regressions:
+        print(
+            f"{len(regressions)} stage(s) slower than {args.threshold}x baseline:",
+            file=sys.stderr,
+        )
+        for key in regressions:
+            print(f"  - {key}", file=sys.stderr)
+        return 1
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,8 @@ can quote them.
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from pathlib import Path
 
 import pytest
@@ -22,24 +24,52 @@ from repro.kg.views import embedding_training_view
 from repro.web.corpus import WebCorpusConfig, generate_corpus
 from repro.web.search import BM25SearchEngine
 
-RESULTS_PATH = Path(__file__).parent / "results.jsonl"
+# CI smoke knobs: BENCH_SCALE shrinks the synthetic world (and corpus)
+# proportionally; BENCH_SMOKE=1 downgrades speed/quality floor assertions
+# to warnings (a 0.05-scale world says nothing about scale-1.0 speedups —
+# the smoke run only guards imports and API contracts); BENCH_RESULTS
+# redirects the row log so smoke runs never pollute the committed
+# baseline in results.jsonl.
+SCALE = float(os.environ.get("BENCH_SCALE", "1.0"))
+SMOKE = os.environ.get("BENCH_SMOKE", "") == "1"
+RESULTS_PATH = Path(
+    os.environ.get("BENCH_RESULTS", Path(__file__).parent / "results.jsonl")
+)
 
 DOB = ids.predicate_id("date_of_birth")
 POB = ids.predicate_id("place_of_birth")
 
 
 def record_result(experiment: str, row: dict) -> None:
-    """Append one experiment row to results.jsonl and echo it."""
+    """Append one experiment row to the results log and echo it."""
     payload = {"experiment": experiment, **row}
     with RESULTS_PATH.open("a", encoding="utf-8") as handle:
         handle.write(json.dumps(payload, sort_keys=True, default=float) + "\n")
     print(f"\n[{experiment}] " + json.dumps(row, sort_keys=True, default=float))
 
 
+def check_floor(condition: bool, message: str) -> None:
+    """Assert a speed/quality floor — downgraded to a warning in smoke mode.
+
+    Byte-identity parity assertions must NOT go through here: they hold at
+    every scale and guard correctness, not performance.
+    """
+    if SMOKE:
+        if not condition:
+            warnings.warn(f"[smoke] floor not met (ignored): {message}", stacklevel=2)
+        return
+    assert condition, message
+
+
+def _scaled(count: int, floor: int = 4) -> int:
+    """A corpus page count scaled with BENCH_SCALE (identity at 1.0)."""
+    return max(floor, round(count * SCALE))
+
+
 @pytest.fixture(scope="session")
 def bench_kg():
     """Full-scale synthetic world (the benchmark substrate)."""
-    return generate_kg(SyntheticKGConfig(seed=7, scale=1.0))
+    return generate_kg(SyntheticKGConfig(seed=7, scale=SCALE))
 
 
 @pytest.fixture(scope="session")
@@ -48,11 +78,11 @@ def bench_corpus(bench_kg):
         bench_kg,
         WebCorpusConfig(
             seed=11,
-            num_profile_pages=250,
-            num_news_pages=400,
-            num_blog_pages=160,
-            num_list_pages=40,
-            num_distractor_pages=50,
+            num_profile_pages=_scaled(250),
+            num_news_pages=_scaled(400),
+            num_blog_pages=_scaled(160),
+            num_list_pages=_scaled(40),
+            num_distractor_pages=_scaled(50),
         ),
     )
 

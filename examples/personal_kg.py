@@ -26,7 +26,6 @@ from repro.ondevice import (
     evaluate_clusters,
     generate_device_dataset,
     generate_personas,
-    kg_signature,
     offload_construction,
 )
 

@@ -12,9 +12,20 @@ annotation service calls it when the KG version moves.
 
 from __future__ import annotations
 
+import json
 from collections import Counter, defaultdict
 from dataclasses import dataclass
+from pathlib import Path
 
+from repro.common.errors import StoreError
+from repro.common.snapshot_io import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    SnapshotStaleError,
+    read_manifest,
+    read_marshal,
+    write_marshal,
+)
 from repro.common.text import char_ngrams, dice_similarity, normalize_name
 from repro.kg.store import TripleStore
 
@@ -36,7 +47,13 @@ TRIE_KEY = None
 class AliasTable:
     """Normalised-name lookup with optional fuzzy fallback."""
 
-    def __init__(self, store: TripleStore, fuzzy_threshold: float = 0.75) -> None:
+    def __init__(
+        self,
+        store: TripleStore,
+        fuzzy_threshold: float = 0.75,
+        *,
+        refresh: bool = True,
+    ) -> None:
         self.store = store
         self.fuzzy_threshold = fuzzy_threshold
         self._exact: dict[str, list[AliasEntry]] = {}
@@ -45,7 +62,11 @@ class AliasTable:
         self._trie: dict = {}
         self._max_key_tokens = 1
         self._built_version = -1
-        self.refresh()
+        # ``refresh=False`` defers the first build for callers about to
+        # adopt persisted state (a snapshot load); the table reads as
+        # stale until adopted or refreshed.
+        if refresh:
+            self.refresh()
 
     def refresh(self) -> None:
         """Rebuild from the store (no-op when the store hasn't changed)."""
@@ -105,6 +126,54 @@ class AliasTable:
         """True when the store changed since the last refresh."""
         return self._built_version != self.store.version
 
+    def state(self) -> dict:
+        """The refresh products as marshal-able builtin containers.
+
+        Everything :meth:`refresh` derives — normalised keys, entry
+        tuples, trigram multisets, the word trie, ``max_key_tokens`` —
+        in plain dict/list/tuple form, so a snapshot can persist it and
+        :meth:`adopt_state` can restore it bit-for-bit (floats round-trip
+        exactly; dict insertion order is preserved, which keeps fuzzy
+        scoring's float accumulation order identical).
+        """
+        return {
+            "exact": {
+                key: [(e.entity, e.prior, e.exact) for e in entries]
+                for key, entries in self._exact.items()
+            },
+            "by_first_char": self._by_first_char,
+            "key_grams": {key: dict(grams) for key, grams in self._key_grams.items()},
+            "trie": self._trie,
+            "max_key_tokens": self._max_key_tokens,
+        }
+
+    def adopt_state(self, state: dict, built_version: int) -> bool:
+        """Adopt persisted :meth:`state` output; True on success.
+
+        Only succeeds when ``built_version`` equals the store's current
+        version — otherwise the caller falls back to :meth:`refresh`,
+        the usual adopt-or-rebuild contract.
+        """
+        if built_version != self.store.version:
+            return False
+        self._exact = {
+            key: [
+                AliasEntry(entity=entity, prior=prior, exact=exact)
+                for entity, prior, exact in entries
+            ]
+            for key, entries in state["exact"].items()
+        }
+        self._by_first_char = {
+            first: list(keys) for first, keys in state["by_first_char"].items()
+        }
+        self._key_grams = {
+            key: Counter(grams) for key, grams in state["key_grams"].items()
+        }
+        self._trie = state["trie"]
+        self._max_key_tokens = int(state["max_key_tokens"])
+        self._built_version = built_version
+        return True
+
     def __len__(self) -> int:
         return len(self._exact)
 
@@ -160,3 +229,57 @@ class AliasTable:
     def max_key_tokens(self) -> int:
         """Longest key length in tokens (bounds the detector's n-grams)."""
         return self._max_key_tokens
+
+
+def save_alias_table(table: AliasTable, directory: str | Path) -> dict:
+    """Persist a fresh table's state as a marshalled sidecar + manifest.
+
+    The state is nested builtin containers (not flat arrays), so it rides
+    in one ``state.marshal`` blob — checksummed like the array layers, and
+    stamped with the writer's python/marshal version so an incompatible
+    reader rebuilds instead of guessing.
+    """
+    if table.is_stale:
+        raise StoreError("refusing to persist a stale alias table")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    sidecar = write_marshal(directory / "state.marshal", table.state())
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "kind": "alias",
+        "store_version": table._built_version,
+        "arrays": {},
+        "sidecar": sidecar,
+        "extra": {"fuzzy_threshold": table.fuzzy_threshold, "keys": len(table)},
+    }
+    (directory / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    return manifest
+
+
+def load_alias_state(
+    directory: str | Path,
+    *,
+    expected_store_version: int | None = None,
+) -> tuple[dict, int, dict]:
+    """Load (state, built_version, extra) written by :func:`save_alias_table`.
+
+    Raises :class:`StoreError` on corruption and :class:`SnapshotStaleError`
+    on a version (store or python/marshal) mismatch — callers fall back to
+    :meth:`AliasTable.refresh`.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory, kind="alias")
+    if (
+        expected_store_version is not None
+        and manifest.get("store_version") != expected_store_version
+    ):
+        raise SnapshotStaleError(
+            f"alias snapshot {directory} built at store version "
+            f"{manifest.get('store_version')!r}, expected {expected_store_version}"
+        )
+    state = read_marshal(directory / "state.marshal", manifest.get("sidecar", {}))
+    if not isinstance(state, dict) or "exact" not in state:
+        raise StoreError(f"corrupt alias snapshot state in {directory}")
+    return state, int(manifest["store_version"]), manifest.get("extra", {})

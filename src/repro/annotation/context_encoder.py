@@ -23,11 +23,15 @@ low-latency KV store of §3.2 remains the persistence-facing view.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
+from repro.common.errors import StoreError
 from repro.common.growable import GrowableMatrix
 from repro.common.kvstore import KVStore, MemoryKVStore
 from repro.common.rng import stable_hash
+from repro.common.snapshot_io import load_arrays, pack_strings, unpack_strings, write_arrays
 from repro.common.text import content_tokens
 from repro.kg.store import TripleStore
 from repro.vector.similarity import normalize_rows
@@ -127,6 +131,41 @@ class EntityContextIndex:
         """True when the store changed since the last build."""
         return self._built_version != self.store.version
 
+    def adopt(
+        self, matrix: np.ndarray, entities: list[str], built_version: int
+    ) -> bool:
+        """Adopt a persisted (matrix, row-order entities) pair; True on success.
+
+        Adoption only succeeds when ``built_version`` equals the store's
+        current version — the same adopt-or-rebuild contract as
+        :meth:`AdjacencyIndex.adopt`.  The matrix is served zero-copy
+        (it may be a read-only mmap); vectors appended afterwards —
+        entities interned after the load — copy into a writable buffer
+        on first growth, never into the mapped base.
+        """
+        if built_version != self.store.version:
+            return False
+        if matrix.ndim != 2 or matrix.shape[0] != len(entities):
+            raise StoreError(
+                f"context snapshot shape {matrix.shape} does not match "
+                f"{len(entities)} row entities"
+            )
+        self._matrix = GrowableMatrix(dtype=matrix.dtype)
+        if len(entities):
+            self._matrix.adopt(matrix)
+        self._row_of = {entity: row for row, entity in enumerate(entities)}
+        if len(self._row_of) != len(entities):
+            raise StoreError("corrupt context snapshot: duplicate row entities")
+        self._built_version = built_version
+        return True
+
+    def row_entities(self) -> list[str]:
+        """Entities in row order (the inverse of the entity→row map)."""
+        ordered: list[str] = [""] * len(self._row_of)
+        for entity, row in self._row_of.items():
+            ordered[row] = entity
+        return ordered
+
     def clear(self) -> None:
         """Forget all vectors (rows and KV mirror); the index reads cold."""
         self._matrix.clear()
@@ -194,3 +233,60 @@ class EntityContextIndex:
         """Cosine between a query vector and an entity's context vector."""
         entity_vector = self.vector(entity)
         return float(np.dot(query_vector, entity_vector))
+
+
+def save_context_index(index: EntityContextIndex, directory: str | Path) -> dict:
+    """Persist an index's row matrix + entity→row map; returns the manifest.
+
+    The index must be fresh (``not index.is_stale``) — persisting a stale
+    matrix would stamp the wrong ``store_version`` into the manifest.
+    Layout: ``matrix`` (float64 rows), ``entity_blob``/``entity_offsets``
+    (row-order entity ids); ``extra`` records the encoder dimension so a
+    load can refuse a mismatched encoder.
+    """
+    if index.is_stale:
+        raise StoreError("refusing to persist a stale context index")
+    blob, offsets = pack_strings(index.row_entities())
+    return write_arrays(
+        directory,
+        {
+            "matrix": index._matrix.view()
+            if len(index)
+            else np.zeros((0, index.encoder.dim), dtype=np.float64),
+            "entity_blob": blob,
+            "entity_offsets": offsets,
+        },
+        kind="context",
+        store_version=index._built_version,
+        extra={"dim": index.encoder.dim, "neighbor_limit": index.neighbor_limit},
+    )
+
+
+def load_context_arrays(
+    directory: str | Path,
+    *,
+    expected_store_version: int | None = None,
+    mmap: bool = True,
+    verify: bool = True,
+) -> tuple[np.ndarray, list[str], int, dict]:
+    """Load a context snapshot: (matrix, row entities, built_version, extra).
+
+    The matrix stays memory-mapped read-only; feed the result to
+    :meth:`EntityContextIndex.adopt`.  Raises :class:`StoreError` on
+    corruption, :class:`SnapshotStaleError` on a version mismatch.
+    """
+    manifest, arrays = load_arrays(
+        directory,
+        kind="context",
+        expected_store_version=expected_store_version,
+        mmap=mmap,
+        verify=verify,
+    )
+    entities = unpack_strings(arrays["entity_blob"], arrays["entity_offsets"])
+    matrix = arrays["matrix"]
+    if matrix.shape[0] != len(entities):
+        raise StoreError(
+            f"corrupt context snapshot {directory}: {matrix.shape[0]} rows "
+            f"for {len(entities)} entities"
+        )
+    return matrix, entities, int(manifest["store_version"]), manifest["extra"]

@@ -189,6 +189,7 @@ def make_pipeline(
     tier: str = FULL_TIER,
     embedding_service: EmbeddingService | None = None,
     context_index: EntityContextIndex | None = None,
+    alias_table: AliasTable | None = None,
     config: AnnotationPipelineConfig | None = None,
     metrics: MetricsRegistry | None = None,
 ) -> AnnotationPipeline:
@@ -197,10 +198,15 @@ def make_pipeline(
     ``full`` builds (or reuses) an :class:`EntityContextIndex` and enables
     context reranking; passing an ``embedding_service`` additionally
     enables the graph-embedding coherence feature.  ``lite`` uses priors
-    and name similarity only.
+    and name similarity only.  A pre-built ``alias_table`` or
+    ``context_index`` (e.g. adopted from a persisted snapshot) skips the
+    corresponding cold-start rebuild.
     """
     config = config or AnnotationPipelineConfig(tier=tier)
-    alias_table = AliasTable(store)
+    if alias_table is None:
+        alias_table = AliasTable(store)
+    elif alias_table.is_stale:
+        alias_table.refresh()
     detector = DictionaryMentionDetector(alias_table, config.detector)
     candidate_generator = CandidateGenerator(alias_table, store, config.candidates)
     typer = EntityTyper(store)

@@ -50,7 +50,9 @@ class GrowableMatrix:
             )
         needed = self._rows + len(rows)
         if needed > len(self._buffer):
-            capacity = len(self._buffer)
+            # max(8, ...) also restarts growth after adopting a zero-row
+            # base, where doubling from 0 would never reach ``needed``.
+            capacity = max(8, len(self._buffer))
             while capacity < needed:
                 capacity *= 2
             grown = np.empty((capacity, self._buffer.shape[1]), dtype=self._dtype)
@@ -59,8 +61,27 @@ class GrowableMatrix:
         self._buffer[self._rows : needed] = rows
         self._rows = needed
 
+    def adopt(self, rows: np.ndarray) -> None:
+        """Replace all contents with ``rows`` without copying.
+
+        The buffer aliases ``rows`` directly, so a read-only base (e.g. a
+        memory-mapped snapshot) is served zero-copy: the filled region is
+        exactly the adopted array, and the first append after adoption
+        takes the grow path — which copies into a fresh writable buffer —
+        so the base is never written to.
+        """
+        rows = np.atleast_2d(rows)
+        if rows.dtype != self._dtype:
+            raise IndexError_(
+                f"dtype mismatch: index is {self._dtype}, got {rows.dtype}"
+            )
+        self._buffer = rows
+        self._rows = len(rows)
+
     def clear(self) -> None:
-        """Drop all rows (capacity is retained for reuse)."""
+        """Drop all rows (writable capacity is retained for reuse)."""
+        if self._buffer is not None and not self._buffer.flags.writeable:
+            self._buffer = None  # adopted read-only base: can't refill in place
         self._rows = 0
 
     def view(self) -> np.ndarray:

@@ -28,9 +28,12 @@ rebuilds when ``TripleStore.version`` moves — the same invalidation contract
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from repro.common.errors import StoreError
+from repro.common.snapshot_io import load_arrays, write_arrays
 from repro.kg.encoding import Dictionary
 from repro.kg.store import TripleStore
 from repro.kg.triple import ObjectKind
@@ -144,6 +147,70 @@ class CSRAdjacency:
 
 
 
+def save_adjacency(snapshot: CSRAdjacency, directory: str | Path) -> dict:
+    """Persist a CSR snapshot as flat arrays + manifest; returns the manifest.
+
+    Layout (all ``.npy``): ``indptr``, ``indices``, ``entity_edge_degrees``,
+    plus the embedded dictionary as ``dict_blob``/``dict_offsets``.
+    ``predicate_counts`` rides in the manifest's ``extra`` (it is small and
+    JSON keeps it diff-able); ``store_version`` records
+    :attr:`CSRAdjacency.built_version` — the invalidation token adoption
+    checks against.
+    """
+    blob, offsets = snapshot.dictionary.to_arrays()
+    return write_arrays(
+        directory,
+        {
+            "indptr": snapshot.indptr,
+            "indices": snapshot.indices,
+            "entity_edge_degrees": snapshot.entity_edge_degrees,
+            "dict_blob": blob,
+            "dict_offsets": offsets,
+        },
+        kind="adjacency",
+        store_version=snapshot.built_version,
+        extra={"predicate_counts": snapshot.predicate_counts},
+    )
+
+
+def load_adjacency(
+    directory: str | Path,
+    *,
+    expected_store_version: int | None = None,
+    mmap: bool = True,
+    verify: bool = True,
+) -> CSRAdjacency:
+    """Load a snapshot written by :func:`save_adjacency` (mmap by default).
+
+    ``indptr``/``indices``/``entity_edge_degrees`` stay memory-mapped and
+    read-only; only the dictionary materialises Python-side state.  Raises
+    :class:`StoreError` on corruption and :class:`SnapshotStaleError` when
+    ``expected_store_version`` doesn't match the manifest.
+    """
+    manifest, arrays = load_arrays(
+        directory,
+        kind="adjacency",
+        expected_store_version=expected_store_version,
+        mmap=mmap,
+        verify=verify,
+    )
+    dictionary = Dictionary.from_arrays(arrays["dict_blob"], arrays["dict_offsets"])
+    indptr = arrays["indptr"]
+    if len(indptr) != len(dictionary) + 1:
+        raise StoreError(
+            f"corrupt adjacency snapshot {directory}: indptr rows "
+            f"{len(indptr) - 1} != dictionary size {len(dictionary)}"
+        )
+    return CSRAdjacency(
+        dictionary=dictionary,
+        indptr=indptr,
+        indices=arrays["indices"],
+        entity_edge_degrees=arrays["entity_edge_degrees"],
+        predicate_counts=dict(manifest["extra"]["predicate_counts"]),
+        built_version=int(manifest["store_version"]),
+    )
+
+
 def build_csr(store: TripleStore) -> CSRAdjacency:
     """Build a :class:`CSRAdjacency` snapshot from the store's current state."""
     version = store.version
@@ -239,6 +306,19 @@ class AdjacencyIndex:
             self.rebuild_count += 1
         assert self._snapshot is not None
         return self._snapshot
+
+    def adopt(self, snapshot: CSRAdjacency) -> bool:
+        """Adopt a pre-built (e.g. mmap-loaded) snapshot; True on success.
+
+        Adoption only succeeds when the snapshot was built at the store's
+        *current* version — otherwise it is ignored and the next
+        :meth:`current` call rebuilds from the live store, the same
+        fallback contract ``AliasTable.refresh`` applies to stale state.
+        """
+        if snapshot.built_version != self.store.version:
+            return False
+        self._snapshot = snapshot
+        return True
 
     def peek(self) -> CSRAdjacency | None:
         """The snapshot only if already built and fresh; never rebuilds.

@@ -15,7 +15,10 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+import numpy as np
+
 from repro.common.errors import StoreError
+from repro.common.snapshot_io import pack_strings, unpack_strings
 
 MAX_ID = 2**31 - 1  # ids must fit int32 (CSR ``indices`` dtype)
 
@@ -74,6 +77,30 @@ class Dictionary:
     def strings(self) -> list[str]:
         """All interned strings, id order (a copy)."""
         return list(self._strings)
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(blob, offsets) flat-array form for snapshot persistence."""
+        return pack_strings(self._strings)
+
+    @classmethod
+    def from_arrays(cls, blob: np.ndarray, offsets: np.ndarray) -> "Dictionary":
+        """Rebuild from :meth:`to_arrays` output (ids preserved exactly).
+
+        The string list and reverse map are materialised eagerly — both
+        are O(n) dict/list work, orders of magnitude cheaper than the
+        store scan a fresh build pays — and the dictionary stays
+        append-only afterwards: interning a new string after a load
+        assigns the next dense id exactly as a built dictionary would.
+        """
+        dictionary = cls()
+        strings = unpack_strings(blob, offsets)
+        if len(strings) > MAX_ID:
+            raise StoreError("dictionary exceeds int32 id space")
+        dictionary._strings = strings
+        dictionary._id_of = {string: i for i, string in enumerate(strings)}
+        if len(dictionary._id_of) != len(strings):
+            raise StoreError("corrupt dictionary snapshot: duplicate strings")
+        return dictionary
 
     def _strings_view(self) -> list[str]:
         """Internal zero-copy view for hot paths; callers must not mutate."""

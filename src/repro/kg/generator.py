@@ -466,7 +466,6 @@ class _WorldBuilder:
     def build_people(self) -> None:
         """People with occupations, domain edges and literal attributes."""
         cfg = self.config
-        t = ids.type_id
         rng = substream(cfg.seed, "people")
         # Zipfian, rescaled so head people are the KG's most popular
         # entities (celebrities outrank countries and teams).

@@ -47,13 +47,24 @@ FactFilter = Callable[[Fact], bool]
 class GraphEngine:
     """Query/traversal operations over a :class:`TripleStore`."""
 
-    def __init__(self, store: TripleStore) -> None:
+    def __init__(self, store: TripleStore, snapshot: CSRAdjacency | None = None) -> None:
         self.store = store
         self._adjacency = AdjacencyIndex(store)
+        if snapshot is not None:
+            self._adjacency.adopt(snapshot)
 
     def snapshot(self) -> CSRAdjacency:
         """The current CSR adjacency snapshot (rebuilt when the store moved)."""
         return self._adjacency.current()
+
+    def adopt_snapshot(self, snapshot: CSRAdjacency) -> bool:
+        """Adopt a pre-built (e.g. mmap-loaded) CSR snapshot; True on success.
+
+        Only a snapshot built at the store's current version is adopted —
+        anything else is ignored and traversals rebuild lazily, the
+        standard adopt-or-rebuild contract.
+        """
+        return self._adjacency.adopt(snapshot)
 
     def peek_snapshot(self) -> CSRAdjacency | None:
         """The CSR snapshot only if already built and fresh (no rebuild)."""

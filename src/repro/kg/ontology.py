@@ -16,7 +16,7 @@ profiling (§4) uses expectations to find coverage gaps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common import ids
 from repro.common.errors import OntologyError

@@ -1,23 +1,51 @@
-"""Store persistence: save/load a knowledge graph as JSONL files.
+"""Store persistence: JSONL logical snapshots + zero-copy physical layers.
 
-A downstream adopter needs durable KGs: ``save_store`` writes a directory
-with ``entities.jsonl`` + ``facts.jsonl`` (+ ``meta.json``) and
-``load_store`` restores an equivalent :class:`~repro.kg.store.TripleStore`.
-The format is append-friendly and diff-able, matching how the construction
-pipeline exchanges snapshots.
+Two tiers, bundled under one directory:
+
+* **Logical** (``save_store``/``load_store``): ``entities.jsonl`` +
+  ``facts.jsonl`` (+ ``meta.json``) — append-friendly, diff-able, the
+  interchange format the construction pipeline exchanges.
+* **Physical** (``save_snapshot``/``load_snapshot``): versioned binary
+  snapshots of the columnar serving layers next to the JSONL —
+  ``adjacency/`` (dictionary + CSR arrays), ``context/`` (annotation
+  context matrix + entity→row map), ``alias/`` (alias-table state) —
+  each with a manifest carrying format version, ``store_version`` and
+  per-file checksums (:mod:`repro.common.snapshot_io`).
+
+``load_snapshot`` is the worker cold-start path (§4 serving): arrays are
+memory-mapped instead of rebuilt, the fact log replays *lazily* (walks and
+annotation serve entirely from the physical layers), and any layer whose
+manifest doesn't match the bundle's store version is dropped so its
+consumer rebuilds from the live store — the same adopt-or-rebuild
+contract as ``AliasTable.refresh``/``AdjacencyIndex``.
 """
 
 from __future__ import annotations
 
+import functools
 import json
+from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 from repro.common.errors import StoreError
 from repro.common.serialization import read_jsonl, write_jsonl
+from repro.common.snapshot_io import SnapshotStaleError
+from repro.kg.adjacency import CSRAdjacency, build_csr, load_adjacency, save_adjacency
 from repro.kg.store import EntityRecord, TripleStore
 from repro.kg.triple import Fact
 
+if TYPE_CHECKING:  # annotation-layer types; imported lazily at runtime
+    from repro.annotation.alias_table import AliasTable
+    from repro.annotation.context_encoder import EntityContextIndex
+    from repro.kg.graph_engine import GraphEngine
+
 FORMAT_VERSION = 1
+SNAPSHOT_MANIFEST = "snapshot.json"
+
+ADJACENCY_DIR = "adjacency"
+CONTEXT_DIR = "context"
+ALIAS_DIR = "alias"
 
 
 def save_store(store: TripleStore, directory: str | Path) -> dict[str, int]:
@@ -54,3 +82,309 @@ def load_store(directory: str | Path) -> TripleStore:
     for fact in read_jsonl(directory / "facts.jsonl", Fact.from_dict):
         store.add(fact)
     return store
+
+
+# -- lazy logical store -------------------------------------------------------
+
+
+class SnapshotStore(TripleStore):
+    """A :class:`TripleStore` restored from a bundle, fact log replayed lazily.
+
+    Entity descriptors load eagerly (every serving path needs them: alias
+    table, candidates, typing).  The fact log — the bulk of cold-start
+    replay — loads on first access to any fact-reading or mutating
+    operation; walks and full-tier annotation served from adopted physical
+    snapshots never touch it.
+
+    ``version`` is pinned to the bundle's saved ``store_version``, so
+    physical layers stamped with that version adopt cleanly; the lazy
+    replay itself never moves ``version`` (it is a load, not a logical
+    mutation), while real mutations bump it as usual and invalidate every
+    adopted layer.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        name: str = "kg",
+        pinned_version: int = 0,
+        defer_facts: bool = True,
+    ) -> None:
+        super().__init__(name=name)
+        self._directory = Path(directory)
+        self._facts_loaded = False
+        for record in read_jsonl(
+            self._directory / "entities.jsonl", EntityRecord.from_dict
+        ):
+            self._entities[record.entity] = record
+        if not defer_facts:
+            self._ensure_facts()
+        self.version = pinned_version
+
+    def _ensure_facts(self) -> None:
+        if self._facts_loaded:
+            return
+        # Flag only flips once the replay completes: a truncated/corrupt
+        # fact log must keep raising on every access, never serve the
+        # partial prefix as if it were the full graph.  (Upserts are
+        # idempotent, so a retry after a transient error is safe.)
+        for fact in read_jsonl(self._directory / "facts.jsonl", Fact.from_dict):
+            self._upsert(fact)
+        self._facts_loaded = True
+
+
+def _facts_first(name: str):
+    base = getattr(TripleStore, name)
+
+    @functools.wraps(base)
+    def method(self, *args, **kwargs):
+        self._ensure_facts()
+        return base(self, *args, **kwargs)
+
+    return method
+
+
+# Every TripleStore operation that reads or writes the fact indexes; the
+# entity-descriptor surface (entity/has_entity/entities/entity_ids/
+# upsert_entity/copy_entities_from) deliberately stays lazy-free.
+for _name in (
+    "add",
+    "add_all",
+    "remove",
+    "get",
+    "__contains__",
+    "__len__",
+    "scan",
+    "objects",
+    "subjects",
+    "facts_of",
+    "predicates_of",
+    "predicates",
+    "predicate_counts",
+    "out_degree",
+    "in_degree",
+    "stats",
+    "neighbors",
+):
+    setattr(SnapshotStore, _name, _facts_first(_name))
+
+
+# -- bundled physical snapshots ----------------------------------------------
+
+
+@dataclass
+class KGSnapshot:
+    """A loaded bundle: the logical store plus adoptable physical layers.
+
+    Layers that were missing, stale (built at a different store version
+    than the bundle) or written by an incompatible python are ``None`` —
+    their consumers rebuild from the live store.  Corrupt layers raise
+    :class:`StoreError` at load instead (never garbage results).
+    """
+
+    directory: Path
+    manifest: dict[str, Any]
+    store: TripleStore
+    adjacency: CSRAdjacency | None
+    context: tuple | None  # (matrix, row entities, built_version, extra)
+    alias: tuple | None  # (state, built_version, extra)
+
+    def engine(self) -> "GraphEngine":
+        """A :class:`GraphEngine` with the persisted CSR adopted (if fresh)."""
+        from repro.kg.graph_engine import GraphEngine
+
+        engine = GraphEngine(self.store)
+        if self.adjacency is not None:
+            engine.adopt_snapshot(self.adjacency)
+        return engine
+
+    def context_index(self, encoder=None, cache=None) -> "EntityContextIndex":
+        """An :class:`EntityContextIndex` served from the mmapped matrix.
+
+        The persisted ``neighbor_limit`` carries over, so vectors
+        computed after the load (new entities, post-mutation rebuilds)
+        use the same recipe as the saved ones.  Falls back to an empty
+        (stale) index that rebuilds on first use when the bundle carries
+        no adoptable context layer.
+        """
+        from repro.annotation.context_encoder import EntityContextIndex
+
+        extra = self.context[3] if self.context is not None else {}
+        index = EntityContextIndex(
+            self.store,
+            encoder=encoder,
+            cache=cache,
+            neighbor_limit=extra.get("neighbor_limit", 16),
+        )
+        if self.context is not None:
+            matrix, entities, built_version, _ = self.context
+            if extra.get("dim") == index.encoder.dim:
+                index.adopt(matrix, entities, built_version)
+        return index
+
+    def alias_table(self, fuzzy_threshold: float | None = None) -> "AliasTable":
+        """An :class:`AliasTable` restored from persisted state (if fresh).
+
+        ``fuzzy_threshold`` defaults to the persisted value, so the
+        restored table accepts exactly the fuzzy matches the saved
+        service did.
+        """
+        from repro.annotation.alias_table import AliasTable
+
+        if fuzzy_threshold is None:
+            persisted = self.alias[2] if self.alias is not None else {}
+            fuzzy_threshold = persisted.get("fuzzy_threshold", 0.75)
+        table = AliasTable(self.store, fuzzy_threshold, refresh=False)
+        if self.alias is not None:
+            state, built_version, _extra = self.alias
+            table.adopt_state(state, built_version)
+        if table.is_stale:
+            table.refresh()
+        return table
+
+    def annotation_pipeline(self, tier: str = "full", **kwargs):
+        """A :func:`make_pipeline` wired onto the adopted physical layers."""
+        from repro.annotation.pipeline import FULL_TIER, make_pipeline
+
+        context_index = self.context_index() if tier == FULL_TIER else None
+        return make_pipeline(
+            self.store,
+            tier=tier,
+            context_index=context_index,
+            alias_table=self.alias_table(),
+            **kwargs,
+        )
+
+
+def save_snapshot(
+    store: TripleStore,
+    directory: str | Path,
+    *,
+    engine: "GraphEngine | None" = None,
+    context_index: "EntityContextIndex | None" = None,
+    alias_table: "AliasTable | None" = None,
+) -> dict[str, Any]:
+    """Write a full bundle: JSONL logical store + binary physical layers.
+
+    Layers are taken from the passed objects when fresh (a warm engine's
+    CSR, a built context index) and built from the store otherwise, so
+    every layer manifest is stamped with the *current* ``store.version``.
+    Returns the bundle manifest (also written to ``snapshot.json``).
+    """
+    from repro.annotation.alias_table import AliasTable, save_alias_table
+    from repro.annotation.context_encoder import EntityContextIndex, save_context_index
+
+    directory = Path(directory)
+    counts = save_store(store, directory)
+    version = store.version
+
+    snapshot = engine.snapshot() if engine is not None else build_csr(store)
+    save_adjacency(snapshot, directory / ADJACENCY_DIR)
+
+    if context_index is None:
+        context_index = EntityContextIndex(store)
+    if context_index.is_stale:
+        context_index.build()
+    save_context_index(context_index, directory / CONTEXT_DIR)
+
+    if alias_table is None:
+        alias_table = AliasTable(store)
+    if alias_table.is_stale:
+        alias_table.refresh()
+    save_alias_table(alias_table, directory / ALIAS_DIR)
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "name": store.name,
+        "store_version": version,
+        "num_entities": counts["entities"],
+        "num_facts": counts["facts"],
+        "layers": [ADJACENCY_DIR, CONTEXT_DIR, ALIAS_DIR],
+    }
+    (directory / SNAPSHOT_MANIFEST).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    return manifest
+
+
+def load_snapshot(
+    directory: str | Path,
+    *,
+    defer_facts: bool = True,
+    mmap: bool = True,
+    verify: bool = True,
+) -> KGSnapshot:
+    """Load a bundle written by :func:`save_snapshot`.
+
+    Cold start is an mmap, not a rebuild: physical arrays map read-only,
+    the fact log replays lazily (``defer_facts=False`` forces an eager
+    replay), and each layer's manifest is checked against the bundle's
+    ``store_version`` — a mismatched (stale) layer is dropped so its
+    consumer rebuilds, while corruption (bad checksums, truncated or
+    missing files) raises :class:`StoreError`.
+    """
+    from repro.annotation.alias_table import load_alias_state
+    from repro.annotation.context_encoder import load_context_arrays
+
+    directory = Path(directory)
+    manifest_path = directory / SNAPSHOT_MANIFEST
+    if not manifest_path.exists():
+        raise StoreError(
+            f"not a saved snapshot: {directory} (missing {SNAPSHOT_MANIFEST})"
+        )
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise StoreError(
+            f"unsupported snapshot format {manifest.get('format_version')!r} "
+            f"(supported: {FORMAT_VERSION})"
+        )
+    version = int(manifest["store_version"])
+    store = SnapshotStore(
+        directory,
+        name=manifest.get("name", "kg"),
+        pinned_version=version,
+        defer_facts=defer_facts,
+    )
+
+    adjacency = None
+    if (directory / ADJACENCY_DIR).exists():
+        try:
+            adjacency = load_adjacency(
+                directory / ADJACENCY_DIR,
+                expected_store_version=version,
+                mmap=mmap,
+                verify=verify,
+            )
+        except SnapshotStaleError:
+            adjacency = None
+
+    context = None
+    if (directory / CONTEXT_DIR).exists():
+        try:
+            context = load_context_arrays(
+                directory / CONTEXT_DIR,
+                expected_store_version=version,
+                mmap=mmap,
+                verify=verify,
+            )
+        except SnapshotStaleError:
+            context = None
+
+    alias = None
+    if (directory / ALIAS_DIR).exists():
+        try:
+            alias = load_alias_state(
+                directory / ALIAS_DIR, expected_store_version=version
+            )
+        except SnapshotStaleError:
+            alias = None
+
+    return KGSnapshot(
+        directory=directory,
+        manifest=manifest,
+        store=store,
+        adjacency=adjacency,
+        context=context,
+        alias=alias,
+    )

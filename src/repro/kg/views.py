@@ -16,7 +16,7 @@ the base store's version moves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ViewError
 from repro.kg.graph_engine import GraphEngine

@@ -27,7 +27,7 @@ from repro.common.rng import substream
 from repro.kg.generator import SyntheticKG
 from repro.kg.store import TripleStore
 from repro.web.document import DocumentKind, GoldMention, WebDocument
-from repro.web.schema_org import build_person_payload, corrupt_payload
+from repro.web.schema_org import build_person_payload
 
 _MONTHS = [
     "January", "February", "March", "April", "May", "June", "July",

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from repro.common.rng import substream
 from repro.kg.generator import SyntheticKG
 from repro.web.corpus import WebCorpus, WebCorpusConfig, WebCorpusGenerator
-from repro.web.document import DocumentKind, GoldMention, WebDocument
+from repro.web.document import GoldMention, WebDocument
 
 
 @dataclass

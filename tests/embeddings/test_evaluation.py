@@ -1,7 +1,6 @@
 """Tests for link prediction and triple classification."""
 
 import numpy as np
-import pytest
 
 from repro.embeddings.dataset import TripleDataset
 from repro.embeddings.evaluation import (

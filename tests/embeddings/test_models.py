@@ -90,7 +90,6 @@ class TestGradients:
     """Gradients are checked against finite differences for every model."""
 
     def test_numeric_gradient_check(self, model):
-        rng = np.random.default_rng(0)
         h = np.array([1])
         r = np.array([2])
         t = np.array([3])

@@ -1,6 +1,5 @@
 """Tests for the end-to-end embedding pipeline + registry + inference."""
 
-import numpy as np
 import pytest
 
 from repro.common.errors import EmbeddingError, ModelRegistryError

@@ -1,6 +1,5 @@
 """Cross-subsystem integration tests: the paper's full loops."""
 
-import pytest
 
 from repro.annotation.evaluation import evaluate_annotations
 from repro.annotation.pipeline import make_pipeline
@@ -85,8 +84,6 @@ class TestFreshAnnotationLoop:
     """§3.2: KG updates surface in annotations; crawl churn is incremental."""
 
     def test_new_entity_becomes_linkable(self, kg):
-        import copy
-
         from repro.kg.store import EntityRecord, TripleStore
 
         store = TripleStore()

@@ -1,7 +1,6 @@
 """Property-based invariants that cut across subsystems."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -41,8 +40,8 @@ class TestAnnotationOffsets:
         text = f"{person.name} was in the news again today."
         first = full_annotation_pipeline.annotate(text)
         second = full_annotation_pipeline.annotate(text)
-        assert [(l.mention, l.entity) for l in first] == [
-            (l.mention, l.entity) for l in second
+        assert [(link.mention, link.entity) for link in first] == [
+            (link.mention, link.entity) for link in second
         ]
 
 

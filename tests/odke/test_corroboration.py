@@ -6,7 +6,6 @@ import pytest
 from repro.common.errors import ExtractionError
 from repro.odke.corroboration import (
     FEATURE_NAMES,
-    EvidenceGroup,
     LabeledGroup,
     featurize_group,
     group_candidates,

@@ -1,6 +1,5 @@
 """Tests for the three extractor tiers."""
 
-import pytest
 
 from repro.common import ids
 from repro.odke.extractors import (

@@ -6,7 +6,7 @@ from repro.annotation.pipeline import make_pipeline
 from repro.common import ids
 from repro.kg.generator import hold_out_facts
 from repro.odke.fusion import FusionEngine
-from repro.odke.gaps import ExtractionTarget, GapDetector
+from repro.odke.gaps import ExtractionTarget
 from repro.odke.pipeline import (
     ODKEConfig,
     ODKEPipeline,

@@ -78,10 +78,10 @@ class TestBlocker:
         unbounded = MemoryBoundedBlocker(memory_budget_keys=100_000)
         bounded = MemoryBoundedBlocker(memory_budget_keys=20, spill_dir=tmp_path)
         pairs_unbounded = {
-            (l.record_id, r.record_id) for l, r in unbounded.candidate_pairs(records)
+            (a.record_id, b.record_id) for a, b in unbounded.candidate_pairs(records)
         }
         pairs_bounded = {
-            (l.record_id, r.record_id) for l, r in bounded.candidate_pairs(records)
+            (a.record_id, b.record_id) for a, b in bounded.candidate_pairs(records)
         }
         assert pairs_bounded == pairs_unbounded
         assert bounded.stats.spilled_blocks > 0

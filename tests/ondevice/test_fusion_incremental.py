@@ -8,7 +8,6 @@ from repro.common.errors import PipelineStateError
 from repro.ondevice.fusion import UnionFind, evaluate_clusters
 from repro.ondevice.incremental import (
     IncrementalPipeline,
-    IncrementalPipelineConfig,
     Phase,
 )
 from repro.ondevice.sources import (

@@ -1,6 +1,5 @@
 """Tests for record normalization and the source-record model."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.ondevice.annotation import PersonalAnnotator, PersonalAnnotatorConfig
 from repro.ondevice.incremental import IncrementalPipeline
-from repro.ondevice.records import MESSAGES
 from repro.ondevice.sources import (
     PersonaWorldConfig,
     generate_device_dataset,

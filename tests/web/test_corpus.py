@@ -1,6 +1,5 @@
 """Tests for the synthetic web corpus generator."""
 
-import pytest
 
 from repro.web.corpus import WebCorpusConfig, generate_corpus
 from repro.web.document import DocumentKind

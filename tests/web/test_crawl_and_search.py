@@ -1,6 +1,5 @@
 """Tests for crawl churn and BM25 search."""
 
-import pytest
 
 from repro.web.crawl import CrawlSimulator, evolve
 from repro.web.search import BM25SearchEngine
