@@ -37,14 +37,29 @@ from pathlib import Path
 DEFAULT_BASELINE = Path(__file__).parent / "results.jsonl"
 
 # Fields that discriminate stages within one experiment, in precedence
-# order (a row may carry several; all present ones join the key).
-STAGE_FIELDS = ("op", "index", "tier", "config", "backend", "model", "change_fraction")
+# order (a row may carry several; all present ones join the key).  The
+# serving rows (F-serving) discriminate on fleet shape: workers / mode /
+# batched — a 4-worker throughput row must never be compared against the
+# single-process seed row.
+STAGE_FIELDS = (
+    "op",
+    "index",
+    "tier",
+    "config",
+    "backend",
+    "model",
+    "change_fraction",
+    "workers",
+    "mode",
+    "batched",
+)
 
 # Timing metrics, with their direction.  The first one present in a row
 # is the stage's canonical metric; rows with none are quality-only and
-# not regression-checked here.
+# not regression-checked here.  Higher-is-better throughput rows (docs/s,
+# queries/s) gate exactly like latency rows: a >threshold *drop* fails.
 LOWER_IS_BETTER = ("new_ms", "mean_query_us", "cold_cache_s_per_50_texts")
-HIGHER_IS_BETTER = ("docs_per_s", "scored_per_s", "triples_per_s", "qps")
+HIGHER_IS_BETTER = ("docs_per_s", "scored_per_s", "triples_per_s", "qps", "queries_per_s")
 
 
 def load_rows(path: Path) -> list[dict]:

@@ -33,28 +33,48 @@ class CandidateGenerator:
 
     def generate(self, mention: Mention) -> list[Candidate]:
         """Ranked candidates for ``mention`` (empty = NIL so far)."""
-        entries = self.alias_table.lookup(mention.surface)
+        return self.materialize(self.features(mention.surface))
+
+    def features(self, surface: str) -> tuple[tuple[str, float, float], ...]:
+        """Ranked ``(entity, prior, name_similarity)`` features for a surface.
+
+        A pure function of the surface form and the current alias-table
+        state — lookups, n-gram hashing and Dice similarities depend on
+        nothing else.  Batch callers memoise this per distinct surface
+        (corpus text repeats the same names constantly) and materialise
+        fresh :class:`Candidate` objects per mention, since rerankers
+        mutate candidates in place.
+        """
+        entries = self.alias_table.lookup(surface)
         if not entries and self.config.enable_fuzzy:
-            entries = self.alias_table.lookup_fuzzy(mention.surface)
+            entries = self.alias_table.lookup_fuzzy(surface)
         if not entries:
-            return []
-        candidates: list[Candidate] = []
+            return ()
+        features: list[tuple[str, float, float]] = []
         # The mention-side n-grams are shared by every candidate's Dice
         # comparison; hash them once per mention, not once per candidate.
-        mention_grams = char_ngrams(mention.surface)
+        mention_grams = char_ngrams(surface)
         for entry in entries[: self.config.max_candidates]:
             entity_name = (
                 self.store.entity(entry.entity).name
                 if self.store.has_entity(entry.entity)
                 else entry.entity
             )
-            candidates.append(
-                Candidate(
-                    entity=entry.entity,
-                    prior=entry.prior,
-                    name_similarity=dice_similarity(
-                        mention_grams, char_ngrams(entity_name)
-                    ),
+            features.append(
+                (
+                    entry.entity,
+                    entry.prior,
+                    dice_similarity(mention_grams, char_ngrams(entity_name)),
                 )
             )
-        return candidates
+        return tuple(features)
+
+    @staticmethod
+    def materialize(
+        features: tuple[tuple[str, float, float], ...],
+    ) -> list[Candidate]:
+        """Fresh, mutable :class:`Candidate` objects from a feature tuple."""
+        return [
+            Candidate(entity=entity, prior=prior, name_similarity=name_similarity)
+            for entity, prior, name_similarity in features
+        ]

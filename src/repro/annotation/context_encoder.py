@@ -23,6 +23,7 @@ low-latency KV store of §3.2 remains the persistence-facing view.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -112,6 +113,10 @@ class EntityContextIndex:
         self._matrix = GrowableMatrix(dtype=np.float64)
         self._row_of: dict[str, int] = {}
         self._built_version = -1
+        # Row adoption appends to the matrix and the row map as one unit;
+        # concurrent misses from serving worker threads must not interleave
+        # (two entities claiming the same row id corrupts the mapping).
+        self._row_lock = threading.RLock()
 
     def build(self) -> int:
         """(Re)compute vectors for every entity; returns count built."""
@@ -177,10 +182,15 @@ class EntityContextIndex:
         return len(self._row_of)
 
     def _adopt(self, entity: str, vector: np.ndarray) -> int:
-        """Append ``vector`` as ``entity``'s row; returns the row id."""
+        """Append ``vector`` as ``entity``'s row; returns the row id.
+
+        The row map entry is published *last*: :meth:`_row`'s lock-free
+        fast path treats its presence as "the matrix row exists", so the
+        append must complete first.
+        """
         row = len(self._row_of)
-        self._row_of[entity] = row
         self._matrix.append(vector)
+        self._row_of[entity] = row
         return row
 
     def _row(self, entity: str) -> int:
@@ -193,11 +203,15 @@ class EntityContextIndex:
         row = self._row_of.get(entity)
         if row is not None:
             return row
-        vector = self.cache.get(entity)
-        if vector is None:
-            vector = self._compute(entity)
-            self.cache.put(entity, vector)
-        return self._adopt(entity, np.asarray(vector, dtype=np.float64))
+        with self._row_lock:
+            row = self._row_of.get(entity)
+            if row is not None:
+                return row
+            vector = self.cache.get(entity)
+            if vector is None:
+                vector = self._compute(entity)
+                self.cache.put(entity, vector)
+            return self._adopt(entity, np.asarray(vector, dtype=np.float64))
 
     def vector(self, entity: str) -> np.ndarray:
         """Context vector of ``entity`` (computed and adopted on miss)."""

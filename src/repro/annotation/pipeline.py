@@ -83,6 +83,31 @@ class AnnotationPipeline:
         self.metrics.incr("links", len(links))
         return links
 
+    def annotate_batch(self, texts: list[str]) -> list[list[EntityLink]]:
+        """Entity links for many texts, scored in one cross-document batch.
+
+        The corpus-level batching hook (the serving layer's
+        :class:`~repro.serving.batcher.MicroBatcher` flushes through it):
+        mention detection and candidate generation stay per document, but
+        *all* mention windows across the batch are hashed in a single
+        :meth:`HashingContextEncoder.encode_batch` call and all (mention,
+        candidate) pairs scored in one
+        :meth:`ContextualReranker.rerank_batch` call — context similarity
+        and coherence don't care about document boundaries.  The coherence
+        second pass (when enabled) remains per document, because its
+        evidence set is the document's own first-pass winners.
+
+        Spans, chosen entities and candidate orders are identical to
+        per-document :meth:`annotate` calls; full-tier scores agree to
+        float64 rounding (one larger matmul vs several smaller ones).
+        """
+        with self.metrics.timed("annotate_batch"):
+            results = self._annotate_texts(texts)
+        self.metrics.incr("texts", len(texts))
+        self.metrics.incr("batches")
+        self.metrics.incr("links", sum(len(links) for links in results))
+        return results
+
     def annotate_document(self, doc: WebDocument, annotated_at: float = 0.0) -> AnnotatedDocument:
         """Annotate a web document's title + body."""
         links = self.annotate(doc.full_text)
@@ -168,6 +193,84 @@ class AnnotationPipeline:
                 )
             )
         return resolved
+
+    def _annotate_texts(self, texts: list[str]) -> list[list[EntityLink]]:
+        if self.alias_table.is_stale:
+            self.alias_table.refresh()
+        # Corpus text repeats the same names constantly: candidate features
+        # (alias lookups, n-gram Dice) are a pure function of the surface
+        # form, so they are computed once per distinct surface across the
+        # whole batch.  The memo is batch-scoped — the alias table cannot
+        # move mid-batch, so no invalidation is needed.
+        feature_memo: dict[str, tuple] = {}
+        generator = self.candidate_generator
+        docs: list[list[tuple[Mention, list[Candidate]]]] = []
+        for text in texts:
+            mentions = self.detector.detect(text)
+            self.metrics.incr("mentions", len(mentions))
+            first_pass: list[tuple[Mention, list[Candidate]]] = []
+            for mention in mentions:
+                features = feature_memo.get(mention.surface)
+                if features is None:
+                    features = feature_memo[mention.surface] = generator.features(
+                        mention.surface
+                    )
+                if not features:
+                    self.metrics.incr("nil.no_candidates")
+                    continue
+                first_pass.append((mention, generator.materialize(features)))
+            docs.append(first_pass)
+
+        # One encode + one rerank across every mention of every document.
+        flat = [
+            (doc_index, mention, candidates)
+            for doc_index, first_pass in enumerate(docs)
+            for mention, candidates in first_pass
+        ]
+        if flat:
+            query_matrix = None
+            if self.encoder is not None:
+                query_matrix = self.encoder.encode_batch(
+                    [
+                        self._window_tokens(texts[doc_index], mention)
+                        for doc_index, mention, _ in flat
+                    ]
+                )
+            self.reranker.rerank_batch(
+                [candidates for _, _, candidates in flat], query_matrix=query_matrix
+            )
+            if self.reranker.config.use_coherence:
+                # Coherence scores a candidate against *its document's*
+                # first-pass winners, so this pass groups by document.
+                for first_pass in docs:
+                    document_entities = [
+                        candidates[0].entity for _, candidates in first_pass
+                    ]
+                    if len(document_entities) > 1:
+                        self.reranker.rerank_batch(
+                            [candidates for _, candidates in first_pass],
+                            document_entities=document_entities,
+                        )
+
+        results: list[list[EntityLink]] = []
+        for first_pass in docs:
+            resolved: list[EntityLink] = []
+            for mention, candidates in first_pass:
+                best = candidates[0]
+                if not self.reranker.accepts(best):
+                    self.metrics.incr("nil.below_threshold")
+                    continue
+                resolved.append(
+                    EntityLink(
+                        mention=mention,
+                        entity=best.entity,
+                        score=best.score,
+                        entity_type=self.typer.label_for_entity(best.entity),
+                        candidates=candidates,
+                    )
+                )
+            results.append(resolved)
+        return results
 
     def _window_tokens(self, text: str, mention: Mention) -> list[str]:
         """Tokens of the text window around ``mention`` (mention excluded)."""

@@ -1,14 +1,22 @@
-"""Lightweight operational metrics: counters, gauges and timers.
+"""Lightweight operational metrics: counters, gauges, timers and histograms.
 
 Production services in the paper track throughput, latency and cache hit
 rates to navigate the price/performance curve (§3.1).  This registry gives
 every subsystem a uniform way to expose those numbers; benchmarks read them
 back to report the same quantities the paper discusses.
+
+Timers keep every sample (fine for bounded bench runs); the serving layer's
+request path uses :class:`LatencyHistogram` instead — fixed log-spaced
+buckets, O(1) per observation and bounded memory no matter how many
+requests flow through.  Registry mutation is lock-guarded so in-process
+worker threads can share one registry.
 """
 
 from __future__ import annotations
 
+import bisect
 import statistics
+import threading
 import time
 from collections import defaultdict
 from contextlib import contextmanager
@@ -28,31 +36,143 @@ class TimerStats:
     max_s: float
 
 
+# Log-spaced latency bucket upper bounds (seconds): 0.1ms .. 10s.  The
+# serving benchmarks sit comfortably inside this range; anything slower
+# lands in the overflow bucket.
+DEFAULT_LATENCY_BOUNDS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram: O(1) observe, bounded memory.
+
+    Unlike timer sample lists, a histogram never grows with traffic —
+    the right shape for a serving path that sees millions of requests.
+    Quantiles are bucket-upper-bound estimates (conservative).
+    """
+
+    __slots__ = ("bounds", "counts", "overflow", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"bounds must be a sorted non-empty tuple, got {bounds!r}")
+        self.bounds = tuple(bounds)
+        self.counts = [0] * len(bounds)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample (seconds for latency, but unit-agnostic)."""
+        slot = bisect.bisect_left(self.bounds, value)
+        if slot < len(self.counts):
+            self.counts[slot] += 1
+        else:
+            self.overflow += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q`` quantile (0 when empty).
+
+        Returns the upper bound of the bucket containing the quantile
+        rank; overflow samples report the observed maximum.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                return bound
+        return self.max
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s buckets into this histogram (same bounds only)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for slot, bucket_count in enumerate(other.counts):
+            self.counts[slot] += bucket_count
+        self.overflow += other.overflow
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def to_dict(self) -> dict[str, float]:
+        """Flat summary (count/mean/p50/p95/max) for stats surfaces."""
+        return {
+            "count": float(self.count),
+            "mean_s": self.mean,
+            "p50_s": self.quantile(0.50),
+            "p95_s": self.quantile(0.95),
+            "max_s": self.max if self.count else 0.0,
+        }
+
+
 @dataclass
 class MetricsRegistry:
-    """A named bag of counters, gauges and timing samples.
+    """A named bag of counters, gauges, timing samples and histograms.
 
     Instances are cheap; subsystems create their own and parents can
     :meth:`merge` children for fleet-level reporting (used by the sharded
-    web annotator).
+    web annotator and the serving worker pool).  Mutating operations are
+    lock-guarded so worker threads can share one registry.
     """
 
     name: str = "metrics"
     counters: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     gauges: dict[str, float] = field(default_factory=dict)
     timings: dict[str, list[float]] = field(default_factory=lambda: defaultdict(list))
+    histograms: dict[str, LatencyHistogram] = field(default_factory=dict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def incr(self, counter: str, amount: int = 1) -> None:
         """Increment ``counter`` by ``amount``."""
-        self.counters[counter] += amount
+        with self._lock:
+            self.counters[counter] += amount
 
     def gauge(self, gauge: str, value: float) -> None:
         """Set ``gauge`` to ``value`` (last write wins)."""
-        self.gauges[gauge] = value
+        with self._lock:
+            self.gauges[gauge] = value
 
     def observe(self, timer: str, seconds: float) -> None:
         """Record one timing sample for ``timer``."""
-        self.timings[timer].append(seconds)
+        with self._lock:
+            self.timings[timer].append(seconds)
+
+    def hist(self, histogram: str, value: float) -> None:
+        """Record one sample in the named fixed-bucket histogram."""
+        with self._lock:
+            bucket = self.histograms.get(histogram)
+            if bucket is None:
+                bucket = self.histograms[histogram] = LatencyHistogram()
+            bucket.observe(value)
+
+    @contextmanager
+    def hist_timed(self, histogram: str) -> Iterator[None]:
+        """Like :meth:`timed`, but recording into a bounded histogram."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.hist(histogram, time.perf_counter() - start)
 
     @contextmanager
     def timed(self, timer: str) -> Iterator[None]:
@@ -79,26 +199,45 @@ class MetricsRegistry:
         )
 
     def merge(self, other: "MetricsRegistry") -> None:
-        """Fold ``other``'s measurements into this registry."""
-        for key, value in other.counters.items():
-            self.counters[key] += value
-        self.gauges.update(other.gauges)
-        for key, samples in other.timings.items():
-            self.timings[key].extend(samples)
+        """Fold ``other``'s measurements into this registry.
+
+        Both registries' locks are held (in a stable order, so two
+        opposite-direction merges can't deadlock): ``other`` may be a
+        worker's live registry still receiving samples, and iterating its
+        dicts unlocked races their mutation.
+        """
+        first, second = (
+            (self, other) if id(self) <= id(other) else (other, self)
+        )
+        with first._lock, second._lock:
+            for key, value in other.counters.items():
+                self.counters[key] += value
+            self.gauges.update(other.gauges)
+            for key, samples in other.timings.items():
+                self.timings[key].extend(samples)
+            for key, histogram in other.histograms.items():
+                mine = self.histograms.get(key)
+                if mine is None:
+                    mine = self.histograms[key] = LatencyHistogram(histogram.bounds)
+                mine.merge(histogram)
 
     def snapshot(self) -> dict[str, float]:
         """Flat dict of all metrics, for logging and benchmark tables."""
-        out: dict[str, float] = {}
-        for key, value in self.counters.items():
-            out[f"counter.{key}"] = float(value)
-        for key, value in self.gauges.items():
-            out[f"gauge.{key}"] = value
-        for key in self.timings:
-            stats = self.timer_stats(key)
-            out[f"timer.{key}.count"] = float(stats.count)
-            out[f"timer.{key}.mean_s"] = stats.mean_s
-            out[f"timer.{key}.p95_s"] = stats.p95_s
-        return out
+        with self._lock:
+            out: dict[str, float] = {}
+            for key, value in self.counters.items():
+                out[f"counter.{key}"] = float(value)
+            for key, value in self.gauges.items():
+                out[f"gauge.{key}"] = value
+            for key in self.timings:
+                stats = self.timer_stats(key)
+                out[f"timer.{key}.count"] = float(stats.count)
+                out[f"timer.{key}.mean_s"] = stats.mean_s
+                out[f"timer.{key}.p95_s"] = stats.p95_s
+            for key, histogram in self.histograms.items():
+                for stat, value in histogram.to_dict().items():
+                    out[f"hist.{key}.{stat}"] = value
+            return out
 
 
 def _quantile(ordered: list[float], q: float) -> float:

@@ -27,6 +27,7 @@ rebuilds when ``TripleStore.version`` moves — the same invalidation contract
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -53,13 +54,22 @@ class CSRAdjacency:
     predicate_counts: dict[str, int]
     built_version: int
     # Python-list mirrors of the arrays, materialised lazily for the walk
-    # loop where list indexing beats numpy scalar indexing ~3x.
+    # loop where list indexing beats numpy scalar indexing ~3x.  First
+    # materialisation is guarded by ``_derive_lock``: snapshots are shared
+    # read-only across serving worker threads, and an unguarded build
+    # could expose a half-assigned cache (e.g. ``_indptr_list`` set while
+    # ``_indices_list`` is still ``None``).  Reads stay lock-free — each
+    # cache is published with a single reference assignment only after it
+    # is fully built.
     _indptr_list: list[int] | None = field(default=None, repr=False)
     _indices_list: list[int] | None = field(default=None, repr=False)
     _degrees_list: list[int] | None = field(default=None, repr=False)
     _neighbor_strings: list[list[str]] | None = field(default=None, repr=False)
     _neighbor_ids: list[list[int]] | None = field(default=None, repr=False)
     _second_hop_rows: dict[str, list[list[str]]] | None = field(default=None, repr=False)
+    _derive_lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     @property
     def num_nodes(self) -> int:
@@ -92,9 +102,13 @@ class CSRAdjacency:
     def lists(self) -> tuple[list[int], list[int], list[int], list[str]]:
         """(indptr, indices, degrees, strings) as plain lists for tight loops."""
         if self._indptr_list is None:
-            self._indptr_list = self.indptr.tolist()
-            self._indices_list = self.indices.tolist()
-            self._degrees_list = np.diff(self.indptr).tolist()
+            with self._derive_lock:
+                if self._indptr_list is None:
+                    # indptr is published last: it is the presence flag the
+                    # lock-free fast path above checks.
+                    self._indices_list = self.indices.tolist()
+                    self._degrees_list = np.diff(self.indptr).tolist()
+                    self._indptr_list = self.indptr.tolist()
         assert self._indices_list is not None and self._degrees_list is not None
         return (
             self._indptr_list,
@@ -111,21 +125,25 @@ class CSRAdjacency:
         cached-hash cheap.
         """
         if self._neighbor_strings is None:
-            id_rows = self.neighbor_id_rows()
-            strings = self.dictionary._strings_view()
-            self._neighbor_strings = [
-                [strings[i] for i in row] for row in id_rows
-            ]
+            with self._derive_lock:
+                if self._neighbor_strings is None:
+                    id_rows = self.neighbor_id_rows()
+                    strings = self.dictionary._strings_view()
+                    self._neighbor_strings = [
+                        [strings[i] for i in row] for row in id_rows
+                    ]
         return self._neighbor_strings
 
     def neighbor_id_rows(self) -> list[list[int]]:
         """Per-node encoded neighbor lists (row order), built once per snapshot."""
         if self._neighbor_ids is None:
-            indptr, indices, _, _ = self.lists()
-            self._neighbor_ids = [
-                indices[indptr[node] : indptr[node + 1]]
-                for node in range(self.num_nodes)
-            ]
+            with self._derive_lock:
+                if self._neighbor_ids is None:
+                    indptr, indices, _, _ = self.lists()
+                    self._neighbor_ids = [
+                        indices[indptr[node] : indptr[node + 1]]
+                        for node in range(self.num_nodes)
+                    ]
         return self._neighbor_ids
 
     def second_hop_string_rows(self) -> dict[str, list[list[str]]]:
@@ -136,13 +154,15 @@ class CSRAdjacency:
         :meth:`neighbor_string_rows`, so the grouping costs O(edges) pointers.
         """
         if self._second_hop_rows is None:
-            string_rows = self.neighbor_string_rows()
-            id_rows = self.neighbor_id_rows()
-            rows_at = string_rows.__getitem__
-            self._second_hop_rows = {
-                node: [rows_at(v) for v in row]
-                for node, row in zip(self.dictionary._strings_view(), id_rows)
-            }
+            with self._derive_lock:
+                if self._second_hop_rows is None:
+                    string_rows = self.neighbor_string_rows()
+                    id_rows = self.neighbor_id_rows()
+                    rows_at = string_rows.__getitem__
+                    self._second_hop_rows = {
+                        node: [rows_at(v) for v in row]
+                        for node, row in zip(self.dictionary._strings_view(), id_rows)
+                    }
         return self._second_hop_rows
 
 
@@ -293,6 +313,7 @@ class AdjacencyIndex:
         self.store = store
         self._snapshot: CSRAdjacency | None = None
         self.rebuild_count = 0
+        self._rebuild_lock = threading.Lock()
 
     @property
     def is_stale(self) -> bool:
@@ -300,12 +321,21 @@ class AdjacencyIndex:
         return self._snapshot is None or self._snapshot.built_version != self.store.version
 
     def current(self) -> CSRAdjacency:
-        """The up-to-date snapshot, rebuilding first when stale."""
-        if self.is_stale:
-            self._snapshot = build_csr(self.store)
-            self.rebuild_count += 1
-        assert self._snapshot is not None
-        return self._snapshot
+        """The up-to-date snapshot, rebuilding first when stale.
+
+        The rebuild is lock-guarded: concurrent in-process readers of one
+        engine must never observe a half-published snapshot or rebuild the
+        CSR twice for the same version move.
+        """
+        snapshot = self._snapshot
+        if snapshot is not None and snapshot.built_version == self.store.version:
+            return snapshot
+        with self._rebuild_lock:
+            if self.is_stale:
+                self._snapshot = build_csr(self.store)
+                self.rebuild_count += 1
+            assert self._snapshot is not None
+            return self._snapshot
 
     def adopt(self, snapshot: CSRAdjacency) -> bool:
         """Adopt a pre-built (e.g. mmap-loaded) snapshot; True on success.

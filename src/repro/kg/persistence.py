@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import functools
 import json
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
@@ -114,6 +115,10 @@ class SnapshotStore(TripleStore):
         super().__init__(name=name)
         self._directory = Path(directory)
         self._facts_loaded = False
+        # Concurrent in-process readers (serving worker threads) may race
+        # to the first fact access; the replay must run exactly once and
+        # no reader may observe a partially replayed index.
+        self._replay_lock = threading.RLock()
         for record in read_jsonl(
             self._directory / "entities.jsonl", EntityRecord.from_dict
         ):
@@ -125,13 +130,16 @@ class SnapshotStore(TripleStore):
     def _ensure_facts(self) -> None:
         if self._facts_loaded:
             return
-        # Flag only flips once the replay completes: a truncated/corrupt
-        # fact log must keep raising on every access, never serve the
-        # partial prefix as if it were the full graph.  (Upserts are
-        # idempotent, so a retry after a transient error is safe.)
-        for fact in read_jsonl(self._directory / "facts.jsonl", Fact.from_dict):
-            self._upsert(fact)
-        self._facts_loaded = True
+        with self._replay_lock:
+            if self._facts_loaded:
+                return
+            # Flag only flips once the replay completes: a truncated/corrupt
+            # fact log must keep raising on every access, never serve the
+            # partial prefix as if it were the full graph.  (Upserts are
+            # idempotent, so a retry after a transient error is safe.)
+            for fact in read_jsonl(self._directory / "facts.jsonl", Fact.from_dict):
+                self._upsert(fact)
+            self._facts_loaded = True
 
 
 def _facts_first(name: str):

@@ -108,9 +108,13 @@ class TraversalRelatedEntities(RelatedEntitiesBackend):
         window: int = 3,
         seed: int = 0,
         same_type_only: bool = True,
+        engine: GraphEngine | None = None,
     ) -> None:
         self.store = store
-        self.engine = GraphEngine(store)
+        # A caller-supplied engine (e.g. a serving worker's, with an
+        # mmap-adopted CSR snapshot) skips the adjacency rebuild the
+        # default construction pays; walks are identical either way.
+        self.engine = engine if engine is not None else GraphEngine(store)
         self.same_type_only = same_type_only
         self.entities = entities if entities is not None else sorted(store.entity_ids())
         self._index_of = {e: i for i, e in enumerate(self.entities)}

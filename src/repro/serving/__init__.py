@@ -1,0 +1,27 @@
+"""Sharded, batched KG serving over persisted snapshot bundles (§4–5).
+
+The subsystem that fronts the platform: a :class:`ServingService` facade
+wiring a :class:`ShardRouter` (int32 id-space partitioning with
+deterministic merges), a :class:`WorkerPool` of bundle replicas (inline /
+thread / subprocess executors over mmap-shared snapshot pages), a
+:class:`MicroBatcher` (cross-document annotation batching) and a
+versioned :class:`QueryCache` (LRU over ``(store_version, request)``).
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import QueryCache
+from repro.serving.requests import (
+    AnnotateRequest,
+    NeighborhoodRequest,
+    RelatedRequest,
+    WalkRequest,
+    sub_request,
+)
+from repro.serving.router import ShardRouter
+from repro.serving.service import ServingService, save_and_serve
+from repro.serving.worker import (
+    WorkerConfig,
+    WorkerPool,
+    WorkerState,
+    entity_walk_seed,
+)

@@ -1,0 +1,101 @@
+"""Versioned LRU result cache for the serving layer.
+
+Keys are ``(store_version, request)`` — requests are frozen dataclasses,
+so the pair hashes directly.  Versioning makes invalidation structural:
+results computed against one snapshot generation can never answer a query
+against another, and :meth:`QueryCache.adopt_version` purges every entry
+of older generations the moment a new bundle is adopted (entries would
+otherwise merely age out of the LRU).
+
+The storage mechanism is :class:`repro.common.kvstore.MemoryKVStore` —
+the same thread-safe LRU the annotation layer's §3.2 KV cache uses —
+with versioned keying and the generation purge layered on top.  Hit,
+miss and eviction accounting stays in the store (one source of truth);
+the registry only records generation invalidations.
+
+Cached values are returned by reference and must be treated as read-only
+— the serving facade hands them straight to clients, exactly like the
+mmap-backed arrays underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.common.kvstore import MemoryKVStore
+from repro.common.metrics import MetricsRegistry
+
+_SENTINEL = object()
+
+
+class QueryCache:
+    """Thread-safe LRU over ``(store_version, request)`` keys."""
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.metrics = metrics or MetricsRegistry("query-cache")
+        self._store = MemoryKVStore(capacity=capacity)
+
+    def get(self, version: int, request: Hashable) -> Any:
+        """The cached result, or ``None`` on a miss.
+
+        Hit/miss accounting lives in the backing store (one source of
+        truth); read it via :attr:`hits`/:attr:`misses`/:attr:`hit_rate`.
+        """
+        value = self._store.get((version, request), _SENTINEL)
+        if value is _SENTINEL:
+            return None
+        return value
+
+    def put(self, version: int, request: Hashable, value: Any) -> None:
+        """Insert a result, evicting the least-recently-used past capacity."""
+        self._store.put((version, request), value)
+
+    def adopt_version(self, version: int) -> int:
+        """Drop every entry not built at ``version``; returns count dropped.
+
+        Called when the service adopts a new snapshot generation — stale
+        generations must free their memory immediately, not linger until
+        LRU pressure pushes them out.  (The purge is not atomic against
+        concurrent puts; a straggling old-generation write afterwards is
+        unreachable by key and ages out of the LRU.)
+        """
+        stale = [key for key in self._store.keys() if key[0] != version]
+        for key in stale:
+            self._store.delete(key)
+        if stale:
+            self.metrics.incr("cache.invalidated", len(stale))
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop everything (counters are preserved)."""
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache so far."""
+        return self._store.hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that fell through so far."""
+        return self._store.misses
+
+    @property
+    def evictions(self) -> int:
+        """LRU evictions so far."""
+        return self._store.evictions
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / (hits + misses) so far (0.0 before any traffic)."""
+        return self._store.hit_rate

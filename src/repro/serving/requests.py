@@ -1,0 +1,78 @@
+"""Typed serving requests — the wire format of the serving subsystem.
+
+Every request is a frozen, hashable dataclass:
+
+* hashable → it is directly usable as a :class:`~repro.serving.cache.QueryCache`
+  key next to the snapshot's ``store_version``;
+* frozen → a request enqueued, shipped to a subprocess worker and merged
+  back can never be mutated in flight;
+* plain data → it pickles cheaply across the process-pool boundary.
+
+Multi-entity requests (walks, neighborhoods, related entities) are
+*splittable*: the shard router partitions their entity tuple and each
+shard worker answers a sub-request carrying the same parameters — results
+are per-entity, so the merge is a deterministic re-ordering.  Annotation
+requests batch *texts*; they are dispatched whole (a batch is already the
+unit of cross-document scoring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+DEFAULT_WALK_LENGTH = 8
+DEFAULT_WALKS_PER_ENTITY = 4
+
+
+@dataclass(frozen=True)
+class WalkRequest:
+    """Random walks for each of ``entities``.
+
+    Serving walk semantics are *per-entity*: each entity's walks are drawn
+    from an independent substream derived from ``(seed, entity)`` (see
+    :func:`repro.serving.worker.entity_walk_seed`), so the result is
+    byte-identical no matter how the request is partitioned across shards
+    or how many workers serve it.
+    """
+
+    entities: tuple[str, ...]
+    walk_length: int = DEFAULT_WALK_LENGTH
+    walks_per_entity: int = DEFAULT_WALKS_PER_ENTITY
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class NeighborhoodRequest:
+    """K-hop undirected neighborhoods (sorted) for each of ``entities``."""
+
+    entities: tuple[str, ...]
+    hops: int = 1
+
+
+@dataclass(frozen=True)
+class RelatedRequest:
+    """Top-k related entities (traversal embeddings) for each of ``entities``."""
+
+    entities: tuple[str, ...]
+    k: int = 10
+
+
+@dataclass(frozen=True)
+class AnnotateRequest:
+    """Entity links for each of ``texts``, scored as one cross-doc batch."""
+
+    texts: tuple[str, ...]
+    tier: str = "full"
+
+
+# Requests whose per-entity results the router may partition and merge.
+SPLITTABLE = (WalkRequest, NeighborhoodRequest, RelatedRequest)
+
+Request = WalkRequest | NeighborhoodRequest | RelatedRequest | AnnotateRequest
+
+
+def sub_request(request: Request, entities: tuple[str, ...]) -> Request:
+    """The same request narrowed to ``entities`` (shard fan-out unit)."""
+    if not isinstance(request, SPLITTABLE):
+        raise TypeError(f"request type {type(request).__name__} is not splittable")
+    return replace(request, entities=entities)

@@ -1,0 +1,105 @@
+"""Shard routing: deterministic partitioning of the entity-id space.
+
+The snapshot dictionary gives every node a dense int32 id, and that id
+space hash-partitions trivially (ROADMAP, "Sharding"): shard of id ``i``
+is ``i % num_shards``.  Entities the dictionary doesn't know (possible on
+a stale bundle or a typo'd query) fall back to a stable string hash, so
+routing never depends on process-local state.
+
+Workers in this subsystem are *replicas* — each one maps the same bundle,
+so any worker can answer any shard's sub-request and correctness never
+depends on shard→worker placement.  What the partition buys is
+deterministic fan-out units (a bounded amount of work per dispatched
+task), per-shard stability of the grouping, and intra-request
+parallelism across the pool.  Note that modulo sharding *strides* the id
+space — a shard's CSR rows are spread across the arrays, not contiguous;
+a future move to true data partitioning (per-shard sub-bundles) would
+swap this for range partitioning so each shard owns a row range.
+
+The merge contract: :meth:`ShardRouter.scatter` records each entity's
+original position; :meth:`ShardRouter.gather` puts per-entity results
+back in request order.  The merged output is therefore identical to a
+single worker answering the unpartitioned request — sharding is invisible
+to clients.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.common.rng import stable_hash
+
+DEFAULT_NUM_SHARDS = 8
+
+
+class ShardRouter:
+    """Hash-partitions entities over a fixed number of shards."""
+
+    def __init__(
+        self,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        id_of: Callable[[str], int | None] | None = None,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = num_shards
+        # Dictionary lookup into the int32 id space; ``None`` (or an
+        # unknown entity) falls back to a stable string hash.
+        self._id_of = id_of
+
+    def shard_of(self, entity: str) -> int:
+        """The shard owning ``entity`` (stable across processes and runs)."""
+        if self._id_of is not None:
+            node_id = self._id_of(entity)
+            if node_id is not None:
+                return node_id % self.num_shards
+        return stable_hash(entity, self.num_shards)
+
+    def scatter(
+        self, entities: Sequence[str]
+    ) -> list[tuple[int, list[int], tuple[str, ...]]]:
+        """Partition ``entities`` into per-shard groups.
+
+        Returns ``(shard, positions, members)`` triples — ``positions``
+        are the indices of ``members`` in the input sequence — ordered by
+        shard id, skipping empty shards.  Entity order *within* a shard
+        preserves input order, so a worker's per-entity results line up
+        with ``positions`` one-to-one.
+        """
+        buckets: dict[int, tuple[list[int], list[str]]] = {}
+        for position, entity in enumerate(entities):
+            shard = self.shard_of(entity)
+            bucket = buckets.get(shard)
+            if bucket is None:
+                bucket = buckets[shard] = ([], [])
+            bucket[0].append(position)
+            bucket[1].append(entity)
+        return [
+            (shard, positions, tuple(members))
+            for shard, (positions, members) in sorted(buckets.items())
+        ]
+
+    @staticmethod
+    def gather(
+        total: int,
+        shard_results: Sequence[tuple[list[int], Sequence]],
+    ) -> list:
+        """Merge per-shard result lists back into input order.
+
+        ``shard_results`` pairs each shard's ``positions`` (from
+        :meth:`scatter`) with the per-entity results its worker returned.
+        Every position must be covered exactly once.
+        """
+        merged: list = [None] * total
+        filled = 0
+        for positions, results in shard_results:
+            if len(positions) != len(results):
+                raise ValueError(
+                    f"shard returned {len(results)} results for {len(positions)} entities"
+                )
+            for position, result in zip(positions, results):
+                merged[position] = result
+            filled += len(positions)
+        if filled != total:
+            raise ValueError(f"merged {filled} results for {total} request entities")
+        return merged

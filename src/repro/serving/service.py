@@ -1,0 +1,305 @@
+"""The serving facade: one front door over router, pool, batcher and cache.
+
+This is the subsystem that turns the repo from a library into a service
+(§4–5 of the paper: serving the grown KG to production traffic).  A
+:class:`ServingService` owns
+
+* a :class:`~repro.serving.worker.WorkerPool` of bundle replicas
+  (inline / threads / subprocesses),
+* a :class:`~repro.serving.router.ShardRouter` that partitions
+  multi-entity requests over the snapshot's int32 id space and merges
+  per-shard results back into request order,
+* a :class:`~repro.serving.batcher.MicroBatcher` that coalesces
+  annotation texts across document and client boundaries into single
+  cross-document scoring passes, and
+* a :class:`~repro.serving.cache.QueryCache` keyed by
+  ``(store_version, request)`` — adopting a new snapshot generation
+  purges every stale-generation entry.
+
+Every public call lands in the request counters and the bounded latency
+histogram surfaced by :meth:`stats`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.annotation.mention import EntityLink
+from repro.common.metrics import MetricsRegistry
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import QueryCache
+from repro.serving.requests import (
+    AnnotateRequest,
+    NeighborhoodRequest,
+    RelatedRequest,
+    Request,
+    WalkRequest,
+    sub_request,
+)
+from repro.serving.router import DEFAULT_NUM_SHARDS, ShardRouter
+from repro.serving.worker import WORKER_MODES, WorkerConfig, WorkerPool
+
+FULL_TIER = "full"
+
+
+class ServingService:
+    """Sharded, batched, cached KG serving over one snapshot bundle."""
+
+    def __init__(
+        self,
+        bundle_dir: str | Path,
+        *,
+        mode: str = "inline",
+        num_workers: int = 1,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        tier: str = FULL_TIER,
+        cache_capacity: int = 2048,
+        batch_max_docs: int = 16,
+        batch_max_delay_s: float = 0.005,
+        worker_config: WorkerConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if mode not in WORKER_MODES:
+            raise ValueError(f"mode must be one of {WORKER_MODES}, got {mode!r}")
+        self.tier = tier
+        self.num_shards = num_shards
+        self.metrics = metrics or MetricsRegistry("serving")
+        self._cache = QueryCache(cache_capacity, metrics=self.metrics)
+        self._pool: WorkerPool | None = None
+        self._router: ShardRouter | None = None
+        self._worker_config = worker_config
+        self._mode = mode
+        self._num_workers = num_workers
+        self._batcher = MicroBatcher(
+            self._annotate_flush,
+            max_batch=batch_max_docs,
+            max_delay_s=batch_max_delay_s,
+            metrics=self.metrics,
+        )
+        self._adopt(Path(bundle_dir))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _adopt(self, bundle_dir: Path) -> None:
+        pool = WorkerPool(
+            bundle_dir,
+            num_workers=self._num_workers,
+            mode=self._mode,
+            config=self._worker_config,
+            metrics=self.metrics,
+        )
+        previous, self._pool = self._pool, pool
+        dictionary = pool.local_state.dictionary
+        self._router = ShardRouter(
+            self.num_shards,
+            id_of=dictionary.get if dictionary is not None else None,
+        )
+        if previous is not None:
+            previous.close()
+        # Structural invalidation: entries from other generations are
+        # unreachable by key, and adopt_version frees their memory now.
+        dropped = self._cache.adopt_version(pool.store_version)
+        self.metrics.incr("serve.generations")
+        self.metrics.gauge("serve.store_version", float(pool.store_version))
+        if dropped:
+            self.metrics.incr("serve.generation_invalidated", dropped)
+
+    def adopt_generation(self, bundle_dir: str | Path) -> int:
+        """Swap the fleet onto a new snapshot bundle.
+
+        Workers for the new generation spin up first, the old pool shuts
+        down after, and the query cache drops every entry whose
+        ``store_version`` is not the new bundle's.  Returns the adopted
+        ``store_version``.
+
+        Requests racing the swap stay generation-consistent: each request
+        captures one (version, pool, router) triple up front, so its
+        results and cache writes all belong to a single generation — a
+        result computed on the old fleet can never be cached under the
+        new version.  A request that loses the race outright may fail
+        with ``RuntimeError`` when the old pool shuts down under it;
+        callers retry against the new generation.
+        """
+        self._batcher.flush()
+        self._adopt(Path(bundle_dir))
+        return self.store_version
+
+    @property
+    def store_version(self) -> int:
+        """The snapshot generation currently served."""
+        assert self._pool is not None
+        return self._pool.store_version
+
+    def close(self) -> None:
+        """Drain pending annotation work and stop the workers."""
+        self._batcher.flush()
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ServingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- traversal / lookup requests ------------------------------------------
+
+    def random_walks(
+        self,
+        entities: Sequence[str],
+        walk_length: int = 8,
+        walks_per_entity: int = 4,
+        seed: int = 0,
+    ) -> list[list[list[str]]]:
+        """Per-entity random walks (see ``entity_walk_seed`` semantics)."""
+        return self._serve_split(
+            WalkRequest(
+                entities=tuple(entities),
+                walk_length=walk_length,
+                walks_per_entity=walks_per_entity,
+                seed=seed,
+            )
+        )
+
+    def neighborhood(
+        self, entities: Sequence[str], hops: int = 1
+    ) -> list[list[str]]:
+        """Sorted k-hop neighborhood per entity."""
+        return self._serve_split(
+            NeighborhoodRequest(entities=tuple(entities), hops=hops)
+        )
+
+    def related_entities(
+        self, entities: Sequence[str], k: int = 10
+    ) -> list[list[tuple[str, float]]]:
+        """Top-k traversal-embedding related entities per seed entity."""
+        return self._serve_split(RelatedRequest(entities=tuple(entities), k=k))
+
+    # -- annotation -----------------------------------------------------------
+
+    def annotate(self, text: str) -> list[EntityLink]:
+        """Entity links for one text (coalesced with concurrent callers).
+
+        The text rides through the micro-batcher: when other threads have
+        texts in flight, they score in one cross-document batch.  The
+        calling thread then drains the queue — a lone caller never waits
+        on the delay threshold.
+        """
+        request = AnnotateRequest(texts=(text,), tier=self.tier)
+        # One generation per request: version is captured before compute,
+        # so a concurrent adopt_generation can never get an old-fleet
+        # result cached under the new version (worst case a late write
+        # lands under the old version — unreachable, LRU-evicted).
+        version = self.store_version
+        cached = self._cache.get(version, request)
+        if cached is not None:
+            self.metrics.incr("serve.requests")
+            return cached
+        with self.metrics.hist_timed("serve.latency"):
+            self.metrics.incr("serve.requests")
+            future = self._batcher.submit(text)
+            self._batcher.flush()
+            links = future.result()
+        self._cache.put(version, request, links)
+        return links
+
+    def annotate_many(self, texts: Sequence[str]) -> list[list[EntityLink]]:
+        """Entity links for many texts: batched across documents, spread
+        over the worker fleet.
+
+        Texts are chunked at the micro-batch size; chunks dispatch to the
+        pool concurrently, and each worker scores its chunk as one
+        cross-document batch.  Results come back in input order.
+        """
+        texts = list(texts)
+        if not texts:
+            return []
+        # Bulk results are deliberately NOT cached: the key would pin
+        # every input text plus every link list as one LRU entry, and a
+        # real traffic mix essentially never repeats the exact same text
+        # tuple.  Single-text annotate() caching covers the repeats that
+        # do happen.
+        with self.metrics.hist_timed("serve.latency"):
+            self.metrics.incr("serve.requests")
+            pool = self._pool
+            assert pool is not None
+            size = self._batcher.max_batch
+            chunks = [texts[start : start + size] for start in range(0, len(texts), size)]
+            chunk_results = pool.map(
+                [
+                    AnnotateRequest(texts=tuple(chunk), tier=self.tier)
+                    for chunk in chunks
+                ]
+            )
+            return [links for chunk in chunk_results for links in chunk]
+
+    def _annotate_flush(self, texts: list[str]) -> list[list[EntityLink]]:
+        """MicroBatcher sink: one pooled cross-document annotation call."""
+        pool = self._pool
+        assert pool is not None
+        return pool.run(AnnotateRequest(texts=tuple(texts), tier=self.tier))
+
+    # -- internals -------------------------------------------------------------
+
+    def _serve_split(self, request: Request) -> list:
+        """Serve a splittable request: cache → scatter → fan out → gather.
+
+        (version, pool, router) are captured once: a generation swap
+        mid-request can't split the fan-out across two snapshots or cache
+        an old-fleet result under the new version.
+        """
+        pool, router = self._pool, self._router
+        assert pool is not None and router is not None
+        version = pool.store_version
+        cached = self._cache.get(version, request)
+        if cached is not None:
+            self.metrics.incr("serve.requests")
+            return cached
+        with self.metrics.hist_timed("serve.latency"):
+            self.metrics.incr("serve.requests")
+            parts = router.scatter(request.entities)
+            self.metrics.incr("serve.shard_fanout", len(parts))
+            futures = [
+                (positions, pool.submit(sub_request(request, members)))
+                for _shard, positions, members in parts
+            ]
+            merged = ShardRouter.gather(
+                len(request.entities),
+                [(positions, future.result()) for positions, future in futures],
+            )
+        self._cache.put(version, request, merged)
+        return merged
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict[str, float | str]:
+        """Requests, latency, hit rates and fleet shape, flattened."""
+        out: dict[str, float | str] = dict(self.metrics.snapshot())
+        assert self._pool is not None
+        out["serve.workers"] = float(self._pool.num_workers)
+        out["serve.mode"] = self._pool.mode
+        out["serve.shards"] = float(self.num_shards)
+        out["serve.store_version"] = float(self.store_version)
+        out["serve.cache_entries"] = float(len(self._cache))
+        out["serve.cache_hits"] = float(self._cache.hits)
+        out["serve.cache_misses"] = float(self._cache.misses)
+        out["serve.cache_evictions"] = float(self._cache.evictions)
+        out["serve.cache_hit_rate"] = self._cache.hit_rate
+        out["serve.batch_pending"] = float(self._batcher.pending)
+        return out
+
+
+def save_and_serve(
+    store, directory: str | Path, **service_kwargs
+) -> ServingService:
+    """Persist ``store`` as a bundle under ``directory`` and serve it.
+
+    Convenience for tests and small deployments: the construction-side
+    :func:`save_snapshot` and the serving-side :class:`ServingService`
+    in one call.
+    """
+    from repro.kg.persistence import save_snapshot
+
+    save_snapshot(store, directory)
+    return ServingService(directory, **service_kwargs)

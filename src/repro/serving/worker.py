@@ -1,0 +1,352 @@
+"""Serving workers: bundle-backed request executors, in one process or many.
+
+A :class:`WorkerState` is one worker's view of the platform: it
+``load_snapshot``\\ s a persisted KG bundle (mmap — arrays land in the
+shared OS page cache, so N workers on one host map the *same* physical
+pages) and lazily stands up the helpers each request family needs — the
+graph engine with the adopted CSR, per-tier annotation pipelines, and the
+traversal related-entities backend built over the adopted snapshot.
+
+Three executors share one ``submit(request) -> Future`` surface:
+
+* **inline** — the same-process fallback: one shared state, executed
+  synchronously on the caller's thread.  Tests and small deployments need
+  no subprocesses, and every other executor must be byte-identical to it.
+* **thread** — N threads over one shared state.  Concurrency-correct
+  (the columnar layers are immutable and lazy materialisation is
+  lock-guarded) but GIL-bound; useful for I/O-ish workloads and for
+  hammering the thread-safety contract in tests.
+* **process** — a ``ProcessPoolExecutor`` whose initializer loads the
+  bundle in each child.  This is the throughput configuration: annotation
+  is pure Python/NumPy compute, so only processes scale it across cores.
+
+Serving walk semantics are **per-entity**: each entity's walks replay an
+independent substream derived from ``(seed, entity)`` via
+:func:`entity_walk_seed`.  That makes a walk request's result invariant
+to sharding, worker count and executor mode — the property the router's
+"byte-identical through the router" contract rests on.  (A plain
+:meth:`GraphEngine.random_walks` call over a *list* threads one stream
+through all entities, which no partitioning could reproduce.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.common.metrics import MetricsRegistry
+from repro.common.rng import stable_hash
+from repro.serving.requests import (
+    AnnotateRequest,
+    NeighborhoodRequest,
+    RelatedRequest,
+    Request,
+    WalkRequest,
+)
+
+WORKER_MODES = ("inline", "thread", "process")
+
+# Seeds live in numpy's accepted range; 2**63 keeps them positive int64.
+_WALK_SEED_SPACE = 2**63
+
+
+def entity_walk_seed(seed: int, entity: str) -> int:
+    """Derived, stable per-entity walk seed.
+
+    The serving contract for walks: entity ``e`` of a request with seed
+    ``s`` draws from ``substream(entity_walk_seed(s, e), "random-walks")``
+    — one independent stream per entity, so any partition of a request
+    over any number of workers replays the exact same draws.
+    """
+    return stable_hash(f"serve-walks:{seed}:{entity}", _WALK_SEED_SPACE)
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Deterministic per-worker build recipe (identical across replicas).
+
+    Every worker must construct byte-identical helpers, so everything a
+    lazy build depends on is pinned here rather than defaulted at call
+    sites.  ``verify`` mirrors :func:`load_snapshot`'s checksum knob —
+    workers re-mapping a bundle the parent already verified can skip the
+    hash pass for a faster spawn.
+    """
+
+    related_dim: int = 32
+    related_walk_length: int = 8
+    related_walks_per_entity: int = 6
+    related_window: int = 3
+    related_seed: int = 0
+    verify: bool = True
+
+
+class WorkerState:
+    """One worker's loaded bundle plus lazily-built request helpers."""
+
+    def __init__(self, bundle_dir: str | Path, config: WorkerConfig | None = None) -> None:
+        self.bundle_dir = Path(bundle_dir)
+        self.config = config or WorkerConfig()
+        self.snapshot = load_snapshot_state(self.bundle_dir, verify=self.config.verify)
+        self.engine = self.snapshot.engine()
+        self.store_version = int(self.snapshot.manifest["store_version"])
+        self._pipelines: dict[str, object] = {}
+        self._related = None
+        # Lazy helper construction must be once-only when worker threads
+        # share this state (thread mode).
+        self._build_lock = threading.RLock()
+
+    @property
+    def dictionary(self):
+        """The snapshot dictionary (router id source), or ``None`` if absent."""
+        adjacency = self.snapshot.adjacency
+        return adjacency.dictionary if adjacency is not None else None
+
+    def pipeline(self, tier: str):
+        """The annotation pipeline for ``tier``, built on first use."""
+        pipeline = self._pipelines.get(tier)
+        if pipeline is None:
+            with self._build_lock:
+                pipeline = self._pipelines.get(tier)
+                if pipeline is None:
+                    pipeline = self.snapshot.annotation_pipeline(tier=tier)
+                    self._pipelines[tier] = pipeline
+        return pipeline
+
+    def related_backend(self):
+        """The traversal related-entities backend, built on first use.
+
+        Construction is deterministic in :class:`WorkerConfig`, so every
+        replica builds the same vectors; the worker's engine (with the
+        mmap-adopted CSR) is reused, skipping the adjacency rebuild.
+        """
+        if self._related is None:
+            with self._build_lock:
+                if self._related is None:
+                    from repro.services.related_entities import TraversalRelatedEntities
+
+                    config = self.config
+                    self._related = TraversalRelatedEntities(
+                        self.snapshot.store,
+                        dim=config.related_dim,
+                        walk_length=config.related_walk_length,
+                        walks_per_entity=config.related_walks_per_entity,
+                        window=config.related_window,
+                        seed=config.related_seed,
+                        engine=self.engine,
+                    )
+        return self._related
+
+    # -- request execution ---------------------------------------------------
+
+    def execute(self, request: Request) -> list:
+        """Answer one request; results are per-entity (or per-text) lists."""
+        if isinstance(request, WalkRequest):
+            return self._walks(request)
+        if isinstance(request, NeighborhoodRequest):
+            return self._neighborhoods(request)
+        if isinstance(request, RelatedRequest):
+            return self._related_entities(request)
+        if isinstance(request, AnnotateRequest):
+            return self.pipeline(request.tier).annotate_batch(list(request.texts))
+        raise TypeError(f"unsupported request type: {type(request).__name__}")
+
+    def _walks(self, request: WalkRequest) -> list[list[list[str]]]:
+        engine = self.engine
+        return [
+            engine.random_walks(
+                [entity],
+                walk_length=request.walk_length,
+                walks_per_entity=request.walks_per_entity,
+                seed=entity_walk_seed(request.seed, entity),
+            )
+            for entity in request.entities
+        ]
+
+    def _neighborhoods(self, request: NeighborhoodRequest) -> list[list[str]]:
+        engine = self.engine
+        # Sorted for deterministic merge output (sets have no wire order).
+        return [
+            sorted(engine.neighborhood(entity, hops=request.hops))
+            for entity in request.entities
+        ]
+
+    def _related_entities(self, request: RelatedRequest) -> list[list[tuple[str, float]]]:
+        backend = self.related_backend()
+        return [
+            [(hit.entity, hit.score) for hit in backend.related(entity, k=request.k)]
+            for entity in request.entities
+        ]
+
+
+def load_snapshot_state(bundle_dir: Path, *, verify: bool):
+    """``load_snapshot`` indirection point (kept tiny for test monkeypatching)."""
+    from repro.kg.persistence import load_snapshot
+
+    return load_snapshot(bundle_dir, verify=verify)
+
+
+# -- executors ----------------------------------------------------------------
+
+
+class InlineExecutor:
+    """Same-process fallback: execute synchronously on the caller's thread."""
+
+    def __init__(self, state: WorkerState) -> None:
+        self.state = state
+
+    def submit(self, request: Request) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(self.state.execute(request))
+        except BaseException as exc:  # surfaced via future, like real pools
+            future.set_exception(exc)
+        return future
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadExecutor:
+    """N threads sharing one state (immutable snapshot, lock-guarded lazies)."""
+
+    def __init__(self, state: WorkerState, num_workers: int) -> None:
+        self.state = state
+        self._pool = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="kg-serve"
+        )
+
+    def submit(self, request: Request) -> Future:
+        return self._pool.submit(self.state.execute, request)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+_PROCESS_STATE: WorkerState | None = None
+
+
+def _process_initializer(bundle_dir: str, config: WorkerConfig) -> None:
+    global _PROCESS_STATE
+    _PROCESS_STATE = WorkerState(bundle_dir, config)
+
+
+def _process_execute(request: Request) -> list:
+    assert _PROCESS_STATE is not None, "worker process used before initialization"
+    return _PROCESS_STATE.execute(request)
+
+
+class ProcessExecutor:
+    """N subprocesses, each mapping the same bundle (shared page cache)."""
+
+    def __init__(
+        self, bundle_dir: Path, num_workers: int, config: WorkerConfig
+    ) -> None:
+        self._pool = ProcessPoolExecutor(
+            max_workers=num_workers,
+            initializer=_process_initializer,
+            initargs=(str(bundle_dir), config),
+        )
+
+    def submit(self, request: Request) -> Future:
+        return self._pool.submit(_process_execute, request)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class WorkerPool:
+    """A fleet of bundle replicas behind one ``submit``/``run`` surface.
+
+    ``mode`` picks the executor (``inline``/``thread``/``process``); all
+    three answer identically, so deployments move between them by flag.
+    The pool always keeps a parent-side :class:`WorkerState` — inline and
+    thread modes execute on it, process mode uses it for the router's
+    dictionary and the bundle's ``store_version`` (children map the same
+    pages, so the extra load is page-cache cheap).
+
+    Request counts and a bounded latency histogram are tracked in
+    ``metrics`` (``pool.requests``, ``pool.requests.<Type>``,
+    ``pool.latency``); :meth:`stats` flattens them for the facade.
+    """
+
+    def __init__(
+        self,
+        bundle_dir: str | Path,
+        *,
+        num_workers: int = 1,
+        mode: str = "inline",
+        config: WorkerConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if mode not in WORKER_MODES:
+            raise ValueError(f"mode must be one of {WORKER_MODES}, got {mode!r}")
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self.bundle_dir = Path(bundle_dir)
+        self.num_workers = num_workers
+        self.mode = mode
+        self.config = config or WorkerConfig()
+        self.metrics = metrics or MetricsRegistry("worker-pool")
+        self.local_state = WorkerState(self.bundle_dir, self.config)
+        if mode == "inline":
+            self._executor = InlineExecutor(self.local_state)
+        elif mode == "thread":
+            self._executor = ThreadExecutor(self.local_state, num_workers)
+        else:
+            # The parent-side load above already ran the checksum pass (per
+            # config.verify); children re-map the very same verified bundle,
+            # so they skip it — exactly the WorkerConfig.verify fast path —
+            # instead of paying num_workers redundant full-bundle hashes.
+            self._executor = ProcessExecutor(
+                self.bundle_dir, num_workers, replace(self.config, verify=False)
+            )
+        self._closed = False
+
+    @property
+    def store_version(self) -> int:
+        """The bundle generation every worker serves."""
+        return self.local_state.store_version
+
+    def submit(self, request: Request) -> Future:
+        """Dispatch one request; the future resolves to its result list."""
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        self.metrics.incr("pool.requests")
+        self.metrics.incr(f"pool.requests.{type(request).__name__}")
+        start = time.perf_counter()
+        future = self._executor.submit(request)
+        future.add_done_callback(
+            lambda _: self.metrics.hist("pool.latency", time.perf_counter() - start)
+        )
+        return future
+
+    def run(self, request: Request) -> list:
+        """Dispatch and wait."""
+        return self.submit(request).result()
+
+    def map(self, requests: list[Request]) -> list[list]:
+        """Dispatch many requests concurrently, results in request order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    def stats(self) -> dict[str, float]:
+        """Flat metrics snapshot plus pool shape."""
+        out = self.metrics.snapshot()
+        out["pool.workers"] = float(self.num_workers)
+        out["pool.store_version"] = float(self.store_version)
+        return out
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._executor.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -134,3 +134,52 @@ class TestWebAnnotator:
         assert annotator.shard_of("doc:web/000001") == annotator.shard_of("doc:web/000001")
         with pytest.raises(ValueError):
             WebAnnotator(full_annotation_pipeline, num_shards=0)
+
+
+class TestAnnotateBatch:
+    """Cross-document batching must not change what gets linked."""
+
+    @staticmethod
+    def signature(links):
+        return [
+            (
+                link.mention.start,
+                link.mention.end,
+                link.mention.surface,
+                link.entity,
+                link.entity_type,
+                [candidate.entity for candidate in link.candidates],
+            )
+            for link in links
+        ]
+
+    def test_matches_per_document_annotate(self, kg, corpus):
+        pipeline = make_pipeline(kg.store, tier="full")
+        reference = make_pipeline(kg.store, tier="full")
+        texts = [doc.full_text for doc in list(corpus)[:10]]
+        batched = pipeline.annotate_batch(texts)
+        assert len(batched) == len(texts)
+        for text, links in zip(texts, batched):
+            assert self.signature(links) == self.signature(reference.annotate(text))
+
+    def test_lite_tier_batches_bitwise(self, kg, corpus):
+        """No context matmul in lite — scores must match exactly too."""
+        pipeline = make_pipeline(kg.store, tier="lite")
+        reference = make_pipeline(kg.store, tier="lite")
+        texts = [doc.full_text for doc in list(corpus)[:8]]
+        for text, links in zip(texts, pipeline.annotate_batch(texts)):
+            expected = reference.annotate(text)
+            assert self.signature(links) == self.signature(expected)
+            assert [link.score for link in links] == [link.score for link in expected]
+
+    def test_empty_and_linkless_documents(self, kg, full_annotation_pipeline):
+        results = full_annotation_pipeline.annotate_batch(
+            ["", "Nothing known here.", ""]
+        )
+        assert results == [[], [], []]
+
+    def test_metrics_count_batches(self, kg):
+        pipeline = make_pipeline(kg.store, tier="lite")
+        pipeline.annotate_batch(["one text", "two text"])
+        assert pipeline.metrics.counters["texts"] == 2
+        assert pipeline.metrics.counters["batches"] == 1

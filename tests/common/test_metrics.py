@@ -1,8 +1,10 @@
 """Tests for the metrics registry."""
 
+import threading
+
 import pytest
 
-from repro.common.metrics import MetricsRegistry, _quantile
+from repro.common.metrics import LatencyHistogram, MetricsRegistry, _quantile
 
 
 class TestCounters:
@@ -75,3 +77,84 @@ class TestQuantile:
 
     def test_empty(self):
         assert _quantile([], 0.5) == 0.0
+
+
+class TestLatencyHistogram:
+    def test_observe_and_summary(self):
+        hist = LatencyHistogram()
+        for value in (0.001, 0.002, 0.004, 0.2):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.mean == pytest.approx(0.05175)
+        assert hist.min == pytest.approx(0.001)
+        assert hist.max == pytest.approx(0.2)
+
+    def test_quantile_is_bucket_upper_bound(self):
+        hist = LatencyHistogram(bounds=(0.01, 0.1, 1.0))
+        for _ in range(99):
+            hist.observe(0.005)
+        hist.observe(0.5)
+        assert hist.quantile(0.50) == 0.01
+        assert hist.quantile(1.0) == 1.0
+
+    def test_overflow_reports_observed_max(self):
+        hist = LatencyHistogram(bounds=(0.01,))
+        hist.observe(5.0)
+        assert hist.overflow == 1
+        assert hist.quantile(0.99) == 5.0
+
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.quantile(0.95) == 0.0
+        assert hist.mean == 0.0
+        assert hist.to_dict()["count"] == 0.0
+
+    def test_merge(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        a.observe(0.001)
+        b.observe(0.1)
+        a.merge(b)
+        assert a.count == 2
+        assert a.max == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            a.merge(LatencyHistogram(bounds=(1.0,)))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=())
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=(1.0, 0.5))
+
+    def test_registry_hist_and_snapshot(self):
+        metrics = MetricsRegistry()
+        metrics.hist("latency", 0.002)
+        with metrics.hist_timed("latency"):
+            pass
+        snap = metrics.snapshot()
+        assert snap["hist.latency.count"] == 2.0
+        assert snap["hist.latency.p95_s"] > 0.0
+
+    def test_registry_merge_folds_histograms(self):
+        parent = MetricsRegistry("parent")
+        child = MetricsRegistry("child")
+        child.hist("latency", 0.01)
+        parent.hist("latency", 0.02)
+        parent.merge(child)
+        assert parent.histograms["latency"].count == 2
+
+    def test_concurrent_increments_do_not_drop(self):
+        metrics = MetricsRegistry()
+
+        def hammer() -> None:
+            for _ in range(1000):
+                metrics.incr("requests")
+                metrics.hist("latency", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counters["requests"] == 8000
+        assert metrics.histograms["latency"].count == 8000

@@ -1,0 +1,43 @@
+"""Serving-suite fixtures: one persisted bundle of a small synthetic world."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.kg.generator import SyntheticKG, SyntheticKGConfig, generate_kg
+from repro.kg.persistence import save_snapshot
+
+
+@pytest.fixture(scope="session")
+def serving_kg() -> SyntheticKG:
+    """A compact world for serving tests (read-only)."""
+    return generate_kg(SyntheticKGConfig(seed=7, scale=0.2))
+
+
+@pytest.fixture(scope="session")
+def bundle_dir(serving_kg: SyntheticKG, tmp_path_factory) -> Path:
+    """One persisted snapshot bundle every serving test loads (read-only)."""
+    directory = tmp_path_factory.mktemp("serving-bundle")
+    save_snapshot(serving_kg.store, directory)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def seed_entities(serving_kg: SyntheticKG) -> list[str]:
+    """A deterministic slice of entity ids to query with."""
+    return sorted(serving_kg.store.entity_ids())[:12]
+
+
+@pytest.fixture(scope="session")
+def sample_texts(serving_kg: SyntheticKG) -> list[str]:
+    """Documents whose mentions resolve to real KG entities."""
+    names = [
+        serving_kg.store.entity(entity).name
+        for entity in sorted(serving_kg.store.entity_ids())[:40]
+    ]
+    return [
+        f"{names[3 * i]} met {names[3 * i + 1]} and discussed {names[3 * i + 2]}."
+        for i in range(12)
+    ]

@@ -1,0 +1,94 @@
+"""ShardRouter: stable partitioning and deterministic merges."""
+
+import pytest
+
+from repro.serving.requests import (
+    AnnotateRequest,
+    NeighborhoodRequest,
+    WalkRequest,
+    sub_request,
+)
+from repro.serving.router import ShardRouter
+
+
+class TestShardAssignment:
+    def test_id_space_partition(self):
+        ids = {"a": 0, "b": 5, "c": 9}
+        router = ShardRouter(4, id_of=ids.get)
+        assert router.shard_of("a") == 0
+        assert router.shard_of("b") == 1
+        assert router.shard_of("c") == 1
+
+    def test_unknown_entity_falls_back_to_string_hash(self):
+        router_with_ids = ShardRouter(4, id_of={"known": 2}.get)
+        router_without = ShardRouter(4)
+        # Unknown strings route identically with or without a dictionary.
+        assert router_with_ids.shard_of("missing") == router_without.shard_of("missing")
+
+    def test_stable_across_instances(self):
+        entities = [f"entity:person/{i:05d}" for i in range(50)]
+        one = [ShardRouter(8).shard_of(e) for e in entities]
+        two = [ShardRouter(8).shard_of(e) for e in entities]
+        assert one == two
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+
+class TestScatterGather:
+    def test_round_trip_preserves_order(self):
+        router = ShardRouter(3)
+        entities = [f"e{i}" for i in range(17)]
+        parts = router.scatter(entities)
+        # Workers answer per-entity; here the "result" is the entity itself.
+        merged = ShardRouter.gather(
+            len(entities), [(positions, list(members)) for _, positions, members in parts]
+        )
+        assert merged == entities
+
+    def test_scatter_covers_every_entity_once(self):
+        router = ShardRouter(5)
+        entities = [f"e{i}" for i in range(40)]
+        parts = router.scatter(entities)
+        positions = sorted(p for _, ps, _ in parts for p in ps)
+        assert positions == list(range(len(entities)))
+        assert sum(len(members) for _, _, members in parts) == len(entities)
+
+    def test_within_shard_order_is_input_order(self):
+        router = ShardRouter(2)
+        entities = [f"e{i}" for i in range(10)]
+        for _, positions, members in router.scatter(entities):
+            assert positions == sorted(positions)
+            assert list(members) == [entities[p] for p in positions]
+
+    def test_gather_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ShardRouter.gather(2, [([0, 1], ["only-one"])])
+
+    def test_gather_rejects_missing_positions(self):
+        with pytest.raises(ValueError):
+            ShardRouter.gather(3, [([0, 1], ["a", "b"])])
+
+
+class TestSubRequests:
+    def test_splittable_requests_narrow(self):
+        request = WalkRequest(entities=("a", "b", "c"), walk_length=5, seed=9)
+        narrowed = sub_request(request, ("b",))
+        assert narrowed.entities == ("b",)
+        assert narrowed.walk_length == 5
+        assert narrowed.seed == 9
+
+    def test_neighborhood_keeps_hops(self):
+        narrowed = sub_request(NeighborhoodRequest(entities=("a", "b"), hops=3), ("a",))
+        assert narrowed.hops == 3
+
+    def test_annotate_is_not_splittable(self):
+        with pytest.raises(TypeError):
+            sub_request(AnnotateRequest(texts=("t",)), ("t",))
+
+    def test_requests_are_hashable_cache_keys(self):
+        a = WalkRequest(entities=("x", "y"), seed=1)
+        b = WalkRequest(entities=("x", "y"), seed=1)
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1

@@ -1,0 +1,157 @@
+"""ServingService facade: routing, caching, batching and generation swaps."""
+
+import pytest
+
+from repro.kg.persistence import save_snapshot
+from repro.serving.service import ServingService, save_and_serve
+from repro.serving.worker import entity_walk_seed
+
+
+@pytest.fixture(scope="module")
+def service(bundle_dir) -> ServingService:
+    svc = ServingService(bundle_dir, mode="inline", num_shards=4)
+    yield svc
+    svc.close()
+
+
+class TestTraversalServing:
+    def test_walks_are_shard_invariant(self, bundle_dir, seed_entities):
+        results = []
+        for num_shards in (1, 3, 8):
+            with ServingService(bundle_dir, num_shards=num_shards) as svc:
+                results.append(svc.random_walks(seed_entities, seed=7))
+        assert results[0] == results[1] == results[2]
+
+    def test_walks_match_cold_engine_contract(self, service, bundle_dir, seed_entities):
+        from repro.kg.persistence import load_snapshot
+
+        served = service.random_walks(seed_entities[:6], seed=3)
+        cold = load_snapshot(bundle_dir).engine()
+        for entity, walks in zip(seed_entities[:6], served):
+            assert walks == cold.random_walks(
+                [entity], walk_length=8, walks_per_entity=4,
+                seed=entity_walk_seed(3, entity),
+            )
+
+    def test_neighborhood_and_related(self, service, seed_entities):
+        neighborhoods = service.neighborhood(seed_entities[:4], hops=2)
+        assert len(neighborhoods) == 4
+        assert all(row == sorted(row) for row in neighborhoods)
+        related = service.related_entities(seed_entities[:3], k=5)
+        assert len(related) == 3
+        assert all(len(hits) <= 5 for hits in related)
+
+    def test_empty_request(self, service):
+        assert service.random_walks([]) == []
+        assert service.neighborhood([]) == []
+
+
+class TestQueryCaching:
+    def test_repeat_request_hits_cache(self, bundle_dir, seed_entities):
+        with ServingService(bundle_dir) as svc:
+            first = svc.random_walks(seed_entities, seed=1)
+            hits_before = svc._cache.hits
+            second = svc.random_walks(seed_entities, seed=1)
+            assert second == first
+            assert svc._cache.hits == hits_before + 1
+
+    def test_different_parameters_miss(self, bundle_dir, seed_entities):
+        with ServingService(bundle_dir) as svc:
+            svc.random_walks(seed_entities, seed=1)
+            svc.random_walks(seed_entities, seed=2)
+            assert svc._cache.hits == 0
+
+    def test_annotation_caches_per_text(self, bundle_dir, sample_texts):
+        with ServingService(bundle_dir) as svc:
+            first = svc.annotate(sample_texts[0])
+            second = svc.annotate(sample_texts[0])
+            assert second == first
+            assert svc._cache.hits == 1
+
+
+class TestAnnotationServing:
+    def test_annotate_matches_pipeline(self, service, sample_texts):
+        pipeline = service._pool.local_state.snapshot.annotation_pipeline(tier="full")
+        for text in sample_texts[:3]:
+            served = service.annotate(text)
+            expected = pipeline.annotate(text)
+            assert [
+                (link.mention.start, link.mention.end, link.entity) for link in served
+            ] == [
+                (link.mention.start, link.mention.end, link.entity) for link in expected
+            ]
+
+    def test_annotate_many_matches_singles(self, service, sample_texts):
+        batched = service.annotate_many(sample_texts)
+        for text, links in zip(sample_texts, batched):
+            singles = service.annotate(text)
+            assert [
+                (link.mention.start, link.mention.end, link.entity) for link in links
+            ] == [
+                (link.mention.start, link.mention.end, link.entity) for link in singles
+            ]
+
+    def test_annotate_many_empty(self, service):
+        assert service.annotate_many([]) == []
+
+
+class TestGenerationAdoption:
+    def test_adopt_generation_invalidates_cache(self, tmp_path):
+        # A private world: the test mutates the store between generations.
+        from repro.kg.generator import SyntheticKGConfig, generate_kg
+        from repro.kg.store import EntityRecord
+
+        kg = generate_kg(SyntheticKGConfig(seed=3, scale=0.1))
+        store = kg.store
+        seeds = sorted(store.entity_ids())[:4]
+        bundle_v1 = tmp_path / "v1"
+        save_snapshot(store, bundle_v1)
+        with ServingService(bundle_v1) as svc:
+            svc.random_walks(seeds, seed=5)
+            version_1 = svc.store_version
+            assert len(svc._cache) > 0
+
+            # Grow the store: new generation, new bundle.
+            store.upsert_entity(
+                EntityRecord(
+                    entity="entity:person/99999",
+                    name="Generation Marker",
+                    types=("type:person",),
+                )
+            )
+            bundle_v2 = tmp_path / "v2"
+            save_snapshot(store, bundle_v2)
+            adopted = svc.adopt_generation(bundle_v2)
+            assert adopted == store.version != version_1
+            assert len(svc._cache) == 0  # old generation purged
+            walks = svc.random_walks(seeds, seed=5)
+            assert len(walks) == 4
+            assert svc.metrics.counters["serve.generations"] == 2
+
+
+class TestStatsSurface:
+    def test_stats_keys(self, bundle_dir, seed_entities, sample_texts):
+        with ServingService(bundle_dir, num_shards=4) as svc:
+            svc.random_walks(seed_entities[:4])
+            svc.annotate(sample_texts[0])
+            stats = svc.stats()
+        assert stats["counter.serve.requests"] == 2.0
+        assert stats["hist.serve.latency.count"] == 2.0
+        assert stats["serve.workers"] == 1.0
+        assert stats["serve.mode"] == "inline"
+        assert stats["serve.shards"] == 4.0
+        assert 0.0 <= stats["serve.cache_hit_rate"] <= 1.0
+        assert stats["serve.store_version"] == float(svc.store_version)
+
+    def test_shard_fanout_counter(self, bundle_dir, seed_entities):
+        with ServingService(bundle_dir, num_shards=4) as svc:
+            svc.random_walks(seed_entities)
+            assert 1 <= svc.metrics.counters["serve.shard_fanout"] <= 4
+
+
+class TestSaveAndServe:
+    def test_round_trip(self, serving_kg, tmp_path, seed_entities):
+        with save_and_serve(serving_kg.store, tmp_path / "bundle") as svc:
+            walks = svc.random_walks(seed_entities[:2])
+            assert len(walks) == 2
+            assert svc.store_version == serving_kg.store.version

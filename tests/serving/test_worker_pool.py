@@ -1,0 +1,140 @@
+"""WorkerState + WorkerPool: request execution and executor parity."""
+
+import pytest
+
+from repro.kg.persistence import load_snapshot
+from repro.serving.requests import (
+    AnnotateRequest,
+    NeighborhoodRequest,
+    RelatedRequest,
+    WalkRequest,
+)
+from repro.serving.worker import (
+    WorkerPool,
+    WorkerState,
+    entity_walk_seed,
+)
+
+
+@pytest.fixture(scope="module")
+def worker(bundle_dir) -> WorkerState:
+    return WorkerState(bundle_dir)
+
+
+class TestWorkerState:
+    def test_walks_match_per_entity_engine_calls(self, bundle_dir, worker, seed_entities):
+        request = WalkRequest(entities=tuple(seed_entities), seed=11)
+        served = worker.execute(request)
+        cold = load_snapshot(bundle_dir).engine()
+        expected = [
+            cold.random_walks(
+                [entity],
+                walk_length=request.walk_length,
+                walks_per_entity=request.walks_per_entity,
+                seed=entity_walk_seed(11, entity),
+            )
+            for entity in seed_entities
+        ]
+        assert served == expected
+
+    def test_walk_seed_derivation_is_stable_and_distinct(self):
+        assert entity_walk_seed(3, "entity:a") == entity_walk_seed(3, "entity:a")
+        assert entity_walk_seed(3, "entity:a") != entity_walk_seed(4, "entity:a")
+        assert entity_walk_seed(3, "entity:a") != entity_walk_seed(3, "entity:b")
+
+    def test_neighborhoods_are_sorted_engine_results(self, bundle_dir, worker, seed_entities):
+        served = worker.execute(NeighborhoodRequest(entities=tuple(seed_entities[:5]), hops=2))
+        cold = load_snapshot(bundle_dir).engine()
+        assert served == [
+            sorted(cold.neighborhood(entity, hops=2)) for entity in seed_entities[:5]
+        ]
+
+    def test_related_entities_reuse_worker_engine(self, worker, seed_entities):
+        results = worker.execute(RelatedRequest(entities=tuple(seed_entities[:3]), k=5))
+        assert len(results) == 3
+        for hits in results:
+            assert len(hits) <= 5
+            for entity, score in hits:
+                assert isinstance(entity, str) and isinstance(score, float)
+        # The backend adopted the worker's engine (no second CSR build).
+        assert worker.related_backend().engine is worker.engine
+
+    def test_annotation_matches_per_document_pipeline(self, worker, sample_texts):
+        served = worker.execute(AnnotateRequest(texts=tuple(sample_texts[:4])))
+        reference_pipeline = worker.snapshot.annotation_pipeline(tier="full")
+        for links, text in zip(served, sample_texts[:4]):
+            expected = reference_pipeline.annotate(text)
+            assert [
+                (link.mention.start, link.mention.end, link.mention.surface, link.entity)
+                for link in links
+            ] == [
+                (link.mention.start, link.mention.end, link.mention.surface, link.entity)
+                for link in expected
+            ]
+
+    def test_unsupported_request_type(self, worker):
+        with pytest.raises(TypeError):
+            worker.execute(object())
+
+
+class TestWorkerPool:
+    def test_mode_validation(self, bundle_dir):
+        with pytest.raises(ValueError):
+            WorkerPool(bundle_dir, mode="quantum")
+        with pytest.raises(ValueError):
+            WorkerPool(bundle_dir, num_workers=0)
+
+    def test_inline_and_thread_modes_agree(self, bundle_dir, seed_entities):
+        request = WalkRequest(entities=tuple(seed_entities), seed=5)
+        with WorkerPool(bundle_dir, mode="inline") as inline:
+            inline_result = inline.run(request)
+        with WorkerPool(bundle_dir, mode="thread", num_workers=4) as threaded:
+            thread_result = threaded.run(request)
+        assert inline_result == thread_result
+
+    def test_process_mode_agrees(self, bundle_dir, seed_entities, sample_texts):
+        walk_request = WalkRequest(entities=tuple(seed_entities), seed=5)
+        annotate_request = AnnotateRequest(texts=tuple(sample_texts[:3]))
+        with WorkerPool(bundle_dir, mode="inline") as inline:
+            expected_walks = inline.run(walk_request)
+            expected_links = inline.run(annotate_request)
+        with WorkerPool(bundle_dir, mode="process", num_workers=2) as procs:
+            assert procs.run(walk_request) == expected_walks
+            served_links = procs.run(annotate_request)
+        assert [
+            [(link.mention.start, link.mention.end, link.entity) for link in links]
+            for links in served_links
+        ] == [
+            [(link.mention.start, link.mention.end, link.entity) for link in links]
+            for links in expected_links
+        ]
+
+    def test_map_preserves_request_order(self, bundle_dir, seed_entities):
+        requests = [
+            WalkRequest(entities=(entity,), seed=2) for entity in seed_entities[:6]
+        ]
+        with WorkerPool(bundle_dir, mode="thread", num_workers=3) as pool:
+            mapped = pool.map(requests)
+            expected = [pool.run(request) for request in requests]
+        assert mapped == expected
+
+    def test_metrics_and_stats(self, bundle_dir, seed_entities):
+        with WorkerPool(bundle_dir, mode="inline") as pool:
+            pool.run(WalkRequest(entities=tuple(seed_entities[:2])))
+            pool.run(NeighborhoodRequest(entities=tuple(seed_entities[:2])))
+            stats = pool.stats()
+        assert stats["counter.pool.requests"] == 2.0
+        assert stats["counter.pool.requests.WalkRequest"] == 1.0
+        assert stats["hist.pool.latency.count"] == 2.0
+        assert stats["pool.workers"] == 1.0
+
+    def test_closed_pool_rejects_requests(self, bundle_dir):
+        pool = WorkerPool(bundle_dir, mode="inline")
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            pool.submit(WalkRequest(entities=("x",)))
+
+    def test_store_version_matches_bundle(self, bundle_dir, serving_kg):
+        with WorkerPool(bundle_dir, mode="inline") as pool:
+            assert pool.store_version == serving_kg.store.version
