@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""CI smoke: boot the HTTP gateway and drive one request of every type.
+
+Builds a small synthetic world (``GATEWAY_SMOKE_SCALE``, default 0.05),
+persists it as a snapshot bundle, boots the asyncio HTTP front door on an
+ephemeral port and issues one wire request per protocol type — walks,
+neighborhoods, related entities, annotation, fact ranking, verification,
+similarity and k-NN — plus a malformed-JSON and a wrong-schema-version
+probe.  Every answer must be a well-formed response envelope: ``ok`` with
+a payload for the real requests, a structured error (never a traceback)
+for the probes.  Exits non-zero on any violation.
+
+Run directly (CI does): ``PYTHONPATH=src python benchmarks/gateway_smoke.py``
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.kg.generator import SyntheticKGConfig, generate_kg
+from repro.kg.persistence import save_snapshot
+from repro.serving.gateway import AsyncGateway, GatewayHTTPServer
+from repro.serving.protocol import decode_response, encode_request
+from repro.serving.requests import (
+    AnnotateRequest,
+    FactRankRequest,
+    KnnRequest,
+    NeighborhoodRequest,
+    RelatedRequest,
+    SimilarityRequest,
+    VerifyRequest,
+    WalkRequest,
+)
+from repro.serving.service import ServingService
+
+SCALE = float(os.environ.get("GATEWAY_SMOKE_SCALE", "0.05"))
+
+
+async def http_post(host: str, port: int, path: str, body: bytes) -> tuple[str, bytes]:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        (
+            f"POST {path} HTTP/1.1\r\nHost: smoke\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        + body
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    return head.split(b"\r\n")[0].decode("latin-1"), payload
+
+
+def build_requests(service: ServingService) -> list:
+    """One servable request per wire type, derived from the live bundle."""
+    state = service._pool.local_state
+    entities = sorted(state.snapshot.store.entity_ids())[:8]
+    names = [state.snapshot.store.entity(e).name for e in entities[:3]]
+    suite = state.embedding_suite()  # trains the embedding-family backends
+    dataset = suite.trained.dataset
+    triples = [dataset.decode(*map(int, row)) for row in dataset.triples[:3]]
+    return [
+        WalkRequest(entities=tuple(entities[:4]), seed=7),
+        NeighborhoodRequest(entities=tuple(entities[:3]), hops=2),
+        RelatedRequest(entities=tuple(entities[:2]), k=5),
+        AnnotateRequest(texts=(f"{names[0]} met {names[1]} and {names[2]}.",)),
+        FactRankRequest(entities=(triples[0][0],), predicate=dataset.relations[0]),
+        VerifyRequest(candidates=tuple(triples)),
+        SimilarityRequest(pairs=((dataset.entities[0], dataset.entities[1]),)),
+        KnnRequest(entities=(dataset.entities[0],), k=3),
+    ]
+
+
+async def smoke(service: ServingService) -> list[str]:
+    failures: list[str] = []
+    gateway = AsyncGateway(service, max_concurrency=2, max_pending=16)
+    server = GatewayHTTPServer(gateway)
+    host, port = await server.start()
+    print(f"gateway up on http://{host}:{port} (store_version={service.store_version})")
+    try:
+        for request in build_requests(service):
+            name = type(request).__name__
+            status, body = await http_post(
+                host, port, "/v1/query", encode_request(request)
+            )
+            try:
+                response = decode_response(body)
+            except Exception as exc:
+                failures.append(f"{name}: un-decodable envelope ({exc})")
+                continue
+            if status != "HTTP/1.1 200 OK" or not response.ok:
+                failures.append(f"{name}: {status}, error={response.error}")
+                continue
+            if response.payload is None or "total_ms" not in response.timings:
+                failures.append(f"{name}: envelope missing payload/timings")
+                continue
+            print(f"  ok  {name:<22} total_ms={response.timings['total_ms']:.2f}")
+
+        for label, payload, want_code in (
+            ("malformed JSON", b"{nope", "bad_request"),
+            (
+                "wrong schema version",
+                json.dumps(
+                    {"protocol": 99, "type": "walk", "body": {"entities": []}}
+                ).encode(),
+                "unsupported_version",
+            ),
+        ):
+            status, body = await http_post(host, port, "/v1/query", payload)
+            envelope = json.loads(body)
+            if b"Traceback" in body:
+                failures.append(f"{label}: traceback leaked across the wire")
+            elif envelope.get("status") != "error" or (
+                envelope.get("error", {}).get("code") != want_code
+            ):
+                failures.append(f"{label}: expected {want_code} envelope, got {envelope}")
+            else:
+                print(f"  ok  {label:<22} rejected with {want_code}")
+    finally:
+        await server.stop()
+        gateway.close()
+    return failures
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="gateway-smoke-") as tmp:
+        bundle = Path(tmp) / "bundle"
+        kg = generate_kg(SyntheticKGConfig(seed=7, scale=SCALE))
+        save_snapshot(kg.store, bundle)
+        with ServingService(bundle, mode="inline", num_shards=4) as service:
+            failures = asyncio.run(smoke(service))
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\ngateway smoke: all request types answered with well-formed envelopes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,13 +69,51 @@ class FactRanker:
 
         Returns an empty list when the subject has no such facts.
         """
-        facts = list(self.store.scan(subject=subject, predicate=predicate))
+        return self.rank_many([subject], predicate)[0]
+
+    def rank_many(self, subjects: list[str], predicate: str) -> list[list[RankedFact]]:
+        """Rankings for many subjects with one batched embedding pass.
+
+        The serving layer's ``FactRankRequest`` hot path: every subject's
+        candidate triples score in a single ``score_triples`` call instead
+        of one model invocation per subject.  Z-normalisation stays
+        *within* each subject's candidate set (scores are only comparable
+        against their own alternatives), so per-subject output is
+        identical to :meth:`rank`.
+        """
+        per_subject_facts = [
+            list(self.store.scan(subject=subject, predicate=predicate))
+            for subject in subjects
+        ]
+        candidates = [
+            (subject, predicate, fact.obj)
+            for subject, facts in zip(subjects, per_subject_facts)
+            for fact in facts
+        ]
+        scored = self.inference.score_triples(candidates)
+        raw_scores: dict[tuple[str, str], float] = {
+            (item.subject, item.obj): item.score for item in scored
+        }
+        return [
+            self._rank_one(subject, predicate, facts, raw_scores)
+            for subject, facts in zip(subjects, per_subject_facts)
+        ]
+
+    def _rank_one(
+        self,
+        subject: str,
+        predicate: str,
+        facts: list,
+        raw_scores: dict[tuple[str, str], float],
+    ) -> list[RankedFact]:
         if not facts:
             return []
         objects = [fact.obj for fact in facts]
         confidences = {fact.obj: fact.confidence for fact in facts}
 
-        model_scores = self._model_scores(subject, predicate, objects)
+        model_scores = self._normalize_scores(
+            objects, [raw_scores.get((subject, obj), 0.0) for obj in objects]
+        )
         agreements = {
             obj: self._neighborhood_agreement(subject, predicate, obj)
             for obj in objects
@@ -105,15 +143,12 @@ class FactRanker:
         ranked.sort(key=lambda item: (-item.score, item.obj))
         return ranked
 
-    def _model_scores(
-        self, subject: str, predicate: str, objects: list[str]
+    @staticmethod
+    def _normalize_scores(
+        objects: list[str], raw: list[float]
     ) -> dict[str, float]:
-        """Embedding scores z-normalised within the candidate set."""
-        scored = self.inference.score_triples(
-            [(subject, predicate, obj) for obj in objects]
-        )
-        raw = {item.obj: item.score for item in scored}
-        values = np.array([raw.get(obj, 0.0) for obj in objects], dtype=np.float64)
+        """Embedding scores z-normalised within one candidate set."""
+        values = np.array(raw, dtype=np.float64)
         if len(values) > 1 and values.std() > 0:
             values = (values - values.mean()) / values.std()
         else:

@@ -1,24 +1,52 @@
 """Sharded, batched KG serving over persisted snapshot bundles (§4–5).
 
 The subsystem that fronts the platform: a :class:`ServingService` facade
-wiring a :class:`ShardRouter` (int32 id-space partitioning with
-deterministic merges), a :class:`WorkerPool` of bundle replicas (inline /
-thread / subprocess executors over mmap-shared snapshot pages), a
+with one uniform ``serve(request) -> Response`` dispatch over a
+:class:`ShardRouter` (int32 id-space partitioning with deterministic
+merges), a :class:`WorkerPool` of bundle replicas (inline / thread /
+subprocess executors over mmap-shared snapshot pages), a
 :class:`MicroBatcher` (cross-document annotation batching) and a
 versioned :class:`QueryCache` (LRU over ``(store_version, request)``).
+:mod:`repro.serving.protocol` is the schema-versioned JSON wire codec and
+:mod:`repro.serving.gateway` the asyncio/HTTP front door
+(``python -m repro.serving.gateway <bundle>``).
 """
 
+# NOTE: repro.serving.gateway is deliberately NOT imported here — it is a
+# runnable module (`python -m repro.serving.gateway`), and importing it
+# from the package __init__ would trigger the double-import RuntimeWarning
+# on boot.  Import AsyncGateway/GatewayHTTPServer from the module directly.
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import QueryCache
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
 from repro.serving.requests import (
     AnnotateRequest,
+    ErrorInfo,
+    FactRankRequest,
+    KnnRequest,
     NeighborhoodRequest,
     RelatedRequest,
+    Request,
+    Response,
+    ServingError,
+    SimilarityRequest,
+    VerifyRequest,
     WalkRequest,
     sub_request,
 )
 from repro.serving.router import ShardRouter
-from repro.serving.service import ServingService, save_and_serve
+from repro.serving.service import (
+    ServingService,
+    requests_from_query_log,
+    save_and_serve,
+)
 from repro.serving.worker import (
     WorkerConfig,
     WorkerPool,

@@ -129,7 +129,11 @@ class MicroBatcher:
             return 0
         texts = [text for text, _ in batch]
         # Mean batch size is derivable: batcher.submitted / batcher.flushes.
+        # The bounded flush-latency histogram gives the per-stage number
+        # the serving envelopes' compute_ms aggregates over: how long one
+        # coalesced downstream scoring call takes.
         self.metrics.incr("batcher.flushes")
+        started = time.perf_counter()
         try:
             results = self.flush_fn(texts)
         except BaseException as exc:
@@ -137,6 +141,8 @@ class MicroBatcher:
             for _, future in batch:
                 future.set_exception(exc)
             return len(batch)
+        finally:
+            self.metrics.hist("batcher.flush_latency", time.perf_counter() - started)
         if len(results) != len(batch):
             error = RuntimeError(
                 f"flush_fn returned {len(results)} results for {len(batch)} texts"

@@ -20,7 +20,7 @@ mmap-backed arrays underneath.
 
 from __future__ import annotations
 
-from typing import Any, Hashable
+from typing import Any, Hashable, Iterable
 
 from repro.common.kvstore import MemoryKVStore
 from repro.common.metrics import MetricsRegistry
@@ -56,6 +56,27 @@ class QueryCache:
     def put(self, version: int, request: Hashable, value: Any) -> None:
         """Insert a result, evicting the least-recently-used past capacity."""
         self._store.put((version, request), value)
+
+    def warm(self, version: int, entries: Iterable[tuple[Hashable, Any]]) -> int:
+        """Pre-populate the cache with computed ``(request, result)`` pairs.
+
+        The ROADMAP's "cache warming" path: a new generation's cache can
+        be seeded from replayed query-log traffic before the fleet takes
+        live requests.  Requests that declare themselves non-cacheable
+        (``cacheable()`` returning false — e.g. never-repeating annotation
+        batches) are skipped, the same admission policy the serving
+        dispatch applies.  Returns the number of entries admitted.
+        """
+        admitted = 0
+        for request, value in entries:
+            admission = getattr(request, "cacheable", None)
+            if callable(admission) and not admission():
+                continue
+            self._store.put((version, request), value)
+            admitted += 1
+        if admitted:
+            self.metrics.incr("cache.warmed", admitted)
+        return admitted
 
     def adopt_version(self, version: int) -> int:
         """Drop every entry not built at ``version``; returns count dropped.

@@ -1,0 +1,468 @@
+"""Asyncio gateway: the network front door of the serving platform.
+
+The PR-4 :class:`~repro.serving.service.ServingService` is synchronous —
+futures already flow through the worker pool, only the facade blocks.
+This module bridges that facade to ``asyncio`` and puts a real network
+service in front of it, with the admission machinery a low-latency API
+needs under heavy traffic (§4: one serving platform powering every
+knowledge-based service):
+
+* **bounded admission** — at most ``max_pending`` requests may be in the
+  gateway at once; request ``max_pending + 1`` is *rejected immediately*
+  with an ``overloaded`` error envelope instead of queueing without
+  bound (backpressure the client can see and retry against);
+* **concurrency cap** — of the admitted requests, at most
+  ``max_concurrency`` execute on the facade simultaneously (one executor
+  thread each, bridging the pool's futures to awaitables); the rest
+  await a semaphore;
+* **per-request deadline** — an admitted request that exceeds its
+  deadline resolves to a ``deadline_exceeded`` envelope (the worker's
+  in-flight computation finishes and is discarded; with a cacheable
+  request its result still lands in the query cache for the retry).
+
+Entry points:
+
+* :meth:`AsyncGateway.serve_async` — one request, one awaitable envelope;
+* :meth:`AsyncGateway.serve_stream` — an async iterator over many
+  requests: all of them throttled through the concurrency cap, envelopes
+  yielded in request order as they complete (streaming batch);
+* :class:`GatewayHTTPServer` — a minimal stdlib ``asyncio`` HTTP/1.1
+  server speaking the JSON wire protocol (:mod:`repro.serving.protocol`):
+  ``POST /v1/query`` with a request envelope body, plus ``GET /healthz``
+  and ``GET /stats``.  ``python -m repro.serving.gateway <bundle>`` boots
+  it — the repo is drivable with ``curl``.
+
+Every failure crosses the boundary as a structured error envelope; raw
+tracebacks stay in the server process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import AsyncIterator, Iterable, Sequence
+
+from repro.common.metrics import MetricsRegistry
+from repro.serving.protocol import (
+    ProtocolError,
+    encode_response,
+    decode_request,
+    error_response,
+)
+from repro.serving.requests import (
+    ERROR_BAD_REQUEST,
+    ERROR_DEADLINE_EXCEEDED,
+    ERROR_OVERLOADED,
+    ERROR_UNSUPPORTED_TYPE,
+    ERROR_UNSUPPORTED_VERSION,
+    ERROR_INTERNAL,
+    Request,
+    Response,
+)
+from repro.serving.service import ServingService
+
+DEFAULT_MAX_CONCURRENCY = 8
+DEFAULT_MAX_PENDING = 64
+
+# HTTP status per envelope error code (ok envelopes are always 200: the
+# protocol's status field is authoritative, HTTP codes are a courtesy to
+# curl and load balancers).
+_HTTP_STATUS_BY_CODE = {
+    ERROR_BAD_REQUEST: 400,
+    ERROR_UNSUPPORTED_VERSION: 400,
+    ERROR_UNSUPPORTED_TYPE: 400,
+    ERROR_OVERLOADED: 503,
+    ERROR_DEADLINE_EXCEEDED: 504,
+    ERROR_INTERNAL: 500,
+}
+_HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+MAX_REQUEST_BYTES = 8 * 1024 * 1024
+
+
+class AsyncGateway:
+    """Admission-controlled asyncio front door over a :class:`ServingService`."""
+
+    def __init__(
+        self,
+        service: ServingService,
+        *,
+        max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        default_deadline_s: float | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_concurrency <= 0:
+            raise ValueError(f"max_concurrency must be positive, got {max_concurrency}")
+        if max_pending < max_concurrency:
+            raise ValueError(
+                f"max_pending ({max_pending}) must be >= max_concurrency "
+                f"({max_concurrency}) — the executing requests count as pending"
+            )
+        self.service = service
+        self.max_concurrency = max_concurrency
+        self.max_pending = max_pending
+        self.default_deadline_s = default_deadline_s
+        self.metrics = metrics or service.metrics
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrency, thread_name_prefix="kg-gateway"
+        )
+        self._pending = 0
+        # asyncio primitives bind to the loop that first awaits them; the
+        # gateway may outlive several asyncio.run() calls (tests, re-boots),
+        # so the semaphore is (re)built per running loop.
+        self._semaphore: asyncio.Semaphore | None = None
+        self._semaphore_loop: asyncio.AbstractEventLoop | None = None
+        self._closed = False
+
+    @property
+    def pending(self) -> int:
+        """Requests currently admitted (queued or executing)."""
+        return self._pending
+
+    def _admission(self) -> asyncio.Semaphore:
+        loop = asyncio.get_running_loop()
+        if self._semaphore is None or self._semaphore_loop is not loop:
+            self._semaphore = asyncio.Semaphore(self.max_concurrency)
+            self._semaphore_loop = loop
+        return self._semaphore
+
+    async def serve_async(
+        self, request: Request, *, deadline_s: float | None = None
+    ) -> Response:
+        """One request through admission control; never raises for
+        request-level failures — rejection, deadline and worker errors all
+        come back as envelopes."""
+        if self._pending >= self.max_pending:
+            self.metrics.incr("gateway.rejected")
+            return error_response(
+                getattr(type(request), "wire_type", "unknown"),
+                self.service.store_version,
+                ERROR_OVERLOADED,
+                f"admission queue full ({self.max_pending} pending)",
+            )
+        return await self._admitted(request, deadline_s)
+
+    async def _admitted(
+        self, request: Request, deadline_s: float | None
+    ) -> Response:
+        """The post-admission path (streaming batches enter here directly:
+        a pull-based caller self-throttles, so queue-full rejection would
+        be backpressure against ourselves)."""
+        deadline = deadline_s if deadline_s is not None else self.default_deadline_s
+        self._pending += 1
+        self.metrics.incr("gateway.requests")
+        try:
+            semaphore = self._admission()
+            # acquire() sits inside the try: a caller cancelled while
+            # queued for a slot must still decrement the pending count
+            # (it is instance state and would otherwise inflate forever,
+            # eventually rejecting everything as overloaded).
+            await semaphore.acquire()
+            deferred_release = False
+            try:
+                loop = asyncio.get_running_loop()
+                future = loop.run_in_executor(
+                    self._executor, self.service.serve, request
+                )
+                if deadline is None:
+                    return await future
+                try:
+                    return await asyncio.wait_for(asyncio.shield(future), deadline)
+                except asyncio.TimeoutError:
+                    # The worker finishes in the background and its result
+                    # is discarded (a cacheable request still lands in the
+                    # query cache for the retry).  The concurrency slot
+                    # stays held until that abandoned computation completes
+                    # — releasing it now would admit new requests into an
+                    # executor whose threads are all busy with abandoned
+                    # work, burning their deadlines in the executor queue.
+                    deferred_release = True
+                    future.add_done_callback(lambda _f: semaphore.release())
+                    self.metrics.incr("gateway.deadline_exceeded")
+                    return error_response(
+                        getattr(type(request), "wire_type", "unknown"),
+                        self.service.store_version,
+                        ERROR_DEADLINE_EXCEEDED,
+                        f"request exceeded its {deadline:g}s deadline",
+                    )
+            finally:
+                if not deferred_release:
+                    semaphore.release()
+        finally:
+            self._pending -= 1
+
+    async def serve_stream(
+        self,
+        requests: Iterable[Request] | Sequence[Request],
+        *,
+        deadline_s: float | None = None,
+    ) -> AsyncIterator[Response]:
+        """Stream envelopes for ``requests`` in request order.
+
+        Up to ``max_concurrency`` requests are in flight at once; each
+        completion launches the next, so an arbitrarily long batch flows
+        through bounded resources.  Yielding preserves request order
+        (completion-order internally, delivery-order externally).
+        """
+        # Requests pull lazily from the iterator: a generator of a million
+        # requests occupies O(max_concurrency) memory, not O(batch).
+        iterator = iter(requests)
+        exhausted = False
+        ordered: deque[asyncio.Task] = deque()  # yield order
+        in_flight: set[asyncio.Task] = set()
+
+        def launch() -> None:
+            nonlocal exhausted
+            while not exhausted and len(in_flight) < self.max_concurrency:
+                try:
+                    request = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    return
+                task = asyncio.ensure_future(self._admitted(request, deadline_s))
+                ordered.append(task)
+                in_flight.add(task)
+
+        launch()
+        while ordered:
+            head = ordered[0]
+            if not head.done():
+                # Wait for ANY in-flight task so a slow head never idles
+                # the rest of the window: completions behind it refill
+                # the pipeline immediately, only the yield is ordered.
+                done, _pending = await asyncio.wait(
+                    in_flight, return_when=asyncio.FIRST_COMPLETED
+                )
+                in_flight.difference_update(done)
+                launch()
+                continue
+            ordered.popleft()
+            in_flight.discard(head)
+            launch()
+            yield head.result()
+
+    def close(self) -> None:
+        """Stop the bridge threads (the service itself stays up)."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=True)
+
+
+# -- HTTP front door -----------------------------------------------------------
+
+
+class GatewayHTTPServer:
+    """Minimal asyncio HTTP/1.1 server speaking the JSON wire protocol.
+
+    Stdlib only (``asyncio.start_server`` + hand-rolled request parsing —
+    the repo adds no dependencies).  One request per connection
+    (``Connection: close``): the protocol is stateless and envelope
+    framing stays trivial.
+    """
+
+    def __init__(
+        self, gateway: AsyncGateway, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, body = await self._respond(reader)
+        except Exception as exc:  # the handler must never take the loop down
+            status, body = 500, self._error_body(ERROR_INTERNAL, type(exc).__name__)
+        try:
+            writer.write(_http_response(status, body))
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    def _error_body(self, code: str, message: str) -> bytes:
+        """A full, codec-decodable error envelope for transport-level
+        failures (bad routes, unreadable requests) — a client running
+        ``decode_response`` on a 404/405/413 body must get a structured
+        error Response, not a ProtocolError."""
+        return encode_response(
+            error_response(
+                "unknown", self.gateway.service.store_version, code, message
+            )
+        )
+
+    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, bytes]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return 400, self._error_body(ERROR_BAD_REQUEST, "unreadable request")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, self._error_body(ERROR_BAD_REQUEST, "malformed request line")
+        method, path = parts[0].upper(), parts[1]
+
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, self._error_body(ERROR_BAD_REQUEST, "bad content-length")
+                if content_length < 0:
+                    return 400, self._error_body(ERROR_BAD_REQUEST, "bad content-length")
+        if content_length > MAX_REQUEST_BYTES:
+            return 413, self._error_body(
+                ERROR_BAD_REQUEST, f"body exceeds {MAX_REQUEST_BYTES} bytes"
+            )
+        body = await reader.readexactly(content_length) if content_length else b""
+
+        if path == "/healthz" and method == "GET":
+            return 200, json.dumps(
+                {
+                    "status": "ok",
+                    "store_version": self.gateway.service.store_version,
+                    "pending": self.gateway.pending,
+                }
+            ).encode("utf-8")
+        if path == "/stats" and method == "GET":
+            return 200, json.dumps(
+                self.gateway.service.stats(), sort_keys=True, default=str
+            ).encode("utf-8")
+        if path == "/v1/query":
+            if method != "POST":
+                return 405, self._error_body(ERROR_BAD_REQUEST, "use POST /v1/query")
+            try:
+                request = decode_request(body)
+            except ProtocolError as exc:
+                # Malformed/unsupported input: a structured envelope, not
+                # a traceback and not a dropped connection.
+                response = error_response(
+                    "unknown",
+                    self.gateway.service.store_version,
+                    exc.code,
+                    exc.message,
+                )
+                return _HTTP_STATUS_BY_CODE.get(exc.code, 400), encode_response(response)
+            response = await self.gateway.serve_async(request)
+            http_status = 200
+            if not response.ok and response.error is not None:
+                http_status = _HTTP_STATUS_BY_CODE.get(response.error.code, 500)
+            return http_status, encode_response(response)
+        return 404, self._error_body(ERROR_BAD_REQUEST, f"no such route: {method} {path}")
+
+
+def _http_response(status: int, body: bytes) -> bytes:
+    reason = _HTTP_REASONS.get(status, "Error")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def run_http_gateway(
+    service: ServingService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+    max_pending: int = DEFAULT_MAX_PENDING,
+    default_deadline_s: float | None = None,
+) -> None:
+    """Boot the HTTP front door over ``service`` and serve until cancelled."""
+    gateway = AsyncGateway(
+        service,
+        max_concurrency=max_concurrency,
+        max_pending=max_pending,
+        default_deadline_s=default_deadline_s,
+    )
+    server = GatewayHTTPServer(gateway, host=host, port=port)
+    bound_host, bound_port = await server.start()
+    print(f"serving KG bundle (store_version={service.store_version}) "
+          f"on http://{bound_host}:{bound_port}")
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()
+        gateway.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serve a persisted KG snapshot bundle over HTTP."
+    )
+    parser.add_argument("bundle_dir", help="snapshot bundle (save_snapshot output)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--mode", default="inline", choices=("inline", "thread", "process"))
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--max-concurrency", type=int, default=DEFAULT_MAX_CONCURRENCY)
+    parser.add_argument("--max-pending", type=int, default=DEFAULT_MAX_PENDING)
+    parser.add_argument(
+        "--deadline-s", type=float, default=None, help="per-request deadline (seconds)"
+    )
+    args = parser.parse_args(argv)
+    with ServingService(
+        args.bundle_dir, mode=args.mode, num_workers=args.workers
+    ) as service:
+        try:
+            asyncio.run(
+                run_http_gateway(
+                    service,
+                    host=args.host,
+                    port=args.port,
+                    max_concurrency=args.max_concurrency,
+                    max_pending=args.max_pending,
+                    default_deadline_s=args.deadline_s,
+                )
+            )
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,375 @@
+"""JSON wire codec for the serving protocol (schema-versioned envelopes).
+
+One protocol for every knowledge service (the paper's §4 serving platform:
+graph queries, entity linking, fact ranking/verification, similarity — all
+behind one low-latency API).  Requests and responses travel as UTF-8 JSON:
+
+Request envelope::
+
+    {"protocol": 1, "type": "walk", "body": {"entities": [...], "seed": 7}}
+
+Response envelope::
+
+    {"protocol": 1, "type": "walk", "status": "ok", "store_version": 3,
+     "timings": {"compute_ms": 1.9, "total_ms": 2.1}, "cached": false,
+     "payload": [...]}
+
+    {"protocol": 1, "type": "verify", "status": "error", "store_version": 3,
+     "timings": {"total_ms": 0.4}, "cached": false,
+     "error": {"code": "internal", "message": "entity not in vocabulary: X"}}
+
+Contracts:
+
+* **Schema-versioned decode** — ``protocol`` must match a supported
+  version; anything else is rejected with ``unsupported_version`` *before*
+  the body is interpreted, so an old server never misreads a newer
+  client's fields (and vice versa).
+* **Structured errors** — failures cross the wire as
+  ``{"code", "message"}`` envelopes, never tracebacks; the in-process
+  exception object stays on the server side of the codec.
+* **Typed round-trips** — ``decode_response(encode_response(r))``
+  reconstructs the payload's dataclasses (verdicts, ranked facts, search
+  hits, entity links), so a client sees the same types an in-process
+  facade call returns.  Floats survive exactly: JSON's ``repr``-based
+  float serialisation is lossless for IEEE doubles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.serving.requests import (
+    ERROR_BAD_REQUEST,
+    ERROR_UNSUPPORTED_TYPE,
+    ERROR_UNSUPPORTED_VERSION,
+    STATUS_ERROR,
+    STATUS_OK,
+    REQUESTS_BY_WIRE_TYPE,
+    ErrorInfo,
+    Request,
+    Response,
+    response_class,
+)
+
+PROTOCOL_VERSION = 1
+SUPPORTED_VERSIONS = (1,)
+
+
+class ProtocolError(ValueError):
+    """A malformed or unsupported wire message, with a stable error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    def to_error(self) -> ErrorInfo:
+        return ErrorInfo(code=self.code, message=self.message)
+
+
+# -- request codec -------------------------------------------------------------
+
+
+def encode_request(request: Request) -> bytes:
+    """Serialise ``request`` into a protocol envelope (UTF-8 JSON bytes)."""
+    wire_type = getattr(type(request), "wire_type", None)
+    if wire_type not in REQUESTS_BY_WIRE_TYPE:
+        raise ProtocolError(
+            ERROR_UNSUPPORTED_TYPE,
+            f"unknown request type: {type(request).__name__}",
+        )
+    envelope = {
+        "protocol": PROTOCOL_VERSION,
+        "type": wire_type,
+        "body": dataclasses.asdict(request),
+    }
+    return json.dumps(envelope, sort_keys=True).encode("utf-8")
+
+
+def decode_request(data: bytes | str) -> Request:
+    """Parse a request envelope; raises :class:`ProtocolError` on bad input."""
+    envelope = _parse_envelope(data)
+    wire_type = envelope.get("type")
+    # The isinstance gate runs before the dict probe: a non-string (and
+    # possibly unhashable) type field must reject cleanly, not TypeError.
+    if not isinstance(wire_type, str) or wire_type not in REQUESTS_BY_WIRE_TYPE:
+        raise ProtocolError(
+            ERROR_UNSUPPORTED_TYPE, f"unknown request type: {wire_type!r}"
+        )
+    request_cls = REQUESTS_BY_WIRE_TYPE[wire_type]
+    body = envelope.get("body")
+    if not isinstance(body, dict):
+        raise ProtocolError(ERROR_BAD_REQUEST, "request body must be an object")
+    known = {field.name for field in dataclasses.fields(request_cls)}
+    unknown = set(body) - known
+    if unknown:
+        raise ProtocolError(
+            ERROR_BAD_REQUEST,
+            f"unknown field(s) for {wire_type!r} request: {sorted(unknown)}",
+        )
+    try:
+        return request_cls(**_coerce_body(body))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            ERROR_BAD_REQUEST, f"invalid {wire_type!r} request: {exc}"
+        ) from None
+
+
+def _parse_envelope(data: bytes | str) -> dict:
+    if isinstance(data, bytes):
+        try:
+            data = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(ERROR_BAD_REQUEST, f"not UTF-8: {exc}") from None
+    try:
+        envelope = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(ERROR_BAD_REQUEST, f"malformed JSON: {exc}") from None
+    if not isinstance(envelope, dict):
+        raise ProtocolError(ERROR_BAD_REQUEST, "envelope must be a JSON object")
+    version = envelope.get("protocol")
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(
+            ERROR_UNSUPPORTED_VERSION,
+            f"unsupported protocol version {version!r} "
+            f"(supported: {list(SUPPORTED_VERSIONS)})",
+        )
+    return envelope
+
+
+# Scalar request fields and the JSON type each must arrive as.  Decode
+# validates these up front: a request built from unchecked network input
+# would otherwise smuggle unhashable or mistyped values into the frozen
+# dataclasses (cache keys!) and surface deep in the dispatch as a 500
+# instead of a bad_request here.
+_SCALAR_FIELDS: dict[str, type] = {
+    "walk_length": int,
+    "walks_per_entity": int,
+    "seed": int,
+    "hops": int,
+    "k": int,
+    "exclude_self": bool,
+    "tier": str,
+    "predicate": str,
+}
+
+
+def _coerce_body(body: dict) -> dict:
+    """JSON arrays back to the tuples the frozen dataclasses expect."""
+    coerced = dict(body)
+    for name in ("entities", "texts"):
+        if name in coerced:
+            coerced[name] = tuple(_require_strings(coerced[name], name))
+    if "candidates" in coerced:
+        coerced["candidates"] = tuple(
+            _fixed_str_tuple(item, 3, "candidates") for item in _require_list(coerced["candidates"], "candidates")
+        )
+    if "pairs" in coerced:
+        coerced["pairs"] = tuple(
+            _fixed_str_tuple(item, 2, "pairs") for item in _require_list(coerced["pairs"], "pairs")
+        )
+    for name, expected in _SCALAR_FIELDS.items():
+        if name not in coerced:
+            continue
+        value = coerced[name]
+        # bool is an int subclass; an int field must still reject true/false.
+        if not isinstance(value, expected) or (
+            expected is int and isinstance(value, bool)
+        ):
+            raise ProtocolError(
+                ERROR_BAD_REQUEST,
+                f"{name} must be {expected.__name__}, got {type(value).__name__}",
+            )
+    return coerced
+
+
+def _require_list(value: Any, name: str) -> list:
+    if not isinstance(value, (list, tuple)):
+        raise ProtocolError(ERROR_BAD_REQUEST, f"{name} must be an array")
+    return list(value)
+
+
+def _require_strings(value: Any, name: str) -> list[str]:
+    items = _require_list(value, name)
+    for item in items:
+        if not isinstance(item, str):
+            raise ProtocolError(ERROR_BAD_REQUEST, f"{name} must contain strings")
+    return items
+
+
+def _fixed_str_tuple(value: Any, size: int, name: str) -> tuple[str, ...]:
+    items = _require_strings(value, name)
+    if len(items) != size:
+        raise ProtocolError(
+            ERROR_BAD_REQUEST, f"each {name} item must have {size} elements"
+        )
+    return tuple(items)
+
+
+# -- payload codec -------------------------------------------------------------
+#
+# Payloads stay native Python dataclasses in-process; these converters map
+# them to/from JSON-native structures at the wire boundary.  from_wire is
+# the exact inverse of to_wire for every type, so a response round-trips
+# to equal payloads (annotation links drop their server-side candidate
+# lists — a deliberate wire reduction, documented on AnnotateResponse).
+
+
+def payload_to_wire(wire_type: str, payload: Any) -> Any:
+    if payload is None:
+        return None
+    if wire_type == "related":
+        return [[[entity, score] for entity, score in hits] for hits in payload]
+    if wire_type == "annotate":
+        return [[_link_to_wire(link) for link in links] for links in payload]
+    if wire_type == "fact_rank":
+        return [
+            [dataclasses.asdict(fact) for fact in ranked] for ranked in payload
+        ]
+    if wire_type == "verify":
+        return [dataclasses.asdict(verdict) for verdict in payload]
+    if wire_type == "knn":
+        return [
+            [dataclasses.asdict(hit) for hit in hits] for hits in payload
+        ]
+    # walk / neighborhood / similarity payloads are JSON-native already.
+    return payload
+
+
+def payload_from_wire(wire_type: str, wire: Any) -> Any:
+    if wire is None:
+        return None
+    try:
+        if wire_type == "related":
+            return [
+                [(str(entity), float(score)) for entity, score in hits]
+                for hits in wire
+            ]
+        if wire_type == "annotate":
+            return [[_link_from_wire(item) for item in links] for links in wire]
+        if wire_type == "fact_rank":
+            from repro.services.fact_ranking import RankedFact
+
+            return [[RankedFact(**fact) for fact in ranked] for ranked in wire]
+        if wire_type == "verify":
+            from repro.services.fact_verification import Verdict
+
+            return [Verdict(**verdict) for verdict in wire]
+        if wire_type == "knn":
+            from repro.vector.index import SearchHit
+
+            return [[SearchHit(**hit) for hit in hits] for hits in wire]
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ProtocolError(
+            ERROR_BAD_REQUEST, f"malformed {wire_type!r} payload: {exc}"
+        ) from None
+    return wire
+
+
+def _link_to_wire(link) -> dict:
+    # EntityLink.to_dict(): start/end/surface/entity/score/entity_type.
+    # Candidate feature lists are server-side detail and stay off the wire.
+    return link.to_dict()
+
+
+def _link_from_wire(item: dict):
+    from repro.annotation.mention import EntityLink, Mention
+
+    if not isinstance(item, dict):
+        raise ProtocolError(ERROR_BAD_REQUEST, "annotation link must be an object")
+    try:
+        return EntityLink(
+            mention=Mention(
+                start=int(item["start"]),
+                end=int(item["end"]),
+                surface=str(item["surface"]),
+            ),
+            entity=str(item["entity"]),
+            score=float(item["score"]),
+            entity_type=str(item.get("entity_type", "OTHER")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(
+            ERROR_BAD_REQUEST, f"malformed annotation link: {exc}"
+        ) from None
+
+
+# -- response codec ------------------------------------------------------------
+
+
+def encode_response(response: Response) -> bytes:
+    """Serialise a response envelope (UTF-8 JSON bytes).
+
+    The in-process ``exception`` field never crosses the wire — clients
+    see only the structured error envelope.
+    """
+    envelope: dict[str, Any] = {
+        "protocol": PROTOCOL_VERSION,
+        "type": response.request_type,
+        "status": response.status,
+        "store_version": response.store_version,
+        "timings": response.timings,
+        "cached": response.cached,
+    }
+    if response.status == STATUS_OK:
+        envelope["payload"] = payload_to_wire(response.request_type, response.payload)
+    else:
+        error = response.error or ErrorInfo("internal", "request failed")
+        envelope["error"] = {"code": error.code, "message": error.message}
+    return json.dumps(envelope, sort_keys=True).encode("utf-8")
+
+
+def decode_response(data: bytes | str) -> Response:
+    """Parse a response envelope into its typed :class:`Response`."""
+    envelope = _parse_envelope(data)
+    wire_type = envelope.get("type")
+    if not isinstance(wire_type, str):
+        raise ProtocolError(ERROR_BAD_REQUEST, "response envelope missing type")
+    status = envelope.get("status")
+    if status not in (STATUS_OK, STATUS_ERROR):
+        raise ProtocolError(ERROR_BAD_REQUEST, f"unknown response status: {status!r}")
+    timings = envelope.get("timings") or {}
+    if not isinstance(timings, dict):
+        raise ProtocolError(ERROR_BAD_REQUEST, "timings must be an object")
+    error = None
+    payload = None
+    if status == STATUS_ERROR:
+        raw = envelope.get("error")
+        if not isinstance(raw, dict) or "code" not in raw:
+            raise ProtocolError(ERROR_BAD_REQUEST, "error envelope missing code")
+        error = ErrorInfo(code=str(raw["code"]), message=str(raw.get("message", "")))
+    else:
+        payload = payload_from_wire(wire_type, envelope.get("payload"))
+    cls = response_class(wire_type)
+    return cls(
+        request_type=wire_type,
+        status=status,
+        store_version=int(envelope.get("store_version", 0)),
+        payload=payload,
+        timings={str(k): float(v) for k, v in timings.items()},
+        cached=bool(envelope.get("cached", False)),
+        error=error,
+    )
+
+
+def error_response(
+    wire_type: str,
+    store_version: int,
+    code: str,
+    message: str,
+    *,
+    timings: dict[str, float] | None = None,
+    exception: BaseException | None = None,
+) -> Response:
+    """A typed error envelope (the one shape every failure path produces)."""
+    cls = response_class(wire_type)
+    return cls(
+        request_type=wire_type,
+        status=STATUS_ERROR,
+        store_version=store_version,
+        timings=timings or {},
+        error=ErrorInfo(code=code, message=message),
+        exception=exception,
+    )

@@ -1,4 +1,4 @@
-"""Typed serving requests — the wire format of the serving subsystem.
+"""Typed serving requests and responses — the query vocabulary of the platform.
 
 Every request is a frozen, hashable dataclass:
 
@@ -6,22 +6,51 @@ Every request is a frozen, hashable dataclass:
   key next to the snapshot's ``store_version``;
 * frozen → a request enqueued, shipped to a subprocess worker and merged
   back can never be mutated in flight;
-* plain data → it pickles cheaply across the process-pool boundary.
+* plain data → it pickles cheaply across the process-pool boundary and
+  round-trips through the JSON wire codec (:mod:`repro.serving.protocol`).
 
-Multi-entity requests (walks, neighborhoods, related entities) are
-*splittable*: the shard router partitions their entity tuple and each
-shard worker answers a sub-request carrying the same parameters — results
-are per-entity, so the merge is a deterministic re-ordering.  Annotation
-requests batch *texts*; they are dispatched whole (a batch is already the
-unit of cross-document scoring).
+Each request class carries its serving *policy* as class attributes the
+facade dispatch reads instead of hard-coding per-method behaviour:
+
+* ``wire_type`` — the stable protocol tag (``"walk"``, ``"verify"``, …);
+* ``splittable`` — whether the shard router may partition the request's
+  ``entities`` tuple and merge per-entity results (walks, neighborhoods,
+  related entities, fact ranking, k-NN).  Non-splittable requests ship
+  whole: annotation and verification are already *batched* compute (one
+  cross-document scoring pass / one embedding score pass), and splitting
+  them would undo the batching; similarity pairs are too cheap to route.
+* ``cacheable()`` — whether a result may enter the
+  :class:`~repro.serving.cache.QueryCache`.  Most requests repeat
+  (dashboards re-ask the same walks; assistants re-rank the same facts);
+  multi-text annotation batches essentially never repeat byte-identically,
+  so caching them would only pin dead memory (the admission policy the
+  ROADMAP's "cache warming + admission" item asks for).
+
+Every request type is paired with a typed :class:`Response` envelope
+(status, payload, ``store_version``, per-stage timings, structured error)
+— the uniform unit every transport (in-process facade, asyncio gateway,
+HTTP) speaks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+from typing import Any, ClassVar
 
 DEFAULT_WALK_LENGTH = 8
 DEFAULT_WALKS_PER_ENTITY = 4
+
+# Status values of a Response envelope.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+# Stable error codes carried by error envelopes (never raw tracebacks).
+ERROR_BAD_REQUEST = "bad_request"
+ERROR_UNSUPPORTED_VERSION = "unsupported_version"
+ERROR_UNSUPPORTED_TYPE = "unsupported_type"
+ERROR_OVERLOADED = "overloaded"
+ERROR_DEADLINE_EXCEEDED = "deadline_exceeded"
+ERROR_INTERNAL = "internal"
 
 
 @dataclass(frozen=True)
@@ -35,40 +64,162 @@ class WalkRequest:
     or how many workers serve it.
     """
 
+    wire_type: ClassVar[str] = "walk"
+    splittable: ClassVar[bool] = True
+
     entities: tuple[str, ...]
     walk_length: int = DEFAULT_WALK_LENGTH
     walks_per_entity: int = DEFAULT_WALKS_PER_ENTITY
     seed: int = 0
+
+    def cacheable(self) -> bool:
+        return True
 
 
 @dataclass(frozen=True)
 class NeighborhoodRequest:
     """K-hop undirected neighborhoods (sorted) for each of ``entities``."""
 
+    wire_type: ClassVar[str] = "neighborhood"
+    splittable: ClassVar[bool] = True
+
     entities: tuple[str, ...]
     hops: int = 1
+
+    def cacheable(self) -> bool:
+        return True
 
 
 @dataclass(frozen=True)
 class RelatedRequest:
     """Top-k related entities (traversal embeddings) for each of ``entities``."""
 
+    wire_type: ClassVar[str] = "related"
+    splittable: ClassVar[bool] = True
+
     entities: tuple[str, ...]
     k: int = 10
+
+    def cacheable(self) -> bool:
+        return True
 
 
 @dataclass(frozen=True)
 class AnnotateRequest:
-    """Entity links for each of ``texts``, scored as one cross-doc batch."""
+    """Entity links for each of ``texts``, scored as one cross-doc batch.
+
+    Single-text requests are cacheable (clients re-annotate hot snippets);
+    multi-text batches essentially never repeat byte-identically, and one
+    cache entry would pin every input text plus every link list — the
+    admission policy skips them.
+    """
+
+    wire_type: ClassVar[str] = "annotate"
+    splittable: ClassVar[bool] = False
 
     texts: tuple[str, ...]
     tier: str = "full"
 
+    def cacheable(self) -> bool:
+        return len(self.texts) == 1
+
+
+@dataclass(frozen=True)
+class FactRankRequest:
+    """Importance-ranked values of ``(entity, predicate, ?)`` per entity.
+
+    ``entities`` are the *subjects* (Figure 2: "occupation of LeBron
+    James") — per-subject results, so the router may shard them like any
+    other entity-keyed request.
+    """
+
+    wire_type: ClassVar[str] = "fact_rank"
+    splittable: ClassVar[bool] = True
+
+    entities: tuple[str, ...]
+    predicate: str = ""
+
+    def cacheable(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class VerifyRequest:
+    """Verdicts for candidate ``(subject, predicate, object)`` triples.
+
+    Dispatched whole: the verifier scores the entire candidate set in one
+    batched embedding pass, which sharding would undo.
+    """
+
+    wire_type: ClassVar[str] = "verify"
+    splittable: ClassVar[bool] = False
+
+    candidates: tuple[tuple[str, str, str], ...]
+
+    def cacheable(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class SimilarityRequest:
+    """Cosine similarity for each ``(left, right)`` entity pair.
+
+    Unknown entities score 0.0 (the embedding service's contract) rather
+    than erroring — a similarity matrix query should not fail on one
+    missing row.
+    """
+
+    wire_type: ClassVar[str] = "similarity"
+    splittable: ClassVar[bool] = False
+
+    pairs: tuple[tuple[str, str], ...]
+
+    def cacheable(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class KnnRequest:
+    """k nearest entities in embedding space for each of ``entities``."""
+
+    wire_type: ClassVar[str] = "knn"
+    splittable: ClassVar[bool] = True
+
+    entities: tuple[str, ...]
+    k: int = 10
+    exclude_self: bool = True
+
+    def cacheable(self) -> bool:
+        return True
+
+
+REQUEST_TYPES: tuple[type, ...] = (
+    WalkRequest,
+    NeighborhoodRequest,
+    RelatedRequest,
+    AnnotateRequest,
+    FactRankRequest,
+    VerifyRequest,
+    SimilarityRequest,
+    KnnRequest,
+)
+
+# wire_type tag -> request class (the protocol decode table).
+REQUESTS_BY_WIRE_TYPE: dict[str, type] = {cls.wire_type: cls for cls in REQUEST_TYPES}
 
 # Requests whose per-entity results the router may partition and merge.
-SPLITTABLE = (WalkRequest, NeighborhoodRequest, RelatedRequest)
+SPLITTABLE = tuple(cls for cls in REQUEST_TYPES if cls.splittable)
 
-Request = WalkRequest | NeighborhoodRequest | RelatedRequest | AnnotateRequest
+Request = (
+    WalkRequest
+    | NeighborhoodRequest
+    | RelatedRequest
+    | AnnotateRequest
+    | FactRankRequest
+    | VerifyRequest
+    | SimilarityRequest
+    | KnnRequest
+)
 
 
 def sub_request(request: Request, entities: tuple[str, ...]) -> Request:
@@ -76,3 +227,108 @@ def sub_request(request: Request, entities: tuple[str, ...]) -> Request:
     if not isinstance(request, SPLITTABLE):
         raise TypeError(f"request type {type(request).__name__} is not splittable")
     return replace(request, entities=entities)
+
+
+# -- response envelopes --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """Structured error detail of a failed request — never a traceback."""
+
+    code: str
+    message: str
+
+
+@dataclass
+class Response:
+    """The uniform answer envelope every transport speaks.
+
+    ``payload`` is the per-request-type result (``None`` on error);
+    ``timings`` carries per-stage wall-clock milliseconds (``total_ms``
+    always; ``cache_ms``/``scatter_ms``/``compute_ms``/``gather_ms`` as
+    the stages run); ``cached`` marks cache hits.  ``exception`` keeps the
+    original in-process exception for delegating facade wrappers to
+    re-raise — it never crosses the wire (the codec strips it; clients see
+    only the structured :class:`ErrorInfo`).
+    """
+
+    request_type: str
+    status: str
+    store_version: int
+    payload: Any = None
+    timings: dict[str, float] = field(default_factory=dict)
+    cached: bool = False
+    error: ErrorInfo | None = None
+    exception: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def result(self) -> Any:
+        """The payload, re-raising the original error on failure."""
+        if self.ok:
+            return self.payload
+        if self.exception is not None:
+            raise self.exception
+        error = self.error or ErrorInfo(ERROR_INTERNAL, "request failed")
+        raise ServingError(error.code, error.message)
+
+
+class ServingError(RuntimeError):
+    """A serving-layer failure reconstructed from an error envelope."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class WalkResponse(Response):
+    """Payload: per entity, ``walks_per_entity`` walks of entity ids."""
+
+
+class NeighborhoodResponse(Response):
+    """Payload: per entity, the sorted k-hop neighborhood."""
+
+
+class RelatedResponse(Response):
+    """Payload: per entity, ``(entity, score)`` tuples, best first."""
+
+
+class AnnotateResponse(Response):
+    """Payload: per text, resolved :class:`~repro.annotation.mention.EntityLink`s."""
+
+
+class FactRankResponse(Response):
+    """Payload: per subject, :class:`~repro.services.fact_ranking.RankedFact`s."""
+
+
+class VerifyResponse(Response):
+    """Payload: per candidate, a :class:`~repro.services.fact_verification.Verdict`."""
+
+
+class SimilarityResponse(Response):
+    """Payload: per pair, a cosine similarity float."""
+
+
+class KnnResponse(Response):
+    """Payload: per entity, :class:`~repro.vector.index.SearchHit`s."""
+
+
+# wire_type tag -> typed response class (the codec's decode table).
+RESPONSES_BY_WIRE_TYPE: dict[str, type[Response]] = {
+    "walk": WalkResponse,
+    "neighborhood": NeighborhoodResponse,
+    "related": RelatedResponse,
+    "annotate": AnnotateResponse,
+    "fact_rank": FactRankResponse,
+    "verify": VerifyResponse,
+    "similarity": SimilarityResponse,
+    "knn": KnnResponse,
+}
+
+
+def response_class(wire_type: str) -> type[Response]:
+    """The typed envelope class for ``wire_type`` (base class for unknowns)."""
+    return RESPONSES_BY_WIRE_TYPE.get(wire_type, Response)

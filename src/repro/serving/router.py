@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 
 from repro.common.rng import stable_hash
+from repro.serving.requests import Request, sub_request
 
 DEFAULT_NUM_SHARDS = 8
 
@@ -77,6 +78,28 @@ class ShardRouter:
         return [
             (shard, positions, tuple(members))
             for shard, (positions, members) in sorted(buckets.items())
+        ]
+
+    def scatter_request(
+        self, request: Request
+    ) -> list[tuple[list[int], Request]]:
+        """Partition a splittable request into per-shard sub-requests.
+
+        The fan-out unit the dispatch submits to the pool: each returned
+        ``(positions, sub_request)`` pair narrows the original request to
+        one shard's members (every other parameter carried verbatim), so
+        any replica can answer it and :meth:`gather` can merge the
+        per-entity results back into request order.  Raises ``TypeError``
+        for non-splittable request types — the policy lives on the
+        request class, not here.
+        """
+        if not getattr(type(request), "splittable", False):
+            raise TypeError(
+                f"request type {type(request).__name__} is not splittable"
+            )
+        return [
+            (positions, sub_request(request, members))
+            for _shard, positions, members in self.scatter(request.entities)
         ]
 
     @staticmethod

@@ -1,41 +1,58 @@
 """The serving facade: one front door over router, pool, batcher and cache.
 
 This is the subsystem that turns the repo from a library into a service
-(§4–5 of the paper: serving the grown KG to production traffic).  A
-:class:`ServingService` owns
+(§4–5 of the paper: serving the grown KG to production traffic).  Every
+knowledge service — graph queries, entity linking, fact ranking and
+verification, similarity and k-NN — lands in one uniform dispatch::
 
-* a :class:`~repro.serving.worker.WorkerPool` of bundle replicas
-  (inline / threads / subprocesses),
-* a :class:`~repro.serving.router.ShardRouter` that partitions
-  multi-entity requests over the snapshot's int32 id space and merges
-  per-shard results back into request order,
-* a :class:`~repro.serving.batcher.MicroBatcher` that coalesces
-  annotation texts across document and client boundaries into single
-  cross-document scoring passes, and
-* a :class:`~repro.serving.cache.QueryCache` keyed by
-  ``(store_version, request)`` — adopting a new snapshot generation
-  purges every stale-generation entry.
+    response = service.serve(request)   # any Request -> typed Response
 
-Every public call lands in the request counters and the bounded latency
-histogram surfaced by :meth:`stats`.
+Scatter/gather, micro-batching and the versioned :class:`QueryCache` are
+*per-request-type policies* (declared on the request classes in
+:mod:`repro.serving.requests`) instead of per-method code:
+
+* ``splittable`` requests scatter over the :class:`ShardRouter`, fan out
+  across the :class:`WorkerPool` and gather back in request order;
+* single-text annotation rides the :class:`MicroBatcher` (cross-client
+  coalescing), multi-text batches chunk straight onto the pool;
+* ``cacheable()`` gates admission to the ``(store_version, request)``
+  LRU — never-repeating requests (multi-text annotation) skip it.
+
+Failures never leak tracebacks into the envelope: :meth:`serve` returns a
+structured error response (the original exception rides along in-process
+only, so the legacy delegating wrappers can re-raise it).  Every request
+lands in per-type counters and bounded latency histograms surfaced by
+:meth:`stats`.
 """
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.annotation.mention import EntityLink
 from repro.common.metrics import MetricsRegistry
+from repro.kg.query_logs import QueryLogEntry
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import QueryCache
+from repro.serving.protocol import error_response
 from repro.serving.requests import (
+    ERROR_INTERNAL,
+    ERROR_UNSUPPORTED_TYPE,
+    REQUEST_TYPES,
+    STATUS_OK,
     AnnotateRequest,
+    FactRankRequest,
+    KnnRequest,
     NeighborhoodRequest,
     RelatedRequest,
     Request,
+    Response,
+    SimilarityRequest,
+    VerifyRequest,
     WalkRequest,
-    sub_request,
+    response_class,
 )
 from repro.serving.router import DEFAULT_NUM_SHARDS, ShardRouter
 from repro.serving.worker import WORKER_MODES, WorkerConfig, WorkerPool
@@ -143,7 +160,171 @@ class ServingService:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- traversal / lookup requests ------------------------------------------
+    # -- the uniform dispatch --------------------------------------------------
+
+    def serve(self, request: Request) -> Response:
+        """Answer any request with a typed response envelope.
+
+        The single entry point every transport calls (legacy facade
+        methods, the asyncio gateway, the HTTP front door).  Never raises
+        for request-level failures — the envelope carries a structured
+        error instead (with the original exception attached in-process
+        for delegating wrappers).
+        """
+        started = time.perf_counter()
+        timings: dict[str, float] = {}
+        pool, router = self._pool, self._router
+        assert pool is not None and router is not None
+        version = pool.store_version
+        type_name = type(request).__name__
+        self.metrics.incr("serve.requests")
+        self.metrics.incr(f"serve.requests.{type_name}")
+        if not isinstance(request, REQUEST_TYPES):
+            self.metrics.incr("serve.errors")
+            timings["total_ms"] = _ms_since(started)
+            return error_response(
+                getattr(type(request), "wire_type", "unknown"),
+                version,
+                ERROR_UNSUPPORTED_TYPE,
+                f"unsupported request type: {type_name}",
+                timings=timings,
+            )
+        wire_type = type(request).wire_type
+        # Everything after type dispatch sits under one except: even a
+        # hostile request object (mistyped fields that defeat hashing in
+        # the cache probe — the wire codec rejects those, but serve() is
+        # also a public in-process API) must come back as an envelope.
+        try:
+            cacheable = request.cacheable()
+            if cacheable:
+                cache_started = time.perf_counter()
+                cached = self._cache.get(version, request)
+                timings["cache_ms"] = _ms_since(cache_started)
+                if cached is not None:
+                    timings["total_ms"] = _ms_since(started)
+                    return response_class(wire_type)(
+                        request_type=wire_type,
+                        status=STATUS_OK,
+                        store_version=version,
+                        payload=cached,
+                        timings=timings,
+                        cached=True,
+                    )
+            with self.metrics.hist_timed("serve.latency"), self.metrics.hist_timed(
+                f"serve.latency.{type_name}"
+            ):
+                payload = self._execute(request, pool, router, timings)
+            if cacheable:
+                self._cache.put(version, request, payload)
+        except Exception as exc:
+            self.metrics.incr("serve.errors")
+            self.metrics.incr(f"serve.errors.{type_name}")
+            timings["total_ms"] = _ms_since(started)
+            return error_response(
+                wire_type,
+                version,
+                ERROR_INTERNAL,
+                f"{type(exc).__name__}: {exc}",
+                timings=timings,
+                exception=exc,
+            )
+        timings["total_ms"] = _ms_since(started)
+        return response_class(wire_type)(
+            request_type=wire_type,
+            status=STATUS_OK,
+            store_version=version,
+            payload=payload,
+            timings=timings,
+        )
+
+    def _execute(
+        self,
+        request: Request,
+        pool: WorkerPool,
+        router: ShardRouter,
+        timings: dict[str, float],
+    ) -> list:
+        """Compute one request's payload under its dispatch policy."""
+        if isinstance(request, AnnotateRequest):
+            return self._execute_annotate(request, pool, timings)
+        if type(request).splittable:
+            return self._execute_split(request, pool, router, timings)
+        compute_started = time.perf_counter()
+        payload = pool.run(request)
+        timings["compute_ms"] = _ms_since(compute_started)
+        return payload
+
+    def _execute_split(
+        self,
+        request: Request,
+        pool: WorkerPool,
+        router: ShardRouter,
+        timings: dict[str, float],
+    ) -> list:
+        """Scatter a splittable request over shards, gather in order.
+
+        (version, pool, router) were captured by :meth:`serve`, so a
+        generation swap mid-request can't split the fan-out across two
+        snapshots or cache an old-fleet result under the new version.
+        """
+        scatter_started = time.perf_counter()
+        parts = router.scatter_request(request)
+        timings["scatter_ms"] = _ms_since(scatter_started)
+        self.metrics.incr("serve.shard_fanout", len(parts))
+        compute_started = time.perf_counter()
+        futures = [
+            (positions, pool.submit(shard_request))
+            for positions, shard_request in parts
+        ]
+        shard_results = [
+            (positions, future.result()) for positions, future in futures
+        ]
+        timings["compute_ms"] = _ms_since(compute_started)
+        gather_started = time.perf_counter()
+        merged = ShardRouter.gather(len(request.entities), shard_results)
+        timings["gather_ms"] = _ms_since(gather_started)
+        return merged
+
+    def _execute_annotate(
+        self, request: AnnotateRequest, pool: WorkerPool, timings: dict[str, float]
+    ) -> list[list[EntityLink]]:
+        """Annotation policy: batcher for one text, chunked fan-out for many.
+
+        A lone text rides the micro-batcher — concurrent callers' texts
+        coalesce into one cross-document scoring pass, and the calling
+        thread drains the queue so it never waits on the delay threshold.
+        Multi-text requests chunk at the micro-batch size and dispatch to
+        the pool concurrently; each worker scores its chunk as one batch.
+        Results come back in input order either way.
+        """
+        compute_started = time.perf_counter()
+        try:
+            if not request.texts:
+                return []
+            if len(request.texts) == 1:
+                if request.tier != self.tier:
+                    # The micro-batcher coalesces at the service's default
+                    # tier only; an off-tier single text dispatches direct
+                    # so the requested tier is honoured (and cached under
+                    # the right key).
+                    return pool.run(request)
+                future = self._batcher.submit(request.texts[0])
+                self._batcher.flush()
+                return [future.result()]
+            size = self._batcher.max_batch
+            texts = list(request.texts)
+            chunks = [texts[start : start + size] for start in range(0, len(texts), size)]
+            chunk_results = pool.map(
+                [
+                    AnnotateRequest(texts=tuple(chunk), tier=request.tier)
+                    for chunk in chunks
+                ]
+            )
+            return [links for chunk in chunk_results for links in chunk]
+        finally:
+            timings["compute_ms"] = _ms_since(compute_started)
+
+    # -- legacy facade methods (thin delegation over serve()) ------------------
 
     def random_walks(
         self,
@@ -153,86 +334,63 @@ class ServingService:
         seed: int = 0,
     ) -> list[list[list[str]]]:
         """Per-entity random walks (see ``entity_walk_seed`` semantics)."""
-        return self._serve_split(
+        return self.serve(
             WalkRequest(
                 entities=tuple(entities),
                 walk_length=walk_length,
                 walks_per_entity=walks_per_entity,
                 seed=seed,
             )
-        )
+        ).result()
 
     def neighborhood(
         self, entities: Sequence[str], hops: int = 1
     ) -> list[list[str]]:
         """Sorted k-hop neighborhood per entity."""
-        return self._serve_split(
+        return self.serve(
             NeighborhoodRequest(entities=tuple(entities), hops=hops)
-        )
+        ).result()
 
     def related_entities(
         self, entities: Sequence[str], k: int = 10
     ) -> list[list[tuple[str, float]]]:
         """Top-k traversal-embedding related entities per seed entity."""
-        return self._serve_split(RelatedRequest(entities=tuple(entities), k=k))
-
-    # -- annotation -----------------------------------------------------------
+        return self.serve(RelatedRequest(entities=tuple(entities), k=k)).result()
 
     def annotate(self, text: str) -> list[EntityLink]:
-        """Entity links for one text (coalesced with concurrent callers).
-
-        The text rides through the micro-batcher: when other threads have
-        texts in flight, they score in one cross-document batch.  The
-        calling thread then drains the queue — a lone caller never waits
-        on the delay threshold.
-        """
-        request = AnnotateRequest(texts=(text,), tier=self.tier)
-        # One generation per request: version is captured before compute,
-        # so a concurrent adopt_generation can never get an old-fleet
-        # result cached under the new version (worst case a late write
-        # lands under the old version — unreachable, LRU-evicted).
-        version = self.store_version
-        cached = self._cache.get(version, request)
-        if cached is not None:
-            self.metrics.incr("serve.requests")
-            return cached
-        with self.metrics.hist_timed("serve.latency"):
-            self.metrics.incr("serve.requests")
-            future = self._batcher.submit(text)
-            self._batcher.flush()
-            links = future.result()
-        self._cache.put(version, request, links)
-        return links
+        """Entity links for one text (coalesced with concurrent callers)."""
+        return self.serve(
+            AnnotateRequest(texts=(text,), tier=self.tier)
+        ).result()[0]
 
     def annotate_many(self, texts: Sequence[str]) -> list[list[EntityLink]]:
         """Entity links for many texts: batched across documents, spread
-        over the worker fleet.
+        over the worker fleet."""
+        return self.serve(
+            AnnotateRequest(texts=tuple(texts), tier=self.tier)
+        ).result()
 
-        Texts are chunked at the micro-batch size; chunks dispatch to the
-        pool concurrently, and each worker scores its chunk as one
-        cross-document batch.  Results come back in input order.
-        """
-        texts = list(texts)
-        if not texts:
-            return []
-        # Bulk results are deliberately NOT cached: the key would pin
-        # every input text plus every link list as one LRU entry, and a
-        # real traffic mix essentially never repeats the exact same text
-        # tuple.  Single-text annotate() caching covers the repeats that
-        # do happen.
-        with self.metrics.hist_timed("serve.latency"):
-            self.metrics.incr("serve.requests")
-            pool = self._pool
-            assert pool is not None
-            size = self._batcher.max_batch
-            chunks = [texts[start : start + size] for start in range(0, len(texts), size)]
-            chunk_results = pool.map(
-                [
-                    AnnotateRequest(texts=tuple(chunk), tier=self.tier)
-                    for chunk in chunks
-                ]
-            )
-            return [links for chunk in chunk_results for links in chunk]
+    def rank_facts(self, subjects: Sequence[str], predicate: str) -> list[list]:
+        """Importance-ranked values of ``(subject, predicate, ?)`` per subject."""
+        return self.serve(
+            FactRankRequest(entities=tuple(subjects), predicate=predicate)
+        ).result()
+
+    def verify_facts(self, candidates: Sequence[tuple[str, str, str]]) -> list:
+        """Calibrated verdicts for candidate triples (one batched pass)."""
+        return self.serve(
+            VerifyRequest(candidates=tuple(tuple(c) for c in candidates))
+        ).result()
+
+    def similarity(self, pairs: Sequence[tuple[str, str]]) -> list[float]:
+        """Cosine similarity per entity pair (0.0 for unknown entities)."""
+        return self.serve(
+            SimilarityRequest(pairs=tuple(tuple(p) for p in pairs))
+        ).result()
+
+    def knn(self, entities: Sequence[str], k: int = 10) -> list[list]:
+        """k nearest embedding-space entities per seed entity."""
+        return self.serve(KnnRequest(entities=tuple(entities), k=k)).result()
 
     def _annotate_flush(self, texts: list[str]) -> list[list[EntityLink]]:
         """MicroBatcher sink: one pooled cross-document annotation call."""
@@ -240,43 +398,58 @@ class ServingService:
         assert pool is not None
         return pool.run(AnnotateRequest(texts=tuple(texts), tier=self.tier))
 
-    # -- internals -------------------------------------------------------------
+    # -- cache warming ---------------------------------------------------------
 
-    def _serve_split(self, request: Request) -> list:
-        """Serve a splittable request: cache → scatter → fan out → gather.
+    def warm(self, requests: Iterable[Request]) -> int:
+        """Pre-compute ``requests`` into the query cache; returns count served.
 
-        (version, pool, router) are captured once: a generation swap
-        mid-request can't split the fan-out across two snapshots or cache
-        an old-fleet result under the new version.
+        Non-cacheable and already-cached requests are skipped.  Failed
+        requests are skipped too (warming must never take the service
+        down); they stay un-cached and will surface their error to the
+        first real caller.
         """
-        pool, router = self._pool, self._router
-        assert pool is not None and router is not None
-        version = pool.store_version
-        cached = self._cache.get(version, request)
-        if cached is not None:
-            self.metrics.incr("serve.requests")
-            return cached
-        with self.metrics.hist_timed("serve.latency"):
-            self.metrics.incr("serve.requests")
-            parts = router.scatter(request.entities)
-            self.metrics.incr("serve.shard_fanout", len(parts))
-            futures = [
-                (positions, pool.submit(sub_request(request, members)))
-                for _shard, positions, members in parts
-            ]
-            merged = ShardRouter.gather(
-                len(request.entities),
-                [(positions, future.result()) for positions, future in futures],
-            )
-        self._cache.put(version, request, merged)
-        return merged
+        warmed = 0
+        for request in requests:
+            if not (isinstance(request, REQUEST_TYPES) and request.cacheable()):
+                continue
+            if self._cache.get(self.store_version, request) is not None:
+                continue
+            if self.serve(request).ok:
+                warmed += 1
+        self.metrics.incr("serve.cache_warmed", warmed)
+        return warmed
+
+    def warm_from_query_log(
+        self, entries: Sequence[QueryLogEntry], *, min_count: int = 2, limit: int = 256
+    ) -> int:
+        """Warm the cache from real traffic traces (ROADMAP "cache warming").
+
+        Aggregates *answered* ``(entity, predicate)`` lookups from a
+        :mod:`repro.kg.query_logs` trace and pre-serves the fact-ranking
+        request each hot pair maps to — the query shape an assistant
+        issues when it re-asks a popular question.  Unanswered pairs are
+        demand for *missing* facts (ODKE's reactive path) and nothing in
+        the store can answer them, so they are not warmed.
+        """
+        return self.warm(
+            requests_from_query_log(entries, min_count=min_count, limit=limit)
+        )
 
     # -- observability ---------------------------------------------------------
 
     def stats(self) -> dict[str, float | str]:
-        """Requests, latency, hit rates and fleet shape, flattened."""
+        """Requests, latency, hit rates and fleet shape, flattened.
+
+        Per-request-type counters (``counter.serve.requests.<Type>``) and
+        latency histograms (``hist.serve.latency.<Type>.p95_s``) ride the
+        registry snapshot; ``serve.p95_s``/``serve.p50_s`` surface the
+        overall request-path histogram directly.
+        """
         out: dict[str, float | str] = dict(self.metrics.snapshot())
         assert self._pool is not None
+        latency = self.metrics.histograms.get("serve.latency")
+        out["serve.p50_s"] = latency.quantile(0.50) if latency is not None else 0.0
+        out["serve.p95_s"] = latency.quantile(0.95) if latency is not None else 0.0
         out["serve.workers"] = float(self._pool.num_workers)
         out["serve.mode"] = self._pool.mode
         out["serve.shards"] = float(self.num_shards)
@@ -288,6 +461,36 @@ class ServingService:
         out["serve.cache_hit_rate"] = self._cache.hit_rate
         out["serve.batch_pending"] = float(self._batcher.pending)
         return out
+
+
+def requests_from_query_log(
+    entries: Sequence[QueryLogEntry], *, min_count: int = 2, limit: int = 256
+) -> list[Request]:
+    """Cacheable requests implied by a query-log trace, hottest first.
+
+    Each answered ``(entity, predicate)`` pair seen at least ``min_count``
+    times becomes one single-subject :class:`FactRankRequest` — the exact
+    key a repeat of that lookup will probe the cache with.
+    """
+    from collections import Counter
+
+    counts: Counter[tuple[str, str]] = Counter(
+        (entry.entity, entry.predicate) for entry in entries if entry.answered
+    )
+    hot = [
+        (pair, count)
+        for pair, count in counts.items()
+        if count >= min_count
+    ]
+    hot.sort(key=lambda item: (-item[1], item[0]))
+    return [
+        FactRankRequest(entities=(entity,), predicate=predicate)
+        for (entity, predicate), _count in hot[:limit]
+    ]
+
+
+def _ms_since(started: float) -> float:
+    return (time.perf_counter() - started) * 1000.0
 
 
 def save_and_serve(

@@ -41,9 +41,13 @@ from repro.common.metrics import MetricsRegistry
 from repro.common.rng import stable_hash
 from repro.serving.requests import (
     AnnotateRequest,
+    FactRankRequest,
+    KnnRequest,
     NeighborhoodRequest,
     RelatedRequest,
     Request,
+    SimilarityRequest,
+    VerifyRequest,
     WalkRequest,
 )
 
@@ -81,6 +85,16 @@ class WorkerConfig:
     related_window: int = 3
     related_seed: int = 0
     verify: bool = True
+    # Embedding-family backends (fact ranking / verification / similarity /
+    # k-NN) train a shallow model from the bundle's fact log on first use.
+    # Training is fully seeded and build_dataset orders its vocabulary
+    # deterministically, so every replica — thread or subprocess — derives
+    # byte-identical vectors from the same bundle.
+    embedding_model: str = "distmult"
+    embedding_dim: int = 32
+    embedding_epochs: int = 15
+    embedding_seed: int = 0
+    calibration_fraction: float = 0.1
 
 
 class WorkerState:
@@ -94,6 +108,7 @@ class WorkerState:
         self.store_version = int(self.snapshot.manifest["store_version"])
         self._pipelines: dict[str, object] = {}
         self._related = None
+        self._embedding_suite = None
         # Lazy helper construction must be once-only when worker threads
         # share this state (thread mode).
         self._build_lock = threading.RLock()
@@ -139,6 +154,24 @@ class WorkerState:
                     )
         return self._related
 
+    def embedding_suite(self) -> "EmbeddingSuite":
+        """The embedding-family backends, trained on first use.
+
+        One deterministic build serves all three newly-servable request
+        families: a :class:`FactRanker` (ranking), a calibrated
+        :class:`FactVerifier` (verification) and an
+        :class:`EmbeddingService` (similarity / k-NN) share one trained
+        model, exactly as Figure 1's serving platform shares its
+        embedding service across knowledge services.
+        """
+        if self._embedding_suite is None:
+            with self._build_lock:
+                if self._embedding_suite is None:
+                    self._embedding_suite = build_embedding_suite(
+                        self.snapshot.store, self.config
+                    )
+        return self._embedding_suite
+
     # -- request execution ---------------------------------------------------
 
     def execute(self, request: Request) -> list:
@@ -151,6 +184,26 @@ class WorkerState:
             return self._related_entities(request)
         if isinstance(request, AnnotateRequest):
             return self.pipeline(request.tier).annotate_batch(list(request.texts))
+        if isinstance(request, FactRankRequest):
+            # One batched scoring pass across every subject in this
+            # (sub-)request; per-subject output identical to rank().
+            return self.embedding_suite().ranker.rank_many(
+                list(request.entities), request.predicate
+            )
+        if isinstance(request, VerifyRequest):
+            return self.embedding_suite().verifier.verify_batch(
+                list(request.candidates)
+            )
+        if isinstance(request, SimilarityRequest):
+            return self.embedding_suite().embedding_service.batch_similarity(
+                list(request.pairs)
+            )
+        if isinstance(request, KnnRequest):
+            service = self.embedding_suite().embedding_service
+            return [
+                service.knn(entity, k=request.k, exclude_self=request.exclude_self)
+                for entity in request.entities
+            ]
         raise TypeError(f"unsupported request type: {type(request).__name__}")
 
     def _walks(self, request: WalkRequest) -> list[list[list[str]]]:
@@ -186,6 +239,59 @@ def load_snapshot_state(bundle_dir: Path, *, verify: bool):
     from repro.kg.persistence import load_snapshot
 
     return load_snapshot(bundle_dir, verify=verify)
+
+
+@dataclass
+class EmbeddingSuite:
+    """One trained model shared by the embedding-family request backends."""
+
+    trained: object  # TrainedEmbeddings
+    ranker: object  # FactRanker
+    verifier: object  # FactVerifier (calibrated)
+    embedding_service: object  # EmbeddingService
+
+
+def build_embedding_suite(store, config: WorkerConfig) -> EmbeddingSuite:
+    """Train + calibrate the embedding-family backends from ``store``.
+
+    Deterministic in ``config``: ``build_dataset`` sorts its vocabulary,
+    the trainer and the split are seeded, and calibration corruptions
+    derive from the same seed — replicas agree bit-for-bit.  The verifier
+    calibrates on a held-out slice (``calibration_fraction``) so its
+    threshold is fit the way the deployment shape demands, falling back
+    to the full triple set when the store is too small to spare one.
+    """
+    from repro.embeddings.dataset import build_dataset
+    from repro.embeddings.inference import BatchInference
+    from repro.embeddings.trainer import TrainConfig, train_embeddings
+    from repro.services.fact_ranking import FactRanker
+    from repro.services.fact_verification import FactVerifier
+    from repro.vector.service import EmbeddingService
+
+    dataset = build_dataset(store)
+    train_ds, valid, _test = dataset.split(
+        valid_fraction=config.calibration_fraction,
+        test_fraction=0.0,
+        seed=config.embedding_seed,
+    )
+    trained = train_embeddings(
+        train_ds,
+        TrainConfig(
+            model=config.embedding_model,
+            dim=config.embedding_dim,
+            epochs=config.embedding_epochs,
+            seed=config.embedding_seed,
+        ),
+    )
+    verifier = FactVerifier(trained)
+    calibration = valid if len(valid) else dataset.triples
+    verifier.calibrate(calibration, seed=config.embedding_seed)
+    return EmbeddingSuite(
+        trained=trained,
+        ranker=FactRanker(store, BatchInference(trained)),
+        verifier=verifier,
+        embedding_service=EmbeddingService(trained),
+    )
 
 
 # -- executors ----------------------------------------------------------------

@@ -80,13 +80,30 @@ class EmbeddingService:
     def batch_similarity(
         self, pairs: list[tuple[str, str]]
     ) -> list[float]:
-        """Cosine similarities for entity pairs (0.0 for unknown entities)."""
-        out: list[float] = []
-        for left, right in pairs:
-            if not (self.has_entity(left) and self.has_entity(right)):
-                out.append(0.0)
-                continue
-            out.append(self.similarity(left, right))
+        """Cosine similarities for entity pairs (0.0 for unknown entities).
+
+        The serving layer's ``SimilarityRequest`` path: both sides of
+        every known pair gather into one matrix each, normalise in one
+        pass and reduce row-wise — no per-pair cache probes or metric
+        timers.  Unknown entities keep the scalar path's 0.0 contract.
+        """
+        if not pairs:
+            return []
+        known = [
+            i
+            for i, (left, right) in enumerate(pairs)
+            if self.has_entity(left) and self.has_entity(right)
+        ]
+        out = [0.0] * len(pairs)
+        if not known:
+            return out
+        with self.metrics.timed("similarity"):
+            index = self.trained.dataset.entity_index
+            emb = self.trained.model.entity_emb
+            lefts = normalize_rows(emb[[index[pairs[i][0]] for i in known]])
+            rights = normalize_rows(emb[[index[pairs[i][1]] for i in known]])
+            for slot, i in enumerate(known):
+                out[i] = float(lefts[slot] @ rights[slot])
         return out
 
     @property

@@ -37,6 +37,15 @@ class TestRank:
     def test_empty_for_unknown_subject(self, ranker):
         assert ranker.rank("entity:ghost", OCCUPATION) == []
 
+    def test_rank_many_matches_per_subject_rank(self, kg, ranker):
+        """The batched scoring pass is identical to one rank() per subject."""
+        subjects = sorted(kg.truth.occupation_order)[:6] + ["entity:ghost"]
+        batched = ranker.rank_many(subjects, OCCUPATION)
+        assert batched == [ranker.rank(subject, OCCUPATION) for subject in subjects]
+
+    def test_rank_many_empty(self, ranker):
+        assert ranker.rank_many([], OCCUPATION) == []
+
     def test_feature_breakdown_attached(self, kg, ranker):
         person = next(iter(kg.truth.occupation_order))
         ranked = ranker.rank(person, OCCUPATION)

@@ -54,6 +54,28 @@ class TestVerify:
         verdicts = verifier.verify_batch(candidates)
         assert len(verdicts) == 5
 
+    def test_batch_matches_per_candidate_verify(self, verifier, trained):
+        """The vectorised batch pass is bitwise-identical to verify()."""
+        dataset = trained.dataset
+        candidates = [
+            dataset.decode(*map(int, row)) for row in dataset.triples[:12]
+        ]
+        batched = verifier.verify_batch(candidates)
+        singles = [verifier.verify(*candidate) for candidate in candidates]
+        assert batched == singles
+
+    def test_batch_empty(self, verifier):
+        assert verifier.verify_batch([]) == []
+
+    def test_batch_requires_calibration(self, trained):
+        fresh = FactVerifier(trained.trained)
+        with pytest.raises(EmbeddingError):
+            fresh.verify_batch([("s", "p", "o")])
+
+    def test_batch_unknown_symbols_raise(self, verifier):
+        with pytest.raises(EmbeddingError):
+            verifier.verify_batch([("entity:ghost", "p", "entity:ghost")])
+
     def test_plausibility_in_unit_interval(self, verifier, trained):
         dataset = trained.dataset
         s, p, o = dataset.decode(*map(int, dataset.triples[0]))

@@ -124,3 +124,11 @@ class TestMetrics:
         assert counters["batcher.submitted"] == 3
         assert counters["batcher.flushes"] == 2
         assert counters["batcher.size_flushes"] == 1
+
+    def test_flush_latency_histogram(self):
+        flush = RecordingFlush()
+        batcher = MicroBatcher(flush, max_batch=2, max_delay_s=10.0)
+        batcher.annotate_many(["a", "b", "c"])
+        histogram = batcher.metrics.histograms["batcher.flush_latency"]
+        assert histogram.count == 2  # one full batch + the drained tail
+        assert histogram.max >= 0.0

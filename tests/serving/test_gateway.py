@@ -1,0 +1,456 @@
+"""Async gateway: admission control, deadlines, HTTP front door, wire parity."""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.serving.gateway import AsyncGateway, GatewayHTTPServer
+from repro.serving.protocol import (
+    decode_response,
+    encode_request,
+    encode_response,
+    payload_to_wire,
+)
+from repro.serving.requests import (
+    AnnotateRequest,
+    FactRankRequest,
+    KnnRequest,
+    NeighborhoodRequest,
+    RelatedRequest,
+    SimilarityRequest,
+    VerifyRequest,
+    WalkRequest,
+)
+from repro.serving.service import ServingService
+
+
+@pytest.fixture(scope="module")
+def service(bundle_dir) -> ServingService:
+    svc = ServingService(bundle_dir, mode="inline", num_shards=4)
+    yield svc
+    svc.close()
+
+
+@pytest.fixture(scope="module")
+def embed_symbols(service):
+    """(entities, predicate, candidate triples) known to the trained suite."""
+    suite = service._pool.local_state.embedding_suite()
+    dataset = suite.trained.dataset
+    triples = [dataset.decode(*map(int, row)) for row in dataset.triples[:3]]
+    return dataset.entities[:4], dataset.relations[0], triples
+
+
+@pytest.fixture(scope="module")
+def every_request(seed_entities, sample_texts, embed_symbols):
+    """One servable request of every type in the protocol vocabulary."""
+    entities, predicate, triples = embed_symbols
+    return [
+        WalkRequest(entities=tuple(seed_entities[:4]), seed=11),
+        NeighborhoodRequest(entities=tuple(seed_entities[:3]), hops=2),
+        RelatedRequest(entities=tuple(seed_entities[:2]), k=5),
+        AnnotateRequest(texts=(sample_texts[0],)),
+        FactRankRequest(entities=(triples[0][0],), predicate=predicate),
+        VerifyRequest(candidates=tuple(triples)),
+        SimilarityRequest(pairs=((entities[0], entities[1]), (entities[0], "ghost"))),
+        KnnRequest(entities=(entities[0],), k=3),
+    ]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def http_roundtrip(host: int, port: int, raw: bytes) -> tuple[bytes, bytes]:
+    """One raw HTTP exchange; returns (status line, body bytes)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(raw)
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionError:
+        pass
+    head, _, body = data.partition(b"\r\n\r\n")
+    return head.split(b"\r\n")[0], body
+
+
+def post_query(body: bytes) -> bytes:
+    return (
+        f"POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Length: {len(body)}\r\n\r\n"
+    ).encode() + body
+
+
+class TestServeAsync:
+    def test_matches_sync_serve(self, service, seed_entities):
+        request = WalkRequest(entities=tuple(seed_entities[:4]), seed=3)
+        expected = service.serve(request)
+
+        async def go():
+            gateway = AsyncGateway(service, max_concurrency=2, max_pending=4)
+            try:
+                return await gateway.serve_async(request)
+            finally:
+                gateway.close()
+
+        response = run(go())
+        assert response.ok
+        assert response.payload == expected.payload
+        assert response.store_version == expected.store_version
+
+    def test_stream_preserves_request_order(self, service, seed_entities):
+        requests = [
+            WalkRequest(entities=(entity,), seed=i)
+            for i, entity in enumerate(seed_entities[:6])
+        ]
+        expected = [service.serve(r).payload for r in requests]
+
+        async def go():
+            gateway = AsyncGateway(service, max_concurrency=2, max_pending=8)
+            try:
+                return [r async for r in gateway.serve_stream(requests)]
+            finally:
+                gateway.close()
+
+        responses = run(go())
+        assert [r.payload for r in responses] == expected
+        assert all(r.ok for r in responses)
+
+    def test_stream_pipelines_past_a_slow_head(self, service, seed_entities, monkeypatch):
+        """A slow first request must not idle the rest of the window:
+        completions behind the head keep refilling the pipeline."""
+        real_serve = service.serve
+        starts: dict[int, float] = {}
+
+        def slow_head_serve(request):
+            starts[request.seed] = time.perf_counter()
+            if request.seed == 0:
+                time.sleep(0.3)
+            return real_serve(request)
+
+        monkeypatch.setattr(service, "serve", slow_head_serve)
+        requests = [
+            WalkRequest(entities=(seed_entities[0],), seed=i) for i in range(5)
+        ]
+
+        async def go():
+            gateway = AsyncGateway(service, max_concurrency=2, max_pending=8)
+            try:
+                return [r async for r in gateway.serve_stream(requests)]
+            finally:
+                gateway.close()
+
+        responses = run(go())
+        recorded = dict(starts)
+        assert [r.payload for r in responses] == [
+            service.serve(r).payload for r in requests
+        ]
+        # Every later request began executing while the head was still
+        # sleeping — the old head-of-line behaviour would start request 2+
+        # only after ~0.3s.
+        assert all(recorded[i] - recorded[0] < 0.25 for i in range(1, 5)), recorded
+
+    def test_stream_larger_than_concurrency_cap(self, service, seed_entities):
+        # More requests than max_concurrency AND max_pending: the stream
+        # self-throttles instead of tripping the admission rejection.
+        requests = [WalkRequest(entities=(seed_entities[0],), seed=i) for i in range(9)]
+
+        async def go():
+            gateway = AsyncGateway(service, max_concurrency=2, max_pending=2)
+            try:
+                return [r async for r in gateway.serve_stream(requests)]
+            finally:
+                gateway.close()
+
+        responses = run(go())
+        assert len(responses) == 9
+        assert all(r.ok for r in responses)
+
+
+class TestBackpressure:
+    def test_queue_full_rejection_envelope(self, service, seed_entities, monkeypatch):
+        release = threading.Event()
+        real_serve = service.serve
+
+        def slow_serve(request):
+            release.wait(timeout=5.0)
+            return real_serve(request)
+
+        monkeypatch.setattr(service, "serve", slow_serve)
+        request = WalkRequest(entities=(seed_entities[0],), seed=99)
+
+        async def go():
+            gateway = AsyncGateway(service, max_concurrency=1, max_pending=1)
+            try:
+                first = asyncio.ensure_future(gateway.serve_async(request))
+                await asyncio.sleep(0.05)  # let it occupy the only slot
+                second = await gateway.serve_async(request)
+                release.set()
+                return await first, second
+            finally:
+                gateway.close()
+
+        first, second = run(go())
+        assert first.ok
+        assert not second.ok
+        assert second.error is not None and second.error.code == "overloaded"
+        assert service.metrics.counters["gateway.rejected"] == 1
+
+    def test_rejection_does_not_leak_pending(self, service, seed_entities):
+        async def go():
+            gateway = AsyncGateway(service, max_concurrency=1, max_pending=1)
+            try:
+                for _ in range(3):
+                    response = await gateway.serve_async(
+                        WalkRequest(entities=(seed_entities[0],), seed=1)
+                    )
+                    assert response.ok
+                return gateway.pending
+            finally:
+                gateway.close()
+
+        assert run(go()) == 0
+
+    def test_pending_must_cover_concurrency(self, service):
+        with pytest.raises(ValueError):
+            AsyncGateway(service, max_concurrency=4, max_pending=2)
+
+
+class TestDeadline:
+    def test_deadline_exceeded_envelope(self, service, seed_entities, monkeypatch):
+        real_serve = service.serve
+
+        def slow_serve(request):
+            time.sleep(0.3)
+            return real_serve(request)
+
+        monkeypatch.setattr(service, "serve", slow_serve)
+
+        async def go():
+            gateway = AsyncGateway(service, max_concurrency=1, max_pending=2)
+            try:
+                return await gateway.serve_async(
+                    WalkRequest(entities=(seed_entities[0],), seed=5),
+                    deadline_s=0.05,
+                )
+            finally:
+                gateway.close()
+
+        response = run(go())
+        assert not response.ok
+        assert response.error is not None
+        assert response.error.code == "deadline_exceeded"
+
+    def test_abandoned_work_keeps_its_concurrency_slot(
+        self, service, seed_entities, monkeypatch
+    ):
+        """A timed-out request's executor thread is still busy; its slot
+        must not be handed to the next request until the abandoned
+        computation finishes (or new requests would burn their deadlines
+        queued behind it)."""
+        real_serve = service.serve
+
+        def sometimes_slow(request):
+            if request.seed == 0:
+                time.sleep(0.3)
+            return real_serve(request)
+
+        monkeypatch.setattr(service, "serve", sometimes_slow)
+
+        async def go():
+            gateway = AsyncGateway(service, max_concurrency=1, max_pending=4)
+            try:
+                timed_out = await gateway.serve_async(
+                    WalkRequest(entities=(seed_entities[0],), seed=0),
+                    deadline_s=0.05,
+                )
+                follow_up_started = time.perf_counter()
+                follow_up = await gateway.serve_async(
+                    WalkRequest(entities=(seed_entities[0],), seed=1)
+                )
+                waited = time.perf_counter() - follow_up_started
+                return timed_out, follow_up, waited
+            finally:
+                gateway.close()
+
+        timed_out, follow_up, waited = run(go())
+        assert timed_out.error is not None
+        assert timed_out.error.code == "deadline_exceeded"
+        assert follow_up.ok
+        # The follow-up had to wait out the abandoned ~0.3s computation
+        # (of which ~0.05s elapsed before the deadline envelope returned).
+        assert waited >= 0.15, waited
+
+    def test_fast_request_beats_deadline(self, service, seed_entities):
+        async def go():
+            gateway = AsyncGateway(
+                service, max_concurrency=1, max_pending=2, default_deadline_s=30.0
+            )
+            try:
+                return await gateway.serve_async(
+                    WalkRequest(entities=(seed_entities[0],), seed=6)
+                )
+            finally:
+                gateway.close()
+
+        assert run(go()).ok
+
+
+class TestHTTPFrontDoor:
+    def test_wire_parity_every_request_type(self, service, every_request):
+        """AC pin: bytes -> Response -> bytes through the HTTP gateway,
+        payloads byte-identical to the direct in-process facade call."""
+
+        async def go():
+            gateway = AsyncGateway(service, max_concurrency=2, max_pending=8)
+            server = GatewayHTTPServer(gateway)
+            host, port = await server.start()
+            results = []
+            try:
+                for request in every_request:
+                    status_line, body = await http_roundtrip(
+                        host, port, post_query(encode_request(request))
+                    )
+                    results.append((request, status_line, body))
+            finally:
+                await server.stop()
+                gateway.close()
+            return results
+
+        for request, status_line, body in run(go()):
+            name = type(request).__name__
+            assert status_line == b"HTTP/1.1 200 OK", (name, body)
+            wire = decode_response(body)
+            assert wire.ok, (name, wire.error)
+            direct = service.serve(request)
+            assert direct.ok, name
+            wire_type = type(request).wire_type
+            # Byte-identical payloads: canonical JSON of the gateway's
+            # decoded payload vs the direct facade result.
+            gateway_bytes = json.dumps(
+                json.loads(body)["payload"], sort_keys=True
+            ).encode()
+            direct_bytes = json.dumps(
+                payload_to_wire(wire_type, direct.payload), sort_keys=True
+            ).encode()
+            assert gateway_bytes == direct_bytes, name
+            # And the response itself re-encodes stably (bytes -> Response
+            # -> bytes is the identity on the envelope's wire fields).
+            assert encode_response(decode_response(body)) == encode_response(wire)
+
+    def test_worker_error_becomes_envelope_not_traceback(self, service):
+        request = KnnRequest(entities=("entity:does-not-exist",), k=3)
+
+        async def go():
+            gateway = AsyncGateway(service, max_concurrency=2, max_pending=4)
+            server = GatewayHTTPServer(gateway)
+            host, port = await server.start()
+            try:
+                return await http_roundtrip(
+                    host, port, post_query(encode_request(request))
+                )
+            finally:
+                await server.stop()
+                gateway.close()
+
+        status_line, body = run(go())
+        assert status_line == b"HTTP/1.1 500 Internal Server Error"
+        assert b"Traceback" not in body
+        response = decode_response(body)
+        assert response.status == "error"
+        assert response.error.code == "internal"
+        assert "EmbeddingError" in response.error.message
+
+    def test_malformed_json_rejected(self, service):
+        async def go():
+            gateway = AsyncGateway(service, max_concurrency=1, max_pending=2)
+            server = GatewayHTTPServer(gateway)
+            host, port = await server.start()
+            try:
+                return await http_roundtrip(host, port, post_query(b"{nope"))
+            finally:
+                await server.stop()
+                gateway.close()
+
+        status_line, body = run(go())
+        assert status_line == b"HTTP/1.1 400 Bad Request"
+        envelope = json.loads(body)
+        assert envelope["status"] == "error"
+        assert envelope["error"]["code"] == "bad_request"
+
+    def test_negative_content_length_rejected(self, service):
+        async def go():
+            gateway = AsyncGateway(service, max_concurrency=1, max_pending=2)
+            server = GatewayHTTPServer(gateway)
+            host, port = await server.start()
+            try:
+                return await http_roundtrip(
+                    host,
+                    port,
+                    b"POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Length: -1\r\n\r\n",
+                )
+            finally:
+                await server.stop()
+                gateway.close()
+
+        status_line, body = run(go())
+        assert status_line == b"HTTP/1.1 400 Bad Request"
+        assert decode_response(body).error.code == "bad_request"
+
+    def test_unknown_schema_version_rejected(self, service):
+        bad = json.dumps(
+            {"protocol": 42, "type": "walk", "body": {"entities": ["x"]}}
+        ).encode()
+
+        async def go():
+            gateway = AsyncGateway(service, max_concurrency=1, max_pending=2)
+            server = GatewayHTTPServer(gateway)
+            host, port = await server.start()
+            try:
+                return await http_roundtrip(host, port, post_query(bad))
+            finally:
+                await server.stop()
+                gateway.close()
+
+        status_line, body = run(go())
+        assert status_line == b"HTTP/1.1 400 Bad Request"
+        assert json.loads(body)["error"]["code"] == "unsupported_version"
+
+    def test_healthz_and_stats(self, service):
+        async def go():
+            gateway = AsyncGateway(service, max_concurrency=1, max_pending=2)
+            server = GatewayHTTPServer(gateway)
+            host, port = await server.start()
+            try:
+                health = await http_roundtrip(
+                    host, port, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+                )
+                stats = await http_roundtrip(
+                    host, port, b"GET /stats HTTP/1.1\r\nHost: t\r\n\r\n"
+                )
+                missing = await http_roundtrip(
+                    host, port, b"GET /nowhere HTTP/1.1\r\nHost: t\r\n\r\n"
+                )
+                wrong_method = await http_roundtrip(
+                    host, port, b"GET /v1/query HTTP/1.1\r\nHost: t\r\n\r\n"
+                )
+            finally:
+                await server.stop()
+                gateway.close()
+            return health, stats, missing, wrong_method
+
+        (h_status, h_body), (s_status, s_body), missing, wrong_method = run(go())
+        assert h_status == b"HTTP/1.1 200 OK"
+        health = json.loads(h_body)
+        assert health["status"] == "ok"
+        assert health["store_version"] == service.store_version
+        assert s_status == b"HTTP/1.1 200 OK"
+        assert "serve.workers" in json.loads(s_body)
+        # Transport-level failures are full envelopes the codec can parse.
+        assert missing[0] == b"HTTP/1.1 404 Not Found"
+        assert decode_response(missing[1]).error.code == "bad_request"
+        assert wrong_method[0] == b"HTTP/1.1 405 Method Not Allowed"
+        assert decode_response(wrong_method[1]).error.code == "bad_request"

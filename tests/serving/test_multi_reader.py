@@ -162,3 +162,28 @@ class TestProcessReaders:
         for walks, spans in replies:
             assert walks == baseline[0]
             assert spans == baseline[1]
+
+    def test_embedding_backends_identical_across_modes(self, bundle_dir):
+        """The lazily trained embedding suite is a deterministic replica:
+        a subprocess worker's rankings/verdicts/similarities must be
+        bit-identical to the in-process one's."""
+        from repro.serving.requests import (
+            FactRankRequest,
+            SimilarityRequest,
+            VerifyRequest,
+        )
+        from repro.serving.service import ServingService
+
+        with ServingService(bundle_dir) as inline_svc:
+            suite = inline_svc._pool.local_state.embedding_suite()
+            dataset = suite.trained.dataset
+            triples = [dataset.decode(*map(int, row)) for row in dataset.triples[:3]]
+            requests = [
+                FactRankRequest(entities=(triples[0][0],), predicate=dataset.relations[0]),
+                VerifyRequest(candidates=tuple(triples)),
+                SimilarityRequest(pairs=((dataset.entities[0], dataset.entities[1]),)),
+            ]
+            inline_answers = [inline_svc.serve(r).payload for r in requests]
+        with ServingService(bundle_dir, mode="process", num_workers=1) as proc_svc:
+            proc_answers = [proc_svc.serve(r).payload for r in requests]
+        assert proc_answers == inline_answers

@@ -92,3 +92,21 @@ class TestSubRequests:
         b = WalkRequest(entities=("x", "y"), seed=1)
         assert a == b and hash(a) == hash(b)
         assert len({a, b}) == 1
+
+    def test_scatter_request_covers_and_narrows(self):
+        router = ShardRouter(num_shards=3)
+        request = WalkRequest(entities=tuple(f"e{i}" for i in range(8)), seed=4)
+        parts = router.scatter_request(request)
+        covered: list[int] = []
+        for positions, shard_request in parts:
+            assert type(shard_request) is WalkRequest
+            assert shard_request.seed == 4
+            assert shard_request.entities == tuple(
+                request.entities[p] for p in positions
+            )
+            covered.extend(positions)
+        assert sorted(covered) == list(range(8))
+
+    def test_scatter_request_rejects_non_splittable(self):
+        with pytest.raises(TypeError):
+            ShardRouter(num_shards=2).scatter_request(AnnotateRequest(texts=("t",)))

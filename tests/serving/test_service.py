@@ -3,7 +3,22 @@
 import pytest
 
 from repro.kg.persistence import save_snapshot
-from repro.serving.service import ServingService, save_and_serve
+from repro.kg.query_logs import QueryLogEntry
+from repro.serving.requests import (
+    AnnotateRequest,
+    FactRankRequest,
+    FactRankResponse,
+    KnnRequest,
+    SimilarityRequest,
+    VerifyRequest,
+    WalkRequest,
+    WalkResponse,
+)
+from repro.serving.service import (
+    ServingService,
+    requests_from_query_log,
+    save_and_serve,
+)
 from repro.serving.worker import entity_walk_seed
 
 
@@ -147,6 +162,222 @@ class TestStatsSurface:
         with ServingService(bundle_dir, num_shards=4) as svc:
             svc.random_walks(seed_entities)
             assert 1 <= svc.metrics.counters["serve.shard_fanout"] <= 4
+
+
+@pytest.fixture(scope="module")
+def embed_symbols(service):
+    """(entities, predicate, candidate triples) the trained suite knows."""
+    suite = service._pool.local_state.embedding_suite()
+    dataset = suite.trained.dataset
+    triples = [dataset.decode(*map(int, row)) for row in dataset.triples[:4]]
+    return dataset.entities[:4], dataset.relations[0], triples
+
+
+class TestServeDispatch:
+    def test_serve_returns_typed_envelopes(self, service, seed_entities):
+        response = service.serve(WalkRequest(entities=tuple(seed_entities[:3]), seed=2))
+        assert isinstance(response, WalkResponse)
+        assert response.ok
+        assert response.request_type == "walk"
+        assert response.store_version == service.store_version
+        assert response.timings["total_ms"] >= 0.0
+        assert {"scatter_ms", "compute_ms", "gather_ms"} <= set(response.timings)
+
+    def test_cache_hit_marks_envelope(self, service, seed_entities):
+        request = WalkRequest(entities=tuple(seed_entities[:2]), seed=41)
+        first = service.serve(request)
+        second = service.serve(request)
+        assert not first.cached
+        assert second.cached
+        assert second.payload == first.payload
+
+    def test_delegating_wrappers_match_serve(self, service, seed_entities):
+        request = WalkRequest(entities=tuple(seed_entities[:3]), seed=8)
+        assert service.random_walks(seed_entities[:3], seed=8) == service.serve(request).payload
+
+    def test_fact_ranking_served(self, service, embed_symbols):
+        _entities, predicate, triples = embed_symbols
+        subjects = [triples[0][0], triples[1][0]]
+        response = service.serve(
+            FactRankRequest(entities=tuple(subjects), predicate=predicate)
+        )
+        assert isinstance(response, FactRankResponse)
+        assert response.ok
+        assert len(response.payload) == 2
+        assert service.rank_facts(subjects, predicate) == response.payload
+
+    def test_fact_ranking_matches_direct_backend(self, service, embed_symbols):
+        _entities, predicate, triples = embed_symbols
+        suite = service._pool.local_state.embedding_suite()
+        served = service.rank_facts([triples[0][0]], predicate)
+        assert served[0] == suite.ranker.rank(triples[0][0], predicate)
+
+    def test_verification_served(self, service, embed_symbols):
+        _entities, _predicate, triples = embed_symbols
+        verdicts = service.verify_facts(triples)
+        assert len(verdicts) == len(triples)
+        suite = service._pool.local_state.embedding_suite()
+        assert verdicts == [suite.verifier.verify(*c) for c in triples]
+
+    def test_similarity_and_knn_served(self, service, embed_symbols):
+        entities, _predicate, _triples = embed_symbols
+        sims = service.similarity([(entities[0], entities[1]), (entities[0], "ghost")])
+        assert len(sims) == 2
+        assert -1.0 <= sims[0] <= 1.0
+        assert sims[1] == 0.0
+        hits = service.knn([entities[0]], k=3)
+        assert len(hits) == 1
+        assert entities[0] not in {hit.key for hit in hits[0]}
+
+    def test_error_becomes_envelope_and_wrapper_raises(self, service):
+        from repro.common.errors import EmbeddingError
+
+        response = service.serve(KnnRequest(entities=("entity:ghost",), k=3))
+        assert not response.ok
+        assert response.error is not None and response.error.code == "internal"
+        assert isinstance(response.exception, EmbeddingError)
+        with pytest.raises(EmbeddingError):
+            service.knn(["entity:ghost"], k=3)
+
+    def test_unsupported_request_type(self, service):
+        response = service.serve("not a request")
+        assert not response.ok
+        assert response.error.code == "unsupported_type"
+
+    def test_splittable_requests_are_shard_invariant(self, bundle_dir, embed_symbols):
+        _entities, predicate, triples = embed_symbols
+        subjects = tuple(sorted({s for s, _p, _o in triples}))
+        results = []
+        for num_shards in (1, 5):
+            with ServingService(bundle_dir, num_shards=num_shards) as svc:
+                results.append(
+                    svc.serve(
+                        FactRankRequest(entities=subjects, predicate=predicate)
+                    ).payload
+                )
+        assert results[0] == results[1]
+
+
+class TestAnnotationTiers:
+    def test_single_text_honours_request_tier(self, bundle_dir, sample_texts):
+        """A single-text request at a non-default tier must bypass the
+        (default-tier) micro-batcher and be served — and cached — at the
+        tier it asked for."""
+        with ServingService(bundle_dir, tier="full") as svc:
+            text = sample_texts[0]
+            lite_pipeline = svc._pool.local_state.snapshot.annotation_pipeline(
+                tier="lite"
+            )
+            expected = lite_pipeline.annotate(text)
+            response = svc.serve(AnnotateRequest(texts=(text,), tier="lite"))
+            assert response.ok
+            assert [
+                (link.mention.start, link.mention.end, link.entity, link.score)
+                for link in response.payload[0]
+            ] == [
+                (link.mention.start, link.mention.end, link.entity, link.score)
+                for link in expected
+            ]
+            # Cached under the lite key, not poisoned by the full tier.
+            again = svc.serve(AnnotateRequest(texts=(text,), tier="lite"))
+            assert again.cached
+            assert [link.score for link in again.payload[0]] == [
+                link.score for link in expected
+            ]
+
+
+class TestCacheAdmission:
+    def test_multi_text_annotation_not_cached(self, bundle_dir, sample_texts):
+        with ServingService(bundle_dir) as svc:
+            svc.annotate_many(sample_texts[:3])
+            assert len(svc._cache) == 0
+            svc.annotate(sample_texts[0])
+            assert len(svc._cache) == 1
+
+    def test_verify_results_cached(self, service, embed_symbols):
+        _entities, _predicate, triples = embed_symbols
+        request = VerifyRequest(candidates=tuple(triples[:2]))
+        service.serve(request)
+        assert service.serve(request).cached
+
+    def test_similarity_results_cached(self, service, embed_symbols):
+        entities, _predicate, _triples = embed_symbols
+        request = SimilarityRequest(pairs=((entities[0], entities[1]),))
+        service.serve(request)
+        assert service.serve(request).cached
+
+
+class TestCacheWarming:
+    def test_warm_precomputes_requests(self, bundle_dir, seed_entities):
+        with ServingService(bundle_dir) as svc:
+            requests = [
+                WalkRequest(entities=(entity,), seed=3) for entity in seed_entities[:4]
+            ]
+            warmed = svc.warm(requests)
+            assert warmed == 4
+            assert all(svc.serve(r).cached for r in requests)
+            # A second warm pass finds everything cached already.
+            assert svc.warm(requests) == 0
+
+    def test_warm_skips_non_cacheable(self, bundle_dir, sample_texts):
+        with ServingService(bundle_dir) as svc:
+            warmed = svc.warm([AnnotateRequest(texts=tuple(sample_texts[:2]))])
+            assert warmed == 0
+            assert len(svc._cache) == 0
+
+    def test_requests_from_query_log_ranks_answered_demand(self):
+        entries = [
+            QueryLogEntry(entity="e1", predicate="p", timestamp=1.0, answered=True),
+            QueryLogEntry(entity="e1", predicate="p", timestamp=2.0, answered=True),
+            QueryLogEntry(entity="e1", predicate="p", timestamp=3.0, answered=True),
+            QueryLogEntry(entity="e2", predicate="p", timestamp=4.0, answered=True),
+            QueryLogEntry(entity="e2", predicate="p", timestamp=5.0, answered=True),
+            QueryLogEntry(entity="e3", predicate="p", timestamp=6.0, answered=False),
+            QueryLogEntry(entity="e3", predicate="p", timestamp=7.0, answered=False),
+            QueryLogEntry(entity="e4", predicate="p", timestamp=8.0, answered=True),
+        ]
+        requests = requests_from_query_log(entries, min_count=2)
+        assert requests == [
+            FactRankRequest(entities=("e1",), predicate="p"),
+            FactRankRequest(entities=("e2",), predicate="p"),
+        ]
+
+    def test_warm_from_query_log_end_to_end(self, bundle_dir, embed_symbols):
+        _entities, predicate, triples = embed_symbols
+        subject = triples[0][0]
+        entries = [
+            QueryLogEntry(entity=subject, predicate=predicate, timestamp=float(i), answered=True)
+            for i in range(3)
+        ]
+        with ServingService(bundle_dir) as svc:
+            warmed = svc.warm_from_query_log(entries, min_count=2)
+            assert warmed == 1
+            response = svc.serve(
+                FactRankRequest(entities=(subject,), predicate=predicate)
+            )
+            assert response.cached
+
+
+class TestPerTypeStats:
+    def test_per_request_type_counters_and_p95(self, bundle_dir, seed_entities, sample_texts):
+        with ServingService(bundle_dir, num_shards=4) as svc:
+            svc.random_walks(seed_entities[:4])
+            svc.random_walks(seed_entities[:4], seed=1)
+            svc.annotate(sample_texts[0])
+            stats = svc.stats()
+        assert stats["counter.serve.requests.WalkRequest"] == 2.0
+        assert stats["counter.serve.requests.AnnotateRequest"] == 1.0
+        assert stats["hist.serve.latency.WalkRequest.count"] == 2.0
+        assert stats["hist.serve.latency.WalkRequest.p95_s"] >= 0.0
+        assert stats["hist.serve.latency.AnnotateRequest.count"] == 1.0
+        assert stats["serve.p95_s"] >= stats["serve.p50_s"] >= 0.0
+
+    def test_error_counters(self, bundle_dir):
+        with ServingService(bundle_dir) as svc:
+            svc.serve(KnnRequest(entities=("entity:ghost",), k=2))
+            stats = svc.stats()
+        assert stats["counter.serve.errors"] == 1.0
+        assert stats["counter.serve.errors.KnnRequest"] == 1.0
 
 
 class TestSaveAndServe:
