@@ -1,13 +1,22 @@
-"""F3-inf — Figure 3 inference path: the embedding service's k-NN.
+"""F3-inf / F-embed — embedding service inference and cold-start paths.
 
 Paper claim (§1): the embedding service "allows similarity calculations as
 well as efficient k-nearest-neighbour retrieval".  We sweep the IVF index's
-``nprobe`` against the exact index, reporting the latency/recall frontier.
+``nprobe`` against the exact index, reporting the latency/recall frontier
+(F3-inf), and benchmark the persisted embedding bundle layer (F-embed):
+replica cold start via mmap adoption vs in-process training, and ANN vs
+exact k-NN throughput under a recall@10 floor.
 """
 
+import time
+
+import numpy as np
 import pytest
 
-from benchmarks.conftest import record_result
+from benchmarks.conftest import check_floor, record_result
+from repro.embeddings.persistence import adopt_embedding_suite, load_embedding_layer
+from repro.embeddings.suite import ADOPTED, EmbeddingSuiteConfig, build_embedding_suite
+from repro.kg.persistence import EMBEDDINGS_DIR, save_snapshot
 from repro.vector.index import ExactIndex, IVFIndex, recall_at_k
 
 CONFIGS = [
@@ -68,4 +77,169 @@ def test_batch_inference_throughput(benchmark, bench_trained):
     record_result(
         "F3-inf-batch",
         {"candidates": len(candidates), "scored_per_s": int(per_sec)},
+    )
+
+
+# -- F-embed: the persisted embedding bundle layer ---------------------------
+
+
+@pytest.fixture(scope="module")
+def embed_bundle(bench_kg, tmp_path_factory):
+    """A snapshot bundle with the embedding layer persisted at save time."""
+    config = EmbeddingSuiteConfig()
+    directory = tmp_path_factory.mktemp("embed-bundle")
+    save_snapshot(bench_kg.store, directory, embedding_config=config)
+    return directory, config
+
+
+def _time_ms(fn, repeats: int = 1) -> tuple[float, object]:
+    """Median wall-clock ms over ``repeats`` runs, plus the last result."""
+    samples, result = [], None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        samples.append((time.perf_counter() - started) * 1e3)
+    return sorted(samples)[len(samples) // 2], result
+
+
+def test_cold_start_adopt_vs_train(bench_kg, embed_bundle):
+    """Replica cold start: mmap-adopting the persisted layer vs retraining.
+
+    The layer turns the embedding-family cold start from a training run
+    into an mmap + array-slicing exercise; the floor is a 5x speedup.
+    """
+    directory, config = embed_bundle
+    train_ms, trained_suite = _time_ms(
+        lambda: build_embedding_suite(bench_kg.store, config)
+    )
+
+    def adopt():
+        layer = load_embedding_layer(directory / EMBEDDINGS_DIR)
+        return adopt_embedding_suite(bench_kg.store, layer, config)
+
+    adopt_ms, adopted_suite = _time_ms(adopt, repeats=5)
+    assert adopted_suite is not None and adopted_suite.source == ADOPTED
+
+    # Parity guard (not a floor): the adopted suite must answer exactly
+    # like the freshly trained one — same bundle, same recipe, same bytes.
+    entities = adopted_suite.trained.dataset.entities[:20]
+    assert [
+        [(h.key, h.score) for h in hits]
+        for hits in adopted_suite.embedding_service.knn_many(entities, k=10)
+    ] == [
+        [(h.key, h.score) for h in hits]
+        for hits in trained_suite.embedding_service.knn_many(entities, k=10)
+    ]
+
+    speedup = train_ms / adopt_ms if adopt_ms > 0 else float("inf")
+    record_result(
+        "F-embed",
+        {"op": "cold_start", "mode": "train", "cold_start_ms": round(train_ms, 2)},
+    )
+    record_result(
+        "F-embed",
+        {
+            "op": "cold_start",
+            "mode": "adopt",
+            "cold_start_ms": round(adopt_ms, 2),
+            "speedup_vs_train": round(speedup, 1),
+        },
+    )
+    check_floor(
+        speedup >= 5.0,
+        f"mmap adoption must be >=5x faster than training, got {speedup:.1f}x",
+    )
+
+
+def test_serving_knn_ann_vs_exact(bench_kg, embed_bundle):
+    """ANN k-NN over the persisted layer vs exact scan, with a recall floor."""
+    directory, config = embed_bundle
+    layer = load_embedding_layer(directory / EMBEDDINGS_DIR)
+    suite = adopt_embedding_suite(bench_kg.store, layer, config)
+    assert suite is not None
+
+    keys, matrix = suite.trained.all_entity_vectors()
+    exact = ExactIndex()
+    exact.add(keys, matrix)
+    ann = suite.embedding_service.index
+    queries = matrix[: min(100, len(keys))]
+
+    recall = recall_at_k(ann, exact, queries, k=10)
+    check_floor(
+        recall >= 0.9,
+        f"adopted IVF recall@10 must be >=0.9 at default nprobe, got {recall:.3f}",
+    )
+
+    for name, index in (("exact", exact), (f"ivf-nprobe{ann.nprobe}-adopted", ann)):
+        index.search_many(queries, k=10)  # warm-up: page in the mmapped rows
+        best = min(
+            _time_ms(lambda: index.search_many(queries, k=10))[0] for _ in range(5)
+        )
+        per_query_us = best / len(queries) * 1e3
+        record_result(
+            "F-embed",
+            {
+                "op": "knn_serve",
+                "index": name,
+                "mean_query_us": round(per_query_us, 1),
+                "recall_at_10": 1.0 if index is exact else round(float(recall), 3),
+                "num_vectors": len(keys),
+            },
+        )
+
+
+@pytest.mark.parametrize("quantization", [None, "int8"])
+def test_ann_sublinear_at_scale(quantization):
+    """IVF beats the exact scan once the vector count outgrows the KG.
+
+    A clustered synthetic world (64 centers, 20k vectors) stands in for a
+    production-sized entity space; the probe visits ~nprobe/nlist of the
+    rows, so ANN throughput must scale sublinearly vs the exact scan.
+    """
+    rng = np.random.default_rng(5)
+    num_vectors, dim = 20_000, 32
+    centers = rng.standard_normal((64, dim)) * 3.0
+    assignment = rng.integers(0, 64, size=num_vectors)
+    matrix = centers[assignment] + rng.standard_normal((num_vectors, dim)) * 0.4
+    keys = [f"v{i}" for i in range(num_vectors)]
+
+    exact = ExactIndex()
+    exact.add(keys, matrix)
+    ann = IVFIndex(nlist=128, nprobe=8, seed=3, quantization=quantization)
+    ann.add(keys, matrix)
+    ann.train()
+
+    queries = matrix[:100]
+    recall = recall_at_k(ann, exact, queries, k=10)
+    timings = {}
+    for name, index in (("exact", exact), ("ann", ann)):
+        index.search_many(queries, k=10)  # warm-up: page in rows/postings
+        best = min(
+            _time_ms(lambda: index.search_many(queries, k=10))[0] for _ in range(5)
+        )
+        timings[name] = best / len(queries) * 1e3
+
+    speedup = timings["exact"] / timings["ann"]
+    label = "ivf-int8-20k" if quantization else "ivf-fp32-20k"
+    record_result(
+        "F-embed",
+        {
+            "op": "knn_scale",
+            "index": label,
+            "mean_query_us": round(timings["ann"], 1),
+            "exact_query_us": round(timings["exact"], 1),
+            "speedup_vs_exact": round(speedup, 1),
+            "recall_at_10": round(float(recall), 3),
+            "num_vectors": num_vectors,
+        },
+    )
+    check_floor(recall >= 0.9, f"recall@10 {recall:.3f} below 0.9 at 20k vectors")
+    # int8's two-stage scan (int8 shortlist + exact re-rank) trades some
+    # of the fp32 speedup for 4x smaller resident rows, so it gets a
+    # gentler floor.
+    floor = 2.0 if quantization is None else 1.3
+    check_floor(
+        speedup >= floor,
+        f"ANN ({label}) must be >={floor}x faster than exact at 20k vectors, "
+        f"got {speedup:.1f}x",
     )

@@ -2,8 +2,10 @@
 """CI smoke: boot the HTTP gateway and drive one request of every type.
 
 Builds a small synthetic world (``GATEWAY_SMOKE_SCALE``, default 0.05),
-persists it as a snapshot bundle, boots the asyncio HTTP front door on an
-ephemeral port and issues one wire request per protocol type — walks,
+persists it as a snapshot bundle — embedding layer included, so boot
+exercises mmap adoption rather than training — boots the asyncio HTTP
+front door on an ephemeral port and issues one wire request per protocol
+type — walks,
 neighborhoods, related entities, annotation, fact ranking, verification,
 similarity and k-NN — plus a malformed-JSON and a wrong-schema-version
 probe.  Every answer must be a well-formed response envelope: ``ok`` with
@@ -22,6 +24,7 @@ import sys
 import tempfile
 from pathlib import Path
 
+from repro.embeddings.suite import ADOPTED
 from repro.kg.generator import SyntheticKGConfig, generate_kg
 from repro.kg.persistence import save_snapshot
 from repro.serving.gateway import AsyncGateway, GatewayHTTPServer
@@ -62,7 +65,7 @@ def build_requests(service: ServingService) -> list:
     state = service._pool.local_state
     entities = sorted(state.snapshot.store.entity_ids())[:8]
     names = [state.snapshot.store.entity(e).name for e in entities[:3]]
-    suite = state.embedding_suite()  # trains the embedding-family backends
+    suite = state.embedding_suite()  # adopts the persisted embedding layer
     dataset = suite.trained.dataset
     triples = [dataset.decode(*map(int, row)) for row in dataset.triples[:3]]
     return [
@@ -84,6 +87,16 @@ async def smoke(service: ServingService) -> list[str]:
     host, port = await server.start()
     print(f"gateway up on http://{host}:{port} (store_version={service.store_version})")
     try:
+        # The bundle carries a persisted embedding layer; the worker must
+        # mmap-adopt it, never retrain at boot.
+        suite = service._pool.local_state.embedding_suite()
+        if suite.source != ADOPTED:
+            failures.append(
+                f"embedding suite was {suite.source!r}, expected adoption "
+                "from the persisted layer"
+            )
+        else:
+            print("  ok  embedding layer adopted (no boot-time training)")
         for request in build_requests(service):
             name = type(request).__name__
             status, body = await http_post(

@@ -28,6 +28,26 @@ def create_model(
     return cls(num_entities, num_relations, config or ModelConfig())
 
 
+def adopt_model(
+    name: str,
+    entity_emb,
+    relation_emb,
+    config: ModelConfig,
+) -> KGEmbeddingModel:
+    """Adopt persisted parameter matrices into a model by name.
+
+    The zero-copy counterpart of :func:`create_model`: no rng init, the
+    (typically memory-mapped) matrices are aliased as-is.
+    """
+    try:
+        cls = _MODELS[name]
+    except KeyError:
+        raise EmbeddingError(
+            f"unknown model {name!r}; available: {sorted(_MODELS)}"
+        ) from None
+    return cls.adopt(entity_emb, relation_emb, config)
+
+
 def available_models() -> list[str]:
     """Names of all registered model classes."""
     return sorted(_MODELS)
@@ -40,6 +60,7 @@ __all__ = [
     "KGEmbeddingModel",
     "ModelConfig",
     "TransE",
+    "adopt_model",
     "available_models",
     "create_model",
 ]

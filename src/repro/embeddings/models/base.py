@@ -65,6 +65,35 @@ class KGEmbeddingModel:
         """Width of the parameter matrices (== ``config.dim`` by default)."""
         return self.config.dim
 
+    @classmethod
+    def adopt(
+        cls, entity_emb: np.ndarray, relation_emb: np.ndarray, config: ModelConfig
+    ) -> "KGEmbeddingModel":
+        """Wrap existing parameter matrices without the random init.
+
+        The persisted-snapshot path: matrices are aliased (typically
+        memory-mapped read-only), never copied, and the rng draw of
+        ``__init__`` is skipped entirely — adopting is O(1) regardless of
+        vocabulary size.  Scoring only reads the matrices, so an adopted
+        model answers bit-for-bit like the one that trained them.
+        """
+        entity_emb = np.atleast_2d(entity_emb)
+        relation_emb = np.atleast_2d(relation_emb)
+        model = object.__new__(cls)
+        model.num_entities = len(entity_emb)
+        model.num_relations = len(relation_emb)
+        model.config = config
+        expected = model.storage_dim
+        if entity_emb.shape[1] != expected or relation_emb.shape[1] != expected:
+            raise EmbeddingError(
+                f"adopted matrices are {entity_emb.shape[1]}/"
+                f"{relation_emb.shape[1]} wide; {cls.name} at dim "
+                f"{config.dim} stores {expected}"
+            )
+        model.entity_emb = entity_emb
+        model.relation_emb = relation_emb
+        return model
+
     # -- scoring -----------------------------------------------------------
 
     def score(self, h: np.ndarray, r: np.ndarray, t: np.ndarray) -> np.ndarray:

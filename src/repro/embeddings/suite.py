@@ -1,0 +1,144 @@
+"""The embedding-family backend suite: one trained model, four services.
+
+Figure 1's serving platform shares its embedding service across knowledge
+services; this module is that sharing point.  One deterministic build
+produces a :class:`FactRanker` (ranking), a calibrated
+:class:`FactVerifier` (verification) and an :class:`EmbeddingService`
+(similarity / k-NN, behind a trained :class:`IVFIndex`) over a single
+trained model.
+
+The build recipe lives in :class:`EmbeddingSuiteConfig` so replicas and
+the persisted embedding layer (:mod:`repro.embeddings.persistence`) agree
+on exactly what was trained: every field that affects the *trained state*
+is part of the adopt-match recipe, while query-time knobs (``knn_nprobe``,
+``knn_rerank_factor``) ride along without invalidating a persisted layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.embeddings.dataset import build_dataset
+from repro.embeddings.inference import BatchInference
+from repro.embeddings.trainer import TrainConfig, TrainedEmbeddings, train_embeddings
+from repro.kg.store import TripleStore
+from repro.services.fact_ranking import FactRanker
+from repro.services.fact_verification import FactVerifier
+from repro.vector.index import IVFIndex
+from repro.vector.service import EmbeddingService
+
+TRAINED = "trained"
+ADOPTED = "adopted"
+
+# Build-recipe fields: a persisted layer adopts only when all of these
+# match the worker's config.  nprobe/rerank_factor are deliberately
+# excluded — they select which candidates are probed at query time, not
+# what was trained, so retuning them must not force a retrain.
+RECIPE_FIELDS = (
+    "model",
+    "dim",
+    "epochs",
+    "seed",
+    "calibration_fraction",
+    "knn_nlist",
+    "knn_kmeans_iterations",
+    "knn_seed",
+    "knn_quantization",
+)
+
+
+@dataclass(frozen=True)
+class EmbeddingSuiteConfig:
+    """Deterministic build recipe of the embedding-family backends."""
+
+    model: str = "distmult"
+    dim: int = 32
+    epochs: int = 15
+    seed: int = 0
+    calibration_fraction: float = 0.1
+    knn_nlist: int = 16
+    knn_nprobe: int = 4
+    knn_kmeans_iterations: int = 8
+    knn_seed: int = 0
+    knn_quantization: str | None = None
+    knn_rerank_factor: int = 4
+
+    def recipe(self) -> dict[str, Any]:
+        """The adopt-match subset of this config (JSON-safe values only)."""
+        return {name: getattr(self, name) for name in RECIPE_FIELDS}
+
+
+@dataclass
+class EmbeddingSuite:
+    """One trained model shared by the embedding-family request backends."""
+
+    trained: TrainedEmbeddings
+    ranker: FactRanker
+    verifier: FactVerifier  # calibrated
+    embedding_service: EmbeddingService
+    source: str = TRAINED  # "trained" (built in-process) | "adopted" (mmapped)
+
+
+def build_knn_index(trained: TrainedEmbeddings, config: EmbeddingSuiteConfig) -> IVFIndex:
+    """A ready-trained IVF index over every entity vector of ``trained``.
+
+    Built eagerly (not lazily on first search) so the index a replica
+    trains is the index ``save_snapshot`` persists — seeded k-means makes
+    the two bit-identical.
+    """
+    index = IVFIndex(
+        nlist=config.knn_nlist,
+        nprobe=config.knn_nprobe,
+        kmeans_iterations=config.knn_kmeans_iterations,
+        seed=config.knn_seed,
+        quantization=config.knn_quantization,
+        rerank_factor=config.knn_rerank_factor,
+    )
+    keys, matrix = trained.all_entity_vectors()
+    index.add(keys, matrix)
+    index.train()
+    return index
+
+
+def build_embedding_suite(
+    store: TripleStore, config: EmbeddingSuiteConfig | None = None
+) -> EmbeddingSuite:
+    """Train + calibrate + index the embedding-family backends from ``store``.
+
+    Deterministic in ``config``: ``build_dataset`` sorts its vocabulary,
+    the trainer, the split and the k-means quantizer are seeded, and
+    calibration corruptions derive from the same seed — replicas agree
+    bit-for-bit, and a suite adopted from a persisted layer is
+    indistinguishable from one built here.  The verifier calibrates on a
+    held-out slice (``calibration_fraction``), falling back to the full
+    triple set when the store is too small to spare one.
+    """
+    config = config or EmbeddingSuiteConfig()
+    dataset = build_dataset(store)
+    train_ds, valid, _test = dataset.split(
+        valid_fraction=config.calibration_fraction,
+        test_fraction=0.0,
+        seed=config.seed,
+    )
+    trained = train_embeddings(
+        train_ds,
+        TrainConfig(
+            model=config.model,
+            dim=config.dim,
+            epochs=config.epochs,
+            seed=config.seed,
+        ),
+    )
+    verifier = FactVerifier(trained)
+    calibration = valid if len(valid) else dataset.triples
+    verifier.calibrate(calibration, seed=config.seed)
+    return EmbeddingSuite(
+        trained=trained,
+        ranker=FactRanker(store, BatchInference(trained)),
+        verifier=verifier,
+        embedding_service=EmbeddingService(
+            trained, index=build_knn_index(trained, config)
+        ),
+        source=TRAINED,
+    )

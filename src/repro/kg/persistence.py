@@ -8,9 +8,11 @@ Two tiers, bundled under one directory:
 * **Physical** (``save_snapshot``/``load_snapshot``): versioned binary
   snapshots of the columnar serving layers next to the JSONL —
   ``adjacency/`` (dictionary + CSR arrays), ``context/`` (annotation
-  context matrix + entity→row map), ``alias/`` (alias-table state) —
-  each with a manifest carrying format version, ``store_version`` and
-  per-file checksums (:mod:`repro.common.snapshot_io`).
+  context matrix + entity→row map), ``alias/`` (alias-table state),
+  ``embeddings/`` (trained embedding matrices + calibrated threshold +
+  IVF quantizer, :mod:`repro.embeddings.persistence`) — each with a
+  manifest carrying format version, ``store_version`` and per-file
+  checksums (:mod:`repro.common.snapshot_io`).
 
 ``load_snapshot`` is the worker cold-start path (§4 serving): arrays are
 memory-mapped instead of rebuilt, the fact log replays *lazily* (walks and
@@ -36,9 +38,11 @@ from repro.kg.adjacency import CSRAdjacency, build_csr, load_adjacency, save_adj
 from repro.kg.store import EntityRecord, TripleStore
 from repro.kg.triple import Fact
 
-if TYPE_CHECKING:  # annotation-layer types; imported lazily at runtime
+if TYPE_CHECKING:  # annotation/embedding-layer types; imported lazily at runtime
     from repro.annotation.alias_table import AliasTable
     from repro.annotation.context_encoder import EntityContextIndex
+    from repro.embeddings.persistence import EmbeddingLayer
+    from repro.embeddings.suite import EmbeddingSuite, EmbeddingSuiteConfig
     from repro.kg.graph_engine import GraphEngine
 
 FORMAT_VERSION = 1
@@ -47,6 +51,7 @@ SNAPSHOT_MANIFEST = "snapshot.json"
 ADJACENCY_DIR = "adjacency"
 CONTEXT_DIR = "context"
 ALIAS_DIR = "alias"
+EMBEDDINGS_DIR = "embeddings"
 
 
 def save_store(store: TripleStore, directory: str | Path) -> dict[str, int]:
@@ -197,6 +202,7 @@ class KGSnapshot:
     adjacency: CSRAdjacency | None
     context: tuple | None  # (matrix, row entities, built_version, extra)
     alias: tuple | None  # (state, built_version, extra)
+    embeddings: "EmbeddingLayer | None" = None
 
     def engine(self) -> "GraphEngine":
         """A :class:`GraphEngine` with the persisted CSR adopted (if fresh)."""
@@ -251,6 +257,24 @@ class KGSnapshot:
             table.refresh()
         return table
 
+    def embedding_suite(self, config: "EmbeddingSuiteConfig | None" = None) -> "EmbeddingSuite":
+        """The embedding-family backends, adopted from the persisted layer.
+
+        Adopt-or-rebuild: a fresh layer whose recipe matches ``config``
+        reconstructs the suite zero-copy from the mmapped arrays (no
+        training, no calibration, no k-means); a missing, stale or
+        recipe-mismatched layer silently trains from the live store.
+        """
+        from repro.embeddings.persistence import adopt_embedding_suite
+        from repro.embeddings.suite import EmbeddingSuiteConfig, build_embedding_suite
+
+        config = config or EmbeddingSuiteConfig()
+        if self.embeddings is not None:
+            suite = adopt_embedding_suite(self.store, self.embeddings, config)
+            if suite is not None:
+                return suite
+        return build_embedding_suite(self.store, config)
+
     def annotation_pipeline(self, tier: str = "full", **kwargs):
         """A :func:`make_pipeline` wired onto the adopted physical layers."""
         from repro.annotation.pipeline import FULL_TIER, make_pipeline
@@ -272,12 +296,18 @@ def save_snapshot(
     engine: "GraphEngine | None" = None,
     context_index: "EntityContextIndex | None" = None,
     alias_table: "AliasTable | None" = None,
+    embedding_suite: "EmbeddingSuite | None" = None,
+    embedding_config: "EmbeddingSuiteConfig | None" = None,
+    embeddings: bool = True,
 ) -> dict[str, Any]:
     """Write a full bundle: JSONL logical store + binary physical layers.
 
     Layers are taken from the passed objects when fresh (a warm engine's
-    CSR, a built context index) and built from the store otherwise, so
-    every layer manifest is stamped with the *current* ``store.version``.
+    CSR, a built context index, an already-trained embedding suite) and
+    built from the store otherwise, so every layer manifest is stamped
+    with the *current* ``store.version``.  The ``embeddings/`` layer is
+    skipped for stores with no entity-valued facts (nothing to train) or
+    when ``embeddings=False`` (its consumers then train on demand).
     Returns the bundle manifest (also written to ``snapshot.json``).
     """
     from repro.annotation.alias_table import AliasTable, save_alias_table
@@ -302,13 +332,34 @@ def save_snapshot(
         alias_table.refresh()
     save_alias_table(alias_table, directory / ALIAS_DIR)
 
+    layers = [ADJACENCY_DIR, CONTEXT_DIR, ALIAS_DIR]
+    if embeddings:
+        from repro.common.errors import EmbeddingError
+        from repro.embeddings.persistence import save_embeddings
+        from repro.embeddings.suite import EmbeddingSuiteConfig, build_embedding_suite
+
+        config = embedding_config or EmbeddingSuiteConfig()
+        if embedding_suite is None:
+            try:
+                embedding_suite = build_embedding_suite(store, config)
+            except EmbeddingError:
+                embedding_suite = None  # no entity-valued facts: no layer
+        if embedding_suite is not None:
+            save_embeddings(
+                embedding_suite,
+                config,
+                directory / EMBEDDINGS_DIR,
+                store_version=version,
+            )
+            layers.append(EMBEDDINGS_DIR)
+
     manifest = {
         "format_version": FORMAT_VERSION,
         "name": store.name,
         "store_version": version,
         "num_entities": counts["entities"],
         "num_facts": counts["facts"],
-        "layers": [ADJACENCY_DIR, CONTEXT_DIR, ALIAS_DIR],
+        "layers": layers,
     }
     (directory / SNAPSHOT_MANIFEST).write_text(
         json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
@@ -388,6 +439,20 @@ def load_snapshot(
         except SnapshotStaleError:
             alias = None
 
+    embeddings = None
+    if (directory / EMBEDDINGS_DIR).exists():
+        from repro.embeddings.persistence import load_embedding_layer
+
+        try:
+            embeddings = load_embedding_layer(
+                directory / EMBEDDINGS_DIR,
+                expected_store_version=version,
+                mmap=mmap,
+                verify=verify,
+            )
+        except SnapshotStaleError:
+            embeddings = None
+
     return KGSnapshot(
         directory=directory,
         manifest=manifest,
@@ -395,4 +460,5 @@ def load_snapshot(
         adjacency=adjacency,
         context=context,
         alias=alias,
+        embeddings=embeddings,
     )

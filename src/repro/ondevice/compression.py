@@ -44,6 +44,21 @@ class QuantizedVectors:
     reconstructed: np.ndarray  # dequantized back to float64 for use
 
 
+def int8_codes(vectors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-row int8 codes and their ``(n, 1)`` float64 scales.
+
+    The encoding half of :func:`quantize_vectors`'s ``int8`` mode, split
+    out so the ANN shortlist path (``repro.vector.index.IVFIndex``) and
+    the persisted embedding layer share one code/scale scheme.  A code
+    reconstructs as ``codes / 127.0 * scales``.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    scales = np.max(np.abs(vectors), axis=1, keepdims=True)
+    scales[scales == 0] = 1.0
+    codes = np.clip(np.round(vectors / scales * 127.0), -127, 127).astype(np.int8)
+    return codes, scales
+
+
 def quantize_vectors(vectors: np.ndarray, mode: str = FP16) -> QuantizedVectors:
     """Precision-reduce ``vectors``; returns storage size + reconstruction.
 
@@ -62,9 +77,7 @@ def quantize_vectors(vectors: np.ndarray, mode: str = FP16) -> QuantizedVectors:
             mode=mode, nbytes=encoded.nbytes, reconstructed=encoded.astype(np.float64)
         )
     if mode == INT8:
-        scales = np.max(np.abs(vectors), axis=1, keepdims=True)
-        scales[scales == 0] = 1.0
-        quantized = np.clip(np.round(vectors / scales * 127.0), -127, 127).astype(np.int8)
+        quantized, scales = int8_codes(vectors)
         reconstructed = quantized.astype(np.float64) / 127.0 * scales
         nbytes = quantized.nbytes + scales.astype(np.float32).nbytes
         return QuantizedVectors(mode=mode, nbytes=nbytes, reconstructed=reconstructed)

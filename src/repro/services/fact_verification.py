@@ -75,6 +75,18 @@ class FactVerifier:
         self._calibration = report
         return report
 
+    def adopt_calibration(self, report: ClassificationReport) -> None:
+        """Install a previously-fitted calibration without refitting.
+
+        The persisted-snapshot path: the threshold was calibrated once at
+        ``save_snapshot`` time and rides in the embedding layer's
+        manifest, so no serving replica re-runs the corruption +
+        classification pass — and every replica thresholds at the exact
+        float the saved verifier did.
+        """
+        self._threshold = report.threshold
+        self._calibration = report
+
     def verify(self, subject: str, predicate: str, obj: str) -> Verdict:
         """Verdict on one symbolic candidate triple."""
         if self._threshold is None:

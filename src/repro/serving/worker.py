@@ -86,15 +86,42 @@ class WorkerConfig:
     related_seed: int = 0
     verify: bool = True
     # Embedding-family backends (fact ranking / verification / similarity /
-    # k-NN) train a shallow model from the bundle's fact log on first use.
+    # k-NN) adopt the bundle's persisted ``embeddings/`` layer when its
+    # recipe matches these fields, and train from the fact log otherwise.
     # Training is fully seeded and build_dataset orders its vocabulary
     # deterministically, so every replica — thread or subprocess — derives
-    # byte-identical vectors from the same bundle.
+    # byte-identical vectors from the same bundle either way.
     embedding_model: str = "distmult"
     embedding_dim: int = 32
     embedding_epochs: int = 15
     embedding_seed: int = 0
     calibration_fraction: float = 0.1
+    # k-NN index shape: the first four are adopt-match recipe fields, the
+    # last two are query-time knobs (see EmbeddingSuiteConfig).
+    knn_nlist: int = 16
+    knn_kmeans_iterations: int = 8
+    knn_seed: int = 0
+    knn_quantization: str | None = None
+    knn_nprobe: int = 4
+    knn_rerank_factor: int = 4
+
+    def embedding_config(self) -> "EmbeddingSuiteConfig":
+        """These fields as the embedding-suite build recipe."""
+        from repro.embeddings.suite import EmbeddingSuiteConfig
+
+        return EmbeddingSuiteConfig(
+            model=self.embedding_model,
+            dim=self.embedding_dim,
+            epochs=self.embedding_epochs,
+            seed=self.embedding_seed,
+            calibration_fraction=self.calibration_fraction,
+            knn_nlist=self.knn_nlist,
+            knn_nprobe=self.knn_nprobe,
+            knn_kmeans_iterations=self.knn_kmeans_iterations,
+            knn_seed=self.knn_seed,
+            knn_quantization=self.knn_quantization,
+            knn_rerank_factor=self.knn_rerank_factor,
+        )
 
 
 class WorkerState:
@@ -155,20 +182,24 @@ class WorkerState:
         return self._related
 
     def embedding_suite(self) -> "EmbeddingSuite":
-        """The embedding-family backends, trained on first use.
+        """The embedding-family backends, adopted (or trained) on first use.
 
         One deterministic build serves all three newly-servable request
         families: a :class:`FactRanker` (ranking), a calibrated
         :class:`FactVerifier` (verification) and an
         :class:`EmbeddingService` (similarity / k-NN) share one trained
         model, exactly as Figure 1's serving platform shares its
-        embedding service across knowledge services.
+        embedding service across knowledge services.  When the bundle
+        carries a fresh ``embeddings/`` layer matching this worker's
+        recipe, the suite is reconstructed zero-copy from the mmapped
+        arrays — no SGD, no calibration pass, no k-means — so N replicas
+        share one page-cache copy of the trained state.
         """
         if self._embedding_suite is None:
             with self._build_lock:
                 if self._embedding_suite is None:
-                    self._embedding_suite = build_embedding_suite(
-                        self.snapshot.store, self.config
+                    self._embedding_suite = self.snapshot.embedding_suite(
+                        self.config.embedding_config()
                     )
         return self._embedding_suite
 
@@ -199,11 +230,11 @@ class WorkerState:
                 list(request.pairs)
             )
         if isinstance(request, KnnRequest):
-            service = self.embedding_suite().embedding_service
-            return [
-                service.knn(entity, k=request.k, exclude_self=request.exclude_self)
-                for entity in request.entities
-            ]
+            # One gathered query matrix through the index; per-entity hits
+            # identical to scalar knn(), so results stay shard-invariant.
+            return self.embedding_suite().embedding_service.knn_many(
+                list(request.entities), k=request.k, exclude_self=request.exclude_self
+            )
         raise TypeError(f"unsupported request type: {type(request).__name__}")
 
     def _walks(self, request: WalkRequest) -> list[list[list[str]]]:
@@ -241,57 +272,31 @@ def load_snapshot_state(bundle_dir: Path, *, verify: bool):
     return load_snapshot(bundle_dir, verify=verify)
 
 
-@dataclass
-class EmbeddingSuite:
-    """One trained model shared by the embedding-family request backends."""
-
-    trained: object  # TrainedEmbeddings
-    ranker: object  # FactRanker
-    verifier: object  # FactVerifier (calibrated)
-    embedding_service: object  # EmbeddingService
-
-
-def build_embedding_suite(store, config: WorkerConfig) -> EmbeddingSuite:
+def build_embedding_suite(store, config: WorkerConfig) -> "EmbeddingSuite":
     """Train + calibrate the embedding-family backends from ``store``.
 
-    Deterministic in ``config``: ``build_dataset`` sorts its vocabulary,
-    the trainer and the split are seeded, and calibration corruptions
-    derive from the same seed — replicas agree bit-for-bit.  The verifier
-    calibrates on a held-out slice (``calibration_fraction``) so its
-    threshold is fit the way the deployment shape demands, falling back
-    to the full triple set when the store is too small to spare one.
+    Back-compat shim over :func:`repro.embeddings.suite.build_embedding_suite`
+    (where the build moved when the persisted embedding layer made it a
+    platform concern rather than a worker detail), keeping the historical
+    ``WorkerConfig``-flavoured signature.
     """
-    from repro.embeddings.dataset import build_dataset
-    from repro.embeddings.inference import BatchInference
-    from repro.embeddings.trainer import TrainConfig, train_embeddings
-    from repro.services.fact_ranking import FactRanker
-    from repro.services.fact_verification import FactVerifier
-    from repro.vector.service import EmbeddingService
+    from repro.embeddings.suite import build_embedding_suite as build_suite
 
-    dataset = build_dataset(store)
-    train_ds, valid, _test = dataset.split(
-        valid_fraction=config.calibration_fraction,
-        test_fraction=0.0,
-        seed=config.embedding_seed,
-    )
-    trained = train_embeddings(
-        train_ds,
-        TrainConfig(
-            model=config.embedding_model,
-            dim=config.embedding_dim,
-            epochs=config.embedding_epochs,
-            seed=config.embedding_seed,
-        ),
-    )
-    verifier = FactVerifier(trained)
-    calibration = valid if len(valid) else dataset.triples
-    verifier.calibrate(calibration, seed=config.embedding_seed)
-    return EmbeddingSuite(
-        trained=trained,
-        ranker=FactRanker(store, BatchInference(trained)),
-        verifier=verifier,
-        embedding_service=EmbeddingService(trained),
-    )
+    return build_suite(store, config.embedding_config())
+
+
+def _import_embedding_suite():
+    from repro.embeddings.suite import EmbeddingSuite
+
+    return EmbeddingSuite
+
+
+def __getattr__(name: str):
+    # EmbeddingSuite historically lived here; keep the import path working
+    # without paying the embedding-stack import at worker-module load.
+    if name == "EmbeddingSuite":
+        return _import_embedding_suite()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # -- executors ----------------------------------------------------------------

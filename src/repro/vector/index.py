@@ -6,14 +6,29 @@ neighbour queries over entity embeddings.  Two implementations:
 * :class:`ExactIndex` — brute-force scan; exact recall, O(N) per query.
 * :class:`IVFIndex` — inverted-file index: k-means coarse quantizer
   partitions vectors into ``nlist`` cells; queries probe the ``nprobe``
-  nearest cells.  The recall/latency trade-off is swept in
-  ``benchmarks/bench_embedding_service.py``.
+  nearest cells and re-rank the probed candidates at full precision.
+  With ``quantization="int8"`` the candidate pass scores symmetric
+  per-row int8 codes first and only the top ``rerank_factor · k``
+  shortlist is re-scored against the float rows.  The recall/latency
+  trade-off is swept in ``benchmarks/bench_embedding_service.py``.
 
-Both share the :class:`VectorIndex` interface keyed by string ids.
+Both share the :class:`VectorIndex` interface keyed by string ids.  An
+:class:`IVFIndex` additionally round-trips through the persisted
+embedding bundle layer: :meth:`IVFIndex.state_arrays` exports its
+centroids/postings/rows as flat arrays and :meth:`IVFIndex.adopt`
+rebuilds a ready-trained index zero-copy over read-only (memory-mapped)
+storage — serving cold start maps pages instead of re-running k-means.
+
+Per-query determinism contract: ``search_many`` batches the *gather* and
+normalisation but scores each query with exactly the arithmetic of
+``search`` (matvec, never one dgemm across queries — BLAS dgemm columns
+are not bitwise dgemv results), so a query's hits never depend on which
+batch or shard partition it arrived in.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +36,9 @@ import numpy as np
 from repro.common.errors import IndexError_
 from repro.common.growable import GrowableMatrix
 from repro.vector.similarity import METRICS, normalize_rows
+
+INT8 = "int8"
+QUANTIZATION_MODES = (None, INT8)
 
 # Backwards-compatible alias: the buffer was born here in PR 1 and moved to
 # repro.common once the annotation context index needed it too.
@@ -43,6 +61,11 @@ class VectorIndex:
 
     def search(self, query: np.ndarray, k: int = 10) -> list[SearchHit]:
         raise NotImplementedError
+
+    def search_many(self, queries: np.ndarray, k: int = 10) -> list[list[SearchHit]]:
+        """Per-query hits for a query matrix; identical to mapping :meth:`search`."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return [self.search(query, k) for query in queries]
 
     def __len__(self) -> int:
         raise NotImplementedError
@@ -100,6 +123,23 @@ class ExactIndex(VectorIndex):
             scores = self._normed.view() @ unit
         else:
             scores = METRICS[self.metric](query, self._matrix)
+        return self._top_hits(scores, k)
+
+    def search_many(self, queries: np.ndarray, k: int = 10) -> list[list[SearchHit]]:
+        """Batched :meth:`search`: one normalisation pass over the query
+        matrix, then a per-query matvec (identical arithmetic per query, so
+        a query's hits never depend on its batch)."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if len(self._keys) == 0:
+            return [[] for _ in queries]
+        if self._normed is not None:
+            units = normalize_rows(queries)
+            normed = self._normed.view()
+            return [self._top_hits(normed @ unit, k) for unit in units]
+        matrix = self._matrix
+        return [self._top_hits(METRICS[self.metric](q, matrix), k) for q in queries]
+
+    def _top_hits(self, scores: np.ndarray, k: int) -> list[SearchHit]:
         k = min(k, len(scores))
         top = np.argpartition(-scores, k - 1)[:k]
         top = top[np.argsort(-scores[top], kind="mergesort")]
@@ -150,23 +190,44 @@ class IVFIndex(VectorIndex):
 
     Vectors are unit-normalised at insert.  ``train`` must be called after
     the last ``add`` (or implicitly on first search) to build the coarse
-    quantizer and posting lists.
+    quantizer, posting lists and — with ``quantization="int8"`` — the
+    per-row code/scale side-channel.  First-search training is guarded by
+    a materialisation lock (same pattern as the ``CSRAdjacency`` derived
+    caches): concurrent readers under the multi-reader serving pools
+    either see no trained state or all of it, never a half-published mix.
     """
 
     def __init__(
-        self, nlist: int = 16, nprobe: int = 2, kmeans_iterations: int = 8, seed: int = 0
+        self,
+        nlist: int = 16,
+        nprobe: int = 2,
+        kmeans_iterations: int = 8,
+        seed: int = 0,
+        quantization: str | None = None,
+        rerank_factor: int = 4,
     ) -> None:
         if nlist <= 0 or nprobe <= 0:
             raise IndexError_("nlist and nprobe must be positive")
+        if quantization not in QUANTIZATION_MODES:
+            raise IndexError_(
+                f"unknown quantization {quantization!r}; choose from {QUANTIZATION_MODES}"
+            )
+        if rerank_factor <= 0:
+            raise IndexError_("rerank_factor must be positive")
         self.nlist = nlist
         self.nprobe = min(nprobe, nlist)
         self.kmeans_iterations = kmeans_iterations
         self.seed = seed
+        self.quantization = quantization
+        self.rerank_factor = rerank_factor
         self._keys: list[str] = []
         self._by_key: dict[str, int] = {}
         self._storage = _GrowableMatrix()
         self._centroids: np.ndarray | None = None
         self._postings: list[np.ndarray] = []
+        self._codes: np.ndarray | None = None
+        self._scales: np.ndarray | None = None
+        self._train_lock = threading.Lock()
 
     @property
     def _matrix(self) -> np.ndarray | None:
@@ -185,20 +246,46 @@ class IVFIndex(VectorIndex):
         for offset, key in enumerate(keys):
             self._by_key[key] = start + offset
         self._storage.append(vectors)  # cast to float32 storage
-        self._centroids = None  # adding invalidates training
+        # Adding invalidates *all* trained state, not just the quantizer:
+        # stale postings would silently drop the new rows from every search.
+        self._centroids = None
+        self._postings = []
+        self._codes = None
+        self._scales = None
 
     def train(self) -> None:
-        """(Re)build the coarse quantizer and posting lists."""
-        if self._matrix is None or len(self._matrix) == 0:
+        """(Re)build the coarse quantizer, posting lists and codes."""
+        with self._train_lock:
+            self._train_locked()
+
+    def _train_locked(self) -> None:
+        matrix = self._matrix
+        if matrix is None or len(matrix) == 0:
             raise IndexError_("cannot train an empty IVF index")
-        effective_nlist = min(self.nlist, len(self._matrix))
-        self._centroids = _kmeans(
-            self._matrix, effective_nlist, self.kmeans_iterations, self.seed
-        )
-        assignment = np.argmax(self._matrix @ self._centroids.T, axis=1)
-        self._postings = [
-            np.flatnonzero(assignment == c) for c in range(len(self._centroids))
-        ]
+        effective_nlist = min(self.nlist, len(matrix))
+        centroids = _kmeans(matrix, effective_nlist, self.kmeans_iterations, self.seed)
+        assignment = np.argmax(matrix @ centroids.T, axis=1)
+        postings = [np.flatnonzero(assignment == c) for c in range(len(centroids))]
+        codes = scales = None
+        if self.quantization == INT8:
+            # Function-level import: ``repro.ondevice`` eagerly imports its
+            # whole package, which this module must not pull in at import.
+            from repro.ondevice.compression import int8_codes
+
+            codes, float_scales = int8_codes(matrix)
+            # float32 scales, matching the persisted layer's dtype, so a
+            # trained index and one adopted from disk score identically.
+            scales = float_scales.astype(np.float32).ravel()
+        self._postings = postings
+        self._codes = codes
+        self._scales = scales
+        self._centroids = centroids  # published last: ``is_trained`` keys off it
+
+    def _ensure_trained(self) -> None:
+        if self._centroids is None:
+            with self._train_lock:
+                if self._centroids is None:
+                    self._train_locked()
 
     @property
     def is_trained(self) -> bool:
@@ -208,28 +295,138 @@ class IVFIndex(VectorIndex):
     def search(self, query: np.ndarray, k: int = 10) -> list[SearchHit]:
         if self._matrix is None or len(self._keys) == 0:
             return []
-        if not self.is_trained:
-            self.train()
-        assert self._centroids is not None
+        self._ensure_trained()
         query = np.asarray(query, dtype=np.float64)
         norm = np.linalg.norm(query)
         if norm > 0:
             query = query / norm
-        cell_scores = self._centroids @ query
-        nprobe = min(self.nprobe, len(self._centroids))
+        return self._search_unit(query, k)
+
+    def search_many(self, queries: np.ndarray, k: int = 10) -> list[list[SearchHit]]:
+        """Batched :meth:`search` (one trained-state check, per-query scan)."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if self._matrix is None or len(self._keys) == 0:
+            return [[] for _ in queries]
+        self._ensure_trained()
+        results = []
+        for query in queries:
+            norm = np.linalg.norm(query)
+            if norm > 0:
+                query = query / norm
+            results.append(self._search_unit(query, k))
+        return results
+
+    def _search_unit(self, unit: np.ndarray, k: int) -> list[SearchHit]:
+        """Probe + (optional int8 shortlist) + exact re-rank for one unit query."""
+        centroids = self._centroids
+        postings = self._postings
+        matrix = self._matrix
+        assert centroids is not None and matrix is not None
+        cell_scores = centroids @ unit
+        nprobe = min(self.nprobe, len(centroids))
         probe_cells = np.argsort(-cell_scores, kind="mergesort")[:nprobe]
         candidates = np.concatenate(
-            [self._postings[c] for c in probe_cells]
+            [postings[c] for c in probe_cells]
         ) if nprobe else np.array([], dtype=np.int64)
         if len(candidates) == 0:
             return []
-        scores = self._matrix[candidates] @ query
+        codes = self._codes
+        if codes is not None:
+            shortlist = min(len(candidates), max(k, 1) * self.rerank_factor)
+            if shortlist < len(candidates):
+                assert self._scales is not None
+                approx = (codes[candidates] @ unit) * (
+                    self._scales[candidates].astype(np.float64) / 127.0
+                )
+                keep = np.argsort(-approx, kind="mergesort")[:shortlist]
+                candidates = candidates[keep]
+        scores = matrix[candidates] @ unit
         k = min(k, len(candidates))
         top = np.argpartition(-scores, k - 1)[:k]
         top = top[np.argsort(-scores[top], kind="mergesort")]
         return [
             SearchHit(key=self._keys[candidates[i]], score=float(scores[i])) for i in top
         ]
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Trained state as flat arrays for the persisted embedding layer.
+
+        Postings serialize CSR-style (one concatenated indices array plus
+        offsets); :meth:`adopt` slices them back zero-copy.  Raises when
+        untrained — persisting a quantizer that doesn't exist yet would
+        make adopt-time behaviour depend on save-time query history.
+        """
+        self._ensure_trained()
+        assert self._centroids is not None and self._matrix is not None
+        lengths = [len(p) for p in self._postings]
+        indices = (
+            np.concatenate(self._postings).astype(np.int64, copy=False)
+            if self._postings
+            else np.array([], dtype=np.int64)
+        )
+        offsets = np.zeros(len(self._postings) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        arrays = {
+            "knn_rows": self._matrix,
+            "knn_centroids": self._centroids,
+            "knn_postings_indices": indices,
+            "knn_postings_offsets": offsets,
+        }
+        if self._codes is not None:
+            assert self._scales is not None
+            arrays["knn_codes"] = self._codes
+            arrays["knn_scales"] = self._scales
+        return arrays
+
+    @classmethod
+    def adopt(
+        cls,
+        keys: list[str],
+        arrays: dict[str, np.ndarray],
+        *,
+        nlist: int = 16,
+        nprobe: int = 2,
+        kmeans_iterations: int = 8,
+        seed: int = 0,
+        quantization: str | None = None,
+        rerank_factor: int = 4,
+        by_key: dict[str, int] | None = None,
+    ) -> IVFIndex:
+        """Rebuild a ready-trained index zero-copy over read-only arrays.
+
+        ``arrays`` is the :meth:`state_arrays` export (typically served
+        from a memory-mapped snapshot — nothing is copied, the adopted
+        buffers are never written).  ``by_key`` optionally shares an
+        existing ``key -> row`` dict instead of rebuilding one.
+        """
+        rows = np.atleast_2d(arrays["knn_rows"])
+        if len(keys) != len(rows):
+            raise IndexError_(f"{len(keys)} keys but {len(rows)} adopted rows")
+        index = cls(
+            nlist=nlist,
+            nprobe=nprobe,
+            kmeans_iterations=kmeans_iterations,
+            seed=seed,
+            quantization=quantization,
+            rerank_factor=rerank_factor,
+        )
+        index._keys = list(keys)
+        index._by_key = (
+            by_key if by_key is not None else {key: i for i, key in enumerate(keys)}
+        )
+        index._storage.adopt(rows)
+        offsets = np.asarray(arrays["knn_postings_offsets"])
+        indices = np.asarray(arrays["knn_postings_indices"])
+        index._postings = [
+            indices[offsets[c] : offsets[c + 1]] for c in range(len(offsets) - 1)
+        ]
+        if quantization == INT8:
+            if "knn_codes" not in arrays or "knn_scales" not in arrays:
+                raise IndexError_("int8 adoption requires knn_codes and knn_scales")
+            index._codes = np.atleast_2d(arrays["knn_codes"])
+            index._scales = np.asarray(arrays["knn_scales"])
+        index._centroids = np.atleast_2d(arrays["knn_centroids"])
+        return index
 
     def vector(self, key: str) -> np.ndarray:
         try:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.common.errors import IndexError_
+from repro.common.errors import EmbeddingError, IndexError_
 from repro.common.kvstore import MemoryKVStore
 from repro.common.metrics import MetricsRegistry
 from repro.embeddings.trainer import TrainedEmbeddings
@@ -71,6 +71,41 @@ class EmbeddingService:
         if exclude_self:
             hits = [hit for hit in hits if hit.key != entity][:k]
         return hits
+
+    def knn_many(
+        self, entities: list[str], k: int = 10, exclude_self: bool = True
+    ) -> list[list[SearchHit]]:
+        """Per-entity k-NN for many entities in one batched index pass.
+
+        The serving layer's multi-entity ``KnnRequest`` path: all query
+        vectors gather in one fancy-index instead of a per-entity cache
+        probe + copy, and the index sees one ``search_many`` call.
+        Per-entity hits are identical to :meth:`knn` (the index scores
+        each query with the same arithmetic), and unknown entities raise
+        exactly like the scalar path.
+        """
+        if not entities:
+            return []
+        with self.metrics.timed("knn"):
+            index_map = self.trained.dataset.entity_index
+            rows = []
+            for entity in entities:
+                try:
+                    rows.append(index_map[entity])
+                except KeyError:
+                    raise EmbeddingError(
+                        f"entity not in embedding vocabulary: {entity}"
+                    ) from None
+            queries = self.trained.model.entity_emb[rows]
+            per_entity = self.index.search_many(
+                queries, k + (1 if exclude_self else 0)
+            )
+        if not exclude_self:
+            return per_entity
+        return [
+            [hit for hit in hits if hit.key != entity][:k]
+            for entity, hits in zip(entities, per_entity)
+        ]
 
     def knn_vector(self, query: np.ndarray, k: int = 10) -> list[SearchHit]:
         """k nearest entities to an arbitrary query vector."""

@@ -223,3 +223,168 @@ class TestIVFIndex:
         index.add(keys, matrix)
         assert keys[0] in index
         assert len(index) == 200
+
+    def test_add_after_train_invalidates_postings(self, vectors):
+        """New rows must be searchable after retrain — stale postings would
+        silently drop them from every probe."""
+        keys, matrix = vectors
+        index = IVFIndex(nlist=4, nprobe=4, seed=1)
+        index.add(keys[:100], matrix[:100])
+        index.train()
+        index.add(keys[100:], matrix[100:])
+        assert not index.is_trained
+        assert index._postings == []
+        hits = index.search(matrix[150], k=1)
+        assert hits[0].key == keys[150]
+
+    def test_concurrent_first_search_trains_once(self, vectors):
+        """Many threads racing the lazy first-search train must all see a
+        fully-published quantizer (no half-trained state, no crash)."""
+        import threading
+
+        keys, matrix = vectors
+        index = IVFIndex(nlist=8, nprobe=8, seed=3)
+        index.add(keys, matrix)
+        results: list[list] = [None] * 16
+        barrier = threading.Barrier(16)
+
+        def worker(slot: int) -> None:
+            barrier.wait()
+            results[slot] = [h.key for h in index.search(matrix[slot], k=5)]
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        reference = IVFIndex(nlist=8, nprobe=8, seed=3)
+        reference.add(keys, matrix)
+        reference.train()
+        for slot, got in enumerate(results):
+            assert got == [h.key for h in reference.search(matrix[slot], k=5)]
+
+    def test_rejects_bad_quantization(self):
+        with pytest.raises(IndexError_):
+            IVFIndex(quantization="fp8")
+        with pytest.raises(IndexError_):
+            IVFIndex(rerank_factor=0)
+
+
+def _hits_as_tuples(hits):
+    return [(h.key, h.score) for h in hits]
+
+
+class TestSearchMany:
+    def test_exact_matches_scalar_bitwise(self, vectors):
+        keys, matrix = vectors
+        index = ExactIndex()
+        index.add(keys, matrix)
+        batched = index.search_many(matrix[:25], k=7)
+        scalar = [index.search(q, k=7) for q in matrix[:25]]
+        assert [_hits_as_tuples(h) for h in batched] == [
+            _hits_as_tuples(h) for h in scalar
+        ]
+
+    def test_ivf_matches_scalar_bitwise(self, vectors):
+        keys, matrix = vectors
+        index = IVFIndex(nlist=8, nprobe=3, seed=2)
+        index.add(keys, matrix)
+        batched = index.search_many(matrix[:25], k=7)
+        scalar = [index.search(q, k=7) for q in matrix[:25]]
+        assert [_hits_as_tuples(h) for h in batched] == [
+            _hits_as_tuples(h) for h in scalar
+        ]
+
+    def test_empty_index_and_empty_batch(self):
+        assert ExactIndex().search_many(np.ones((3, 4)), k=5) == [[], [], []]
+        index = ExactIndex()
+        index.add(["entity:a"], np.ones((1, 4)))
+        assert index.search_many(np.empty((0, 4)), k=5) == []
+
+
+class TestIVFAdoptAndQuantization:
+    def test_adopt_round_trips_bitwise(self, vectors):
+        keys, matrix = vectors
+        trained = IVFIndex(nlist=8, nprobe=3, seed=2)
+        trained.add(keys, matrix)
+        trained.train()
+        adopted = IVFIndex.adopt(
+            keys, trained.state_arrays(), nlist=8, nprobe=3, seed=2
+        )
+        assert adopted.is_trained
+        for query in matrix[:20]:
+            assert _hits_as_tuples(adopted.search(query, k=10)) == _hits_as_tuples(
+                trained.search(query, k=10)
+            )
+
+    def test_adopt_over_readonly_arrays(self, vectors):
+        """The mmap contract: adoption must never write the base arrays."""
+        keys, matrix = vectors
+        trained = IVFIndex(nlist=8, nprobe=8, seed=2, quantization="int8")
+        trained.add(keys, matrix)
+        trained.train()
+        arrays = {k: np.ascontiguousarray(v) for k, v in trained.state_arrays().items()}
+        for array in arrays.values():
+            array.setflags(write=False)
+        adopted = IVFIndex.adopt(
+            keys, arrays, nlist=8, nprobe=8, seed=2, quantization="int8"
+        )
+        assert adopted.search(matrix[17], k=1)[0].key == keys[17]
+        assert np.allclose(adopted.vector(keys[5]), arrays["knn_rows"][5])
+
+    def test_adopt_validates_shapes_and_codes(self, vectors):
+        keys, matrix = vectors
+        trained = IVFIndex(nlist=4, nprobe=2, seed=0)
+        trained.add(keys, matrix)
+        trained.train()
+        arrays = trained.state_arrays()
+        with pytest.raises(IndexError_):
+            IVFIndex.adopt(keys[:-1], arrays, nlist=4, nprobe=2)
+        with pytest.raises(IndexError_):  # fp32 export lacks the int8 side-channel
+            IVFIndex.adopt(keys, arrays, nlist=4, nprobe=2, quantization="int8")
+
+    def test_state_arrays_trains_if_needed(self, vectors):
+        keys, matrix = vectors
+        index = IVFIndex(nlist=4, nprobe=2, seed=0)
+        index.add(keys, matrix)
+        arrays = index.state_arrays()
+        assert index.is_trained
+        assert len(arrays["knn_rows"]) == len(keys)
+        assert arrays["knn_postings_offsets"][-1] == len(keys)
+
+    def test_int8_shortlist_rerank_recall(self, vectors):
+        """The int8 candidate pass may only cost a little recall versus the
+        same index at full precision, and final scores are exact (from the
+        float rows, not dequantized codes)."""
+        keys, matrix = vectors
+        exact = ExactIndex()
+        exact.add(keys, matrix)
+        fp32 = IVFIndex(nlist=8, nprobe=4, seed=2)
+        fp32.add(keys, matrix)
+        int8 = IVFIndex(nlist=8, nprobe=4, seed=2, quantization="int8", rerank_factor=4)
+        int8.add(keys, matrix)
+        queries = matrix[:40]
+        recall_fp32 = recall_at_k(fp32, exact, queries, k=10)
+        recall_int8 = recall_at_k(int8, exact, queries, k=10)
+        assert recall_int8 >= recall_fp32 - 0.1
+        assert recall_int8 >= 0.8
+        for query in queries[:5]:
+            int8_hits = {h.key: h.score for h in int8.search(query, k=10)}
+            fp32_hits = {h.key: h.score for h in fp32.search(query, k=10)}
+            for key in int8_hits.keys() & fp32_hits.keys():
+                assert int8_hits[key] == fp32_hits[key]
+
+    def test_wide_rerank_factor_recovers_fp32_results(self, vectors):
+        """A shortlist wider than any candidate set disables the filter, so
+        int8 results equal the fp32 IVF results exactly."""
+        keys, matrix = vectors
+        fp32 = IVFIndex(nlist=8, nprobe=4, seed=2)
+        fp32.add(keys, matrix)
+        int8 = IVFIndex(
+            nlist=8, nprobe=4, seed=2, quantization="int8", rerank_factor=1000
+        )
+        int8.add(keys, matrix)
+        for query in matrix[:10]:
+            assert _hits_as_tuples(int8.search(query, k=10)) == _hits_as_tuples(
+                fp32.search(query, k=10)
+            )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.common.errors import IndexError_
+from repro.common.errors import EmbeddingError, IndexError_
 from repro.vector.index import IVFIndex
 from repro.vector.service import EmbeddingService
 
@@ -69,3 +69,49 @@ class TestService:
         entity = trained.dataset.entities[0]
         service.knn(entity, k=2)
         assert service.metrics.timer_stats("knn").count == 1
+
+
+class TestKnnMany:
+    def test_matches_scalar_knn_bitwise(self, trained):
+        service = EmbeddingService(trained.trained)
+        entities = trained.dataset.entities[:12]
+        batched = service.knn_many(entities, k=5)
+        scalar = [service.knn(entity, k=5) for entity in entities]
+        assert [[(h.key, h.score) for h in hits] for hits in batched] == [
+            [(h.key, h.score) for h in hits] for hits in scalar
+        ]
+
+    def test_matches_scalar_with_ivf_index(self, trained):
+        index = IVFIndex(nlist=4, nprobe=2, seed=0)
+        service = EmbeddingService(trained.trained, index=index)
+        entities = trained.dataset.entities[:12]
+        batched = service.knn_many(entities, k=5)
+        scalar = [service.knn(entity, k=5) for entity in entities]
+        assert [[(h.key, h.score) for h in hits] for hits in batched] == [
+            [(h.key, h.score) for h in hits] for hits in scalar
+        ]
+
+    def test_exclude_self_per_entity(self, trained):
+        service = EmbeddingService(trained.trained)
+        entities = trained.dataset.entities[:6]
+        for entity, hits in zip(entities, service.knn_many(entities, k=4)):
+            assert entity not in {h.key for h in hits}
+            assert len(hits) == 4
+
+    def test_include_self(self, trained):
+        service = EmbeddingService(trained.trained)
+        entities = trained.dataset.entities[:4]
+        for entity, hits in zip(
+            entities, service.knn_many(entities, k=3, exclude_self=False)
+        ):
+            assert hits[0].key == entity
+
+    def test_unknown_entity_raises_like_scalar_path(self, trained):
+        service = EmbeddingService(trained.trained)
+        known = trained.dataset.entities[0]
+        with pytest.raises(EmbeddingError):
+            service.knn_many([known, "entity:ghost"], k=3)
+
+    def test_empty_input(self, trained):
+        service = EmbeddingService(trained.trained)
+        assert service.knn_many([], k=3) == []
