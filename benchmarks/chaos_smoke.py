@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""CI chaos smoke: boot the HTTP gateway under an armed fault plan.
+
+Same shape as ``gateway_smoke.py`` — a small synthetic world
+(``CHAOS_SMOKE_SCALE``, default 0.05), a snapshot bundle, the asyncio
+HTTP front door on an ephemeral port, one wire request per protocol
+type — but with a :class:`FaultPlan` armed the whole time: worker
+crashes at rate 0.2, transient I/O errors at rate 0.1 and a slow
+replica at rate 0.1.  The resilience layer (retries + supervision) must
+absorb every injection: each request type still has to come back ``ok``
+with a payload, byte-compatible with a healthy control run, and
+``/healthz`` must keep answering 200 throughout.  Exits non-zero on any
+violation — including the degenerate one where the plan injected
+nothing, which would make the smoke vacuous.
+
+Run directly (CI does): ``PYTHONPATH=src python benchmarks/chaos_smoke.py``
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.kg.generator import SyntheticKGConfig, generate_kg
+from repro.kg.persistence import save_snapshot
+from repro.serving.faults import (
+    SITE_WORKER_EXECUTE,
+    FaultPlan,
+    FaultSpec,
+    armed,
+)
+from repro.serving.gateway import AsyncGateway, GatewayHTTPServer
+from repro.serving.protocol import decode_response, encode_request, encode_response
+from repro.serving.resilience import RetryPolicy
+from repro.serving.service import ServingService
+
+# Run as a script (CI) the benchmarks directory itself is on sys.path;
+# under pytest the package import works.
+try:
+    from benchmarks.gateway_smoke import build_requests, http_post
+except ModuleNotFoundError:
+    from gateway_smoke import build_requests, http_post
+
+SCALE = float(os.environ.get("CHAOS_SMOKE_SCALE", "0.05"))
+
+PLAN = FaultPlan(
+    (
+        FaultSpec(SITE_WORKER_EXECUTE, "crash", rate=0.2),
+        FaultSpec(SITE_WORKER_EXECUTE, "io_error", rate=0.1),
+        FaultSpec(SITE_WORKER_EXECUTE, "slow", rate=0.1, delay_s=0.005),
+    ),
+    seed=41,
+)
+
+# Deep budget, short sleeps: the bar is 100% completion under sustained
+# chaos, not latency, and CI should not spend its time in backoff.
+RETRY_POLICY = RetryPolicy(max_attempts=8, backoff_base_s=0.001, backoff_max_s=0.01)
+
+
+async def http_get(host: str, port: int, path: str) -> tuple[str, bytes]:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    return head.split(b"\r\n")[0].decode("latin-1"), payload
+
+
+async def smoke(service: ServingService, reference: dict[str, bytes]) -> list[str]:
+    failures: list[str] = []
+    gateway = AsyncGateway(service, max_concurrency=2, max_pending=16)
+    server = GatewayHTTPServer(gateway)
+    host, port = await server.start()
+    print(
+        f"gateway up on http://{host}:{port} under chaos "
+        f"(store_version={service.store_version})"
+    )
+    try:
+        for request in build_requests(service):
+            name = type(request).__name__
+            status, body = await http_post(
+                host, port, "/v1/query", encode_request(request)
+            )
+            try:
+                response = decode_response(body)
+            except Exception as exc:
+                failures.append(f"{name}: un-decodable envelope ({exc})")
+                continue
+            if status != "HTTP/1.1 200 OK" or not response.ok:
+                failures.append(f"{name}: {status}, error={response.error}")
+                continue
+            if response.payload != reference[name]:
+                failures.append(f"{name}: payload diverged from healthy run")
+                continue
+            print(f"  ok  {name:<22} total_ms={response.timings['total_ms']:.2f}")
+
+        status, body = await http_get(host, port, "/healthz")
+        health = json.loads(body)
+        if status != "HTTP/1.1 200 OK" or not health.get("healthy"):
+            failures.append(f"/healthz under chaos: {status}, {health}")
+        else:
+            print(
+                f"  ok  /healthz               live_workers={health['live_workers']} "
+                f"breakers={health['breakers']}"
+            )
+    finally:
+        await server.stop()
+        gateway.close()
+    return failures
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        bundle = Path(tmp) / "bundle"
+        kg = generate_kg(SyntheticKGConfig(seed=7, scale=SCALE))
+        save_snapshot(kg.store, bundle)
+        # Healthy control run first: chaos answers must match these
+        # payloads (roundtripped through the wire codec, so both sides
+        # compare in JSON-normalized form).
+        with ServingService(bundle, mode="inline", num_shards=4) as control:
+            reference = {
+                type(request).__name__: decode_response(
+                    encode_response(control.serve(request))
+                ).payload
+                for request in build_requests(control)
+            }
+        with armed(PLAN):
+            with ServingService(
+                bundle,
+                mode="inline",
+                num_shards=4,
+                cache_capacity=1,
+                retry_policy=RETRY_POLICY,
+            ) as service:
+                failures = asyncio.run(smoke(service, reference))
+                stats = service.stats()
+        if PLAN.injections() == 0:
+            failures.append("fault plan injected nothing — smoke is vacuous")
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"\nchaos smoke: all request types survived "
+        f"{PLAN.injections()} injections "
+        f"(retries={stats.get('counter.pool.retries', 0.0):.0f})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,14 @@ versioned :class:`QueryCache` (LRU over ``(store_version, request)``).
 :mod:`repro.serving.protocol` is the schema-versioned JSON wire codec and
 :mod:`repro.serving.gateway` the asyncio/HTTP front door
 (``python -m repro.serving.gateway <bundle>``).
+
+Resilience rides the same stack: :mod:`repro.serving.faults` is the
+deterministic fault-injection harness (seeded :class:`FaultPlan`,
+``fault_point`` hooks at the worker/pool/gateway), and
+:mod:`repro.serving.resilience` the primitives the supervision paths are
+built from (:class:`RetryPolicy`, :class:`CircuitBreaker`); the facade
+degrades gracefully (partial ``degraded`` envelopes, serve-stale-on-error)
+instead of failing whole requests.
 """
 
 # NOTE: repro.serving.gateway is deliberately NOT imported here — it is a
@@ -18,6 +26,14 @@ versioned :class:`QueryCache` (LRU over ``(store_version, request)``).
 # on boot.  Import AsyncGateway/GatewayHTTPServer from the module directly.
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import QueryCache
+from repro.serving.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    InjectedIOError,
+    fault_point,
+)
 from repro.serving.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -41,8 +57,18 @@ from repro.serving.requests import (
     WalkRequest,
     sub_request,
 )
+from repro.serving.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    ShardResultError,
+    TransientServingError,
+    WorkerCrashError,
+    is_retryable,
+)
 from repro.serving.router import ShardRouter
 from repro.serving.service import (
+    PartialResultError,
     ServingService,
     requests_from_query_log,
     save_and_serve,

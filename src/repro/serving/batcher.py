@@ -137,12 +137,10 @@ class MicroBatcher:
         try:
             results = self.flush_fn(texts)
         except BaseException as exc:
-            # Every waiter learns of the failure; the batcher stays usable.
-            for _, future in batch:
-                future.set_exception(exc)
-            return len(batch)
-        finally:
             self.metrics.hist("batcher.flush_latency", time.perf_counter() - started)
+            self._isolate_poisoned(batch, exc)
+            return len(batch)
+        self.metrics.hist("batcher.flush_latency", time.perf_counter() - started)
         if len(results) != len(batch):
             error = RuntimeError(
                 f"flush_fn returned {len(results)} results for {len(batch)} texts"
@@ -153,3 +151,34 @@ class MicroBatcher:
         for (_, future), result in zip(batch, results):
             future.set_result(result)
         return len(batch)
+
+    def _isolate_poisoned(
+        self, batch: list[tuple[str, Future]], batch_exc: BaseException
+    ) -> None:
+        """Fail only the offending text(s) of a failed batch.
+
+        One poisoned text must not take down the whole cross-document
+        batch: each entry re-runs *individually*, so healthy texts still
+        resolve and only the offender carries the exception.  A
+        single-text batch skips the re-run (re-scoring it would fail
+        identically — or worse, double-inject a transient fault's side
+        effects into metrics).
+        """
+        if len(batch) == 1:
+            batch[0][1].set_exception(batch_exc)
+            return
+        self.metrics.incr("batcher.batch_poisoned")
+        for text, future in batch:
+            try:
+                results = self.flush_fn([text])
+            except BaseException as exc:
+                future.set_exception(exc)
+                continue
+            if len(results) != 1:
+                future.set_exception(
+                    RuntimeError(
+                        f"flush_fn returned {len(results)} results for 1 text"
+                    )
+                )
+                continue
+            future.set_result(results[0])

@@ -16,6 +16,13 @@ the registry only records generation invalidations.
 Cached values are returned by reference and must be treated as read-only
 — the serving facade hands them straight to clients, exactly like the
 mmap-backed arrays underneath.
+
+Serve-stale-on-error: when a generation swap demotes entries, the most
+recent result per request survives in a bounded *stale* store instead of
+vanishing.  :meth:`QueryCache.get_stale` is the degradation path's last
+resort — a previous-generation answer beats a 500, and the serving
+envelope flags it ``degraded`` with the stale ``store_version`` so
+clients know exactly what they got.
 """
 
 from __future__ import annotations
@@ -35,12 +42,19 @@ class QueryCache:
         self,
         capacity: int = 2048,
         metrics: MetricsRegistry | None = None,
+        stale_capacity: int = 256,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if stale_capacity < 0:
+            raise ValueError(f"stale_capacity must be >= 0, got {stale_capacity}")
         self.capacity = capacity
+        self.stale_capacity = stale_capacity
         self.metrics = metrics or MetricsRegistry("query-cache")
         self._store = MemoryKVStore(capacity=capacity)
+        # request -> (store_version, value): the newest demoted result per
+        # request, kept for serve-stale-on-error (0 capacity disables it).
+        self._stale = MemoryKVStore(capacity=max(stale_capacity, 1))
 
     def get(self, version: int, request: Hashable) -> Any:
         """The cached result, or ``None`` on a miss.
@@ -78,6 +92,23 @@ class QueryCache:
             self.metrics.incr("cache.warmed", admitted)
         return admitted
 
+    def get_stale(self, request: Hashable) -> tuple[int, Any] | None:
+        """The newest demoted ``(store_version, result)`` for ``request``.
+
+        The degradation path's last resort: consulted only after fresh
+        compute failed past its retry budget.  Returns ``None`` when no
+        previous generation ever answered this request (or stale serving
+        is disabled).
+        """
+        if self.stale_capacity == 0:
+            return None
+        entry = self._stale.get(request, _SENTINEL)
+        if entry is _SENTINEL:
+            self.metrics.incr("cache.stale_misses")
+            return None
+        self.metrics.incr("cache.stale_hits")
+        return entry
+
     def adopt_version(self, version: int) -> int:
         """Drop every entry not built at ``version``; returns count dropped.
 
@@ -86,17 +117,29 @@ class QueryCache:
         LRU pressure pushes them out.  (The purge is not atomic against
         concurrent puts; a straggling old-generation write afterwards is
         unreachable by key and ages out of the LRU.)
+
+        Dropped entries are *demoted*, not lost: the newest result per
+        request moves into the bounded stale store for
+        serve-stale-on-error (:meth:`get_stale`).
         """
         stale = [key for key in self._store.keys() if key[0] != version]
         for key in stale:
+            if self.stale_capacity > 0:
+                entry_version = key[0]
+                existing = self._stale.get(key[1], _SENTINEL)
+                if existing is _SENTINEL or existing[0] < entry_version:
+                    value = self._store.get(key, _SENTINEL)
+                    if value is not _SENTINEL:
+                        self._stale.put(key[1], (entry_version, value))
             self._store.delete(key)
         if stale:
             self.metrics.incr("cache.invalidated", len(stale))
         return len(stale)
 
     def clear(self) -> None:
-        """Drop everything (counters are preserved)."""
+        """Drop everything, stale entries included (counters are preserved)."""
         self._store.clear()
+        self._stale.clear()
 
     def __len__(self) -> int:
         return len(self._store)

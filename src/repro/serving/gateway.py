@@ -18,7 +18,14 @@ knowledge-based service):
 * **per-request deadline** — an admitted request that exceeds its
   deadline resolves to a ``deadline_exceeded`` envelope (the worker's
   in-flight computation finishes and is discarded; with a cacheable
-  request its result still lands in the query cache for the retry).
+  request its result still lands in the query cache for the retry);
+* **load shedding** — past ``shed_fraction`` of the pending budget the
+  gateway starts rejecting the *cheap-to-recompute* request classes
+  (graph walks, neighborhoods, similarity — pure reads a client retries
+  for microseconds of worker time) so the remaining headroom goes to the
+  expensive classes (annotation, ranking, verification) whose retries
+  actually cost compute.  The shed policy is declared per request class
+  (``cheap_to_recompute``), not hard-coded here.
 
 Entry points:
 
@@ -46,6 +53,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import AsyncIterator, Iterable, Sequence
 
 from repro.common.metrics import MetricsRegistry
+from repro.serving import faults
 from repro.serving.protocol import (
     ProtocolError,
     encode_response,
@@ -102,6 +110,7 @@ class AsyncGateway:
         max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
         max_pending: int = DEFAULT_MAX_PENDING,
         default_deadline_s: float | None = None,
+        shed_fraction: float = 0.75,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_concurrency <= 0:
@@ -111,10 +120,16 @@ class AsyncGateway:
                 f"max_pending ({max_pending}) must be >= max_concurrency "
                 f"({max_concurrency}) — the executing requests count as pending"
             )
+        if not 0.0 < shed_fraction <= 1.0:
+            raise ValueError(f"shed_fraction must be in (0, 1], got {shed_fraction}")
         self.service = service
         self.max_concurrency = max_concurrency
         self.max_pending = max_pending
         self.default_deadline_s = default_deadline_s
+        self.shed_fraction = shed_fraction
+        # Cheap request classes start shedding here; shed_fraction=1.0
+        # collapses the shed band into the hard admission limit.
+        self._shed_threshold = max(1, int(shed_fraction * max_pending))
         self.metrics = metrics or service.metrics
         self._executor = ThreadPoolExecutor(
             max_workers=max_concurrency, thread_name_prefix="kg-gateway"
@@ -143,15 +158,46 @@ class AsyncGateway:
         self, request: Request, *, deadline_s: float | None = None
     ) -> Response:
         """One request through admission control; never raises for
-        request-level failures — rejection, deadline and worker errors all
-        come back as envelopes."""
+        request-level failures — rejection, shedding, deadline and worker
+        errors all come back as envelopes."""
+        wire_type = getattr(type(request), "wire_type", "unknown")
+        try:
+            # The front-door chaos hook: an injected stall or flake at
+            # admission models an overloaded accept loop / dying LB — and
+            # must surface as an envelope, never an exception.
+            faults.fault_point(faults.SITE_GATEWAY_ADMIT, request_type=wire_type)
+        except Exception as exc:
+            self.metrics.incr("gateway.admit_faults")
+            return error_response(
+                wire_type,
+                self.service.store_version,
+                ERROR_OVERLOADED,
+                f"admission failure: {type(exc).__name__}: {exc}",
+                exception=exc,
+            )
         if self._pending >= self.max_pending:
             self.metrics.incr("gateway.rejected")
             return error_response(
-                getattr(type(request), "wire_type", "unknown"),
+                wire_type,
                 self.service.store_version,
                 ERROR_OVERLOADED,
                 f"admission queue full ({self.max_pending} pending)",
+            )
+        if (
+            self._pending >= self._shed_threshold
+            and getattr(type(request), "cheap_to_recompute", False)
+        ):
+            # Degrade the cheap classes first: their retry costs the
+            # client microseconds of worker time, so the headroom between
+            # the shed threshold and the hard limit stays reserved for
+            # expensive compute (annotation, ranking, verification).
+            self.metrics.incr("gateway.shed")
+            return error_response(
+                wire_type,
+                self.service.store_version,
+                ERROR_OVERLOADED,
+                f"shedding cheap-to-recompute {wire_type!r} requests "
+                f"({self._pending}/{self.max_pending} pending)",
             )
         return await self._admitted(request, deadline_s)
 
@@ -358,13 +404,14 @@ class GatewayHTTPServer:
         body = await reader.readexactly(content_length) if content_length else b""
 
         if path == "/healthz" and method == "GET":
-            return 200, json.dumps(
-                {
-                    "status": "ok",
-                    "store_version": self.gateway.service.store_version,
-                    "pending": self.gateway.pending,
-                }
-            ).encode("utf-8")
+            # The service's aggregate health: fleet shape, live workers,
+            # respawn count and every breaker's state.  503 when all
+            # breakers are open (or no worker is alive) so load balancers
+            # route around a fleet that cannot answer anything.
+            health = dict(self.gateway.service.health())
+            health["pending"] = self.gateway.pending
+            status = 200 if health.get("healthy") else 503
+            return status, json.dumps(health, sort_keys=True).encode("utf-8")
         if path == "/stats" and method == "GET":
             return 200, json.dumps(
                 self.gateway.service.stats(), sort_keys=True, default=str
@@ -411,6 +458,7 @@ async def run_http_gateway(
     max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
     max_pending: int = DEFAULT_MAX_PENDING,
     default_deadline_s: float | None = None,
+    shed_fraction: float = 0.75,
 ) -> None:
     """Boot the HTTP front door over ``service`` and serve until cancelled."""
     gateway = AsyncGateway(
@@ -418,6 +466,7 @@ async def run_http_gateway(
         max_concurrency=max_concurrency,
         max_pending=max_pending,
         default_deadline_s=default_deadline_s,
+        shed_fraction=shed_fraction,
     )
     server = GatewayHTTPServer(gateway, host=host, port=port)
     bound_host, bound_port = await server.start()

@@ -44,6 +44,7 @@ from repro.serving.requests import (
     ERROR_BAD_REQUEST,
     ERROR_UNSUPPORTED_TYPE,
     ERROR_UNSUPPORTED_VERSION,
+    STATUS_DEGRADED,
     STATUS_ERROR,
     STATUS_OK,
     REQUESTS_BY_WIRE_TYPE,
@@ -218,21 +219,34 @@ def _fixed_str_tuple(value: Any, size: int, name: str) -> tuple[str, ...]:
 
 
 def payload_to_wire(wire_type: str, payload: Any) -> Any:
+    # Degraded partial payloads hole out failed entities with None; the
+    # holes travel verbatim (JSON null) in every typed payload.
     if payload is None:
         return None
     if wire_type == "related":
-        return [[[entity, score] for entity, score in hits] for hits in payload]
+        return [
+            None if hits is None else [[entity, score] for entity, score in hits]
+            for hits in payload
+        ]
     if wire_type == "annotate":
-        return [[_link_to_wire(link) for link in links] for links in payload]
+        return [
+            None if links is None else [_link_to_wire(link) for link in links]
+            for links in payload
+        ]
     if wire_type == "fact_rank":
         return [
-            [dataclasses.asdict(fact) for fact in ranked] for ranked in payload
+            None if ranked is None else [dataclasses.asdict(fact) for fact in ranked]
+            for ranked in payload
         ]
     if wire_type == "verify":
-        return [dataclasses.asdict(verdict) for verdict in payload]
+        return [
+            None if verdict is None else dataclasses.asdict(verdict)
+            for verdict in payload
+        ]
     if wire_type == "knn":
         return [
-            [dataclasses.asdict(hit) for hit in hits] for hits in payload
+            None if hits is None else [dataclasses.asdict(hit) for hit in hits]
+            for hits in payload
         ]
     # walk / neighborhood / similarity payloads are JSON-native already.
     return payload
@@ -244,23 +258,36 @@ def payload_from_wire(wire_type: str, wire: Any) -> Any:
     try:
         if wire_type == "related":
             return [
-                [(str(entity), float(score)) for entity, score in hits]
+                None
+                if hits is None
+                else [(str(entity), float(score)) for entity, score in hits]
                 for hits in wire
             ]
         if wire_type == "annotate":
-            return [[_link_from_wire(item) for item in links] for links in wire]
+            return [
+                None if links is None else [_link_from_wire(item) for item in links]
+                for links in wire
+            ]
         if wire_type == "fact_rank":
             from repro.services.fact_ranking import RankedFact
 
-            return [[RankedFact(**fact) for fact in ranked] for ranked in wire]
+            return [
+                None if ranked is None else [RankedFact(**fact) for fact in ranked]
+                for ranked in wire
+            ]
         if wire_type == "verify":
             from repro.services.fact_verification import Verdict
 
-            return [Verdict(**verdict) for verdict in wire]
+            return [
+                None if verdict is None else Verdict(**verdict) for verdict in wire
+            ]
         if wire_type == "knn":
             from repro.vector.index import SearchHit
 
-            return [[SearchHit(**hit) for hit in hits] for hits in wire]
+            return [
+                None if hits is None else [SearchHit(**hit) for hit in hits]
+                for hits in wire
+            ]
     except (TypeError, ValueError, KeyError) as exc:
         raise ProtocolError(
             ERROR_BAD_REQUEST, f"malformed {wire_type!r} payload: {exc}"
@@ -313,11 +340,20 @@ def encode_response(response: Response) -> bytes:
         "timings": response.timings,
         "cached": response.cached,
     }
-    if response.status == STATUS_OK:
+    if response.resilience:
+        envelope["resilience"] = response.resilience
+    # Degraded envelopes carry BOTH: the usable (partial/stale) payload
+    # and the structured error explaining what degraded.
+    if response.status in (STATUS_OK, STATUS_DEGRADED):
         envelope["payload"] = payload_to_wire(response.request_type, response.payload)
-    else:
+    if response.status != STATUS_OK:
         error = response.error or ErrorInfo("internal", "request failed")
-        envelope["error"] = {"code": error.code, "message": error.message}
+        envelope["error"] = {
+            "code": error.code,
+            "message": error.message,
+            "retryable": error.retryable,
+            "exception_type": error.exception_type,
+        }
     return json.dumps(envelope, sort_keys=True).encode("utf-8")
 
 
@@ -328,19 +364,27 @@ def decode_response(data: bytes | str) -> Response:
     if not isinstance(wire_type, str):
         raise ProtocolError(ERROR_BAD_REQUEST, "response envelope missing type")
     status = envelope.get("status")
-    if status not in (STATUS_OK, STATUS_ERROR):
+    if status not in (STATUS_OK, STATUS_DEGRADED, STATUS_ERROR):
         raise ProtocolError(ERROR_BAD_REQUEST, f"unknown response status: {status!r}")
     timings = envelope.get("timings") or {}
     if not isinstance(timings, dict):
         raise ProtocolError(ERROR_BAD_REQUEST, "timings must be an object")
+    resilience = envelope.get("resilience") or {}
+    if not isinstance(resilience, dict):
+        raise ProtocolError(ERROR_BAD_REQUEST, "resilience must be an object")
     error = None
     payload = None
-    if status == STATUS_ERROR:
+    if status != STATUS_OK:
         raw = envelope.get("error")
         if not isinstance(raw, dict) or "code" not in raw:
             raise ProtocolError(ERROR_BAD_REQUEST, "error envelope missing code")
-        error = ErrorInfo(code=str(raw["code"]), message=str(raw.get("message", "")))
-    else:
+        error = ErrorInfo(
+            code=str(raw["code"]),
+            message=str(raw.get("message", "")),
+            retryable=bool(raw.get("retryable", False)),
+            exception_type=str(raw.get("exception_type", "")),
+        )
+    if status != STATUS_ERROR:
         payload = payload_from_wire(wire_type, envelope.get("payload"))
     cls = response_class(wire_type)
     return cls(
@@ -351,6 +395,7 @@ def decode_response(data: bytes | str) -> Response:
         timings={str(k): float(v) for k, v in timings.items()},
         cached=bool(envelope.get("cached", False)),
         error=error,
+        resilience={str(k): v for k, v in resilience.items()},
     )
 
 
@@ -363,13 +408,28 @@ def error_response(
     timings: dict[str, float] | None = None,
     exception: BaseException | None = None,
 ) -> Response:
-    """A typed error envelope (the one shape every failure path produces)."""
+    """A typed error envelope (the one shape every failure path produces).
+
+    When the originating ``exception`` is attached, the error carries its
+    retryability class and exception type onto the wire — clients decide
+    whether a resubmit is worth it without parsing the message.
+    """
+    from repro.serving.resilience import error_fields
+
+    retryable, exception_type = (
+        error_fields(exception) if exception is not None else (False, "")
+    )
     cls = response_class(wire_type)
     return cls(
         request_type=wire_type,
         status=STATUS_ERROR,
         store_version=store_version,
         timings=timings or {},
-        error=ErrorInfo(code=code, message=message),
+        error=ErrorInfo(
+            code=code,
+            message=message,
+            retryable=retryable,
+            exception_type=exception_type,
+        ),
         exception=exception,
     )

@@ -25,6 +25,11 @@ facade dispatch reads instead of hard-coding per-method behaviour:
   multi-text annotation batches essentially never repeat byte-identically,
   so caching them would only pin dead memory (the admission policy the
   ROADMAP's "cache warming + admission" item asks for).
+* ``cheap_to_recompute`` — whether the gateway may shed this class first
+  under overload.  Pure graph lookups and similarity probes are cheap
+  for the client to retry (and usually cached); annotation, ranking,
+  verification and k-NN burn real compute, so they keep their admission
+  slot until the hard limit.
 
 Every request type is paired with a typed :class:`Response` envelope
 (status, payload, ``store_version``, per-stage timings, structured error)
@@ -40,8 +45,12 @@ from typing import Any, ClassVar
 DEFAULT_WALK_LENGTH = 8
 DEFAULT_WALKS_PER_ENTITY = 4
 
-# Status values of a Response envelope.
+# Status values of a Response envelope.  ``degraded`` is the graceful
+# middle ground: a *usable* payload that is incomplete (failed shards
+# past the retry budget) or stale (served from a previous generation's
+# cache when fresh compute failed) — flagged so clients can decide.
 STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
 STATUS_ERROR = "error"
 
 # Stable error codes carried by error envelopes (never raw tracebacks).
@@ -50,6 +59,7 @@ ERROR_UNSUPPORTED_VERSION = "unsupported_version"
 ERROR_UNSUPPORTED_TYPE = "unsupported_type"
 ERROR_OVERLOADED = "overloaded"
 ERROR_DEADLINE_EXCEEDED = "deadline_exceeded"
+ERROR_UNAVAILABLE = "unavailable"
 ERROR_INTERNAL = "internal"
 
 
@@ -65,6 +75,7 @@ class WalkRequest:
     """
 
     wire_type: ClassVar[str] = "walk"
+    cheap_to_recompute: ClassVar[bool] = True
     splittable: ClassVar[bool] = True
 
     entities: tuple[str, ...]
@@ -81,6 +92,7 @@ class NeighborhoodRequest:
     """K-hop undirected neighborhoods (sorted) for each of ``entities``."""
 
     wire_type: ClassVar[str] = "neighborhood"
+    cheap_to_recompute: ClassVar[bool] = True
     splittable: ClassVar[bool] = True
 
     entities: tuple[str, ...]
@@ -95,6 +107,7 @@ class RelatedRequest:
     """Top-k related entities (traversal embeddings) for each of ``entities``."""
 
     wire_type: ClassVar[str] = "related"
+    cheap_to_recompute: ClassVar[bool] = False
     splittable: ClassVar[bool] = True
 
     entities: tuple[str, ...]
@@ -115,6 +128,7 @@ class AnnotateRequest:
     """
 
     wire_type: ClassVar[str] = "annotate"
+    cheap_to_recompute: ClassVar[bool] = False
     splittable: ClassVar[bool] = False
 
     texts: tuple[str, ...]
@@ -134,6 +148,7 @@ class FactRankRequest:
     """
 
     wire_type: ClassVar[str] = "fact_rank"
+    cheap_to_recompute: ClassVar[bool] = False
     splittable: ClassVar[bool] = True
 
     entities: tuple[str, ...]
@@ -152,6 +167,7 @@ class VerifyRequest:
     """
 
     wire_type: ClassVar[str] = "verify"
+    cheap_to_recompute: ClassVar[bool] = False
     splittable: ClassVar[bool] = False
 
     candidates: tuple[tuple[str, str, str], ...]
@@ -170,6 +186,7 @@ class SimilarityRequest:
     """
 
     wire_type: ClassVar[str] = "similarity"
+    cheap_to_recompute: ClassVar[bool] = True
     splittable: ClassVar[bool] = False
 
     pairs: tuple[tuple[str, str], ...]
@@ -183,6 +200,7 @@ class KnnRequest:
     """k nearest entities in embedding space for each of ``entities``."""
 
     wire_type: ClassVar[str] = "knn"
+    cheap_to_recompute: ClassVar[bool] = False
     splittable: ClassVar[bool] = True
 
     entities: tuple[str, ...]
@@ -234,10 +252,20 @@ def sub_request(request: Request, entities: tuple[str, ...]) -> Request:
 
 @dataclass(frozen=True)
 class ErrorInfo:
-    """Structured error detail of a failed request — never a traceback."""
+    """Structured error detail of a failed request — never a traceback.
+
+    ``retryable`` tells the caller whether the failure class is transient
+    (a crashed worker, an I/O flake — worth re-issuing) or deterministic
+    (a ``ValueError`` that will fail identically forever);
+    ``exception_type`` carries the originating exception *class name*
+    across the wire so clients can distinguish the two without the
+    server-side exception object.
+    """
 
     code: str
     message: str
+    retryable: bool = False
+    exception_type: str = ""
 
 
 @dataclass
@@ -251,6 +279,14 @@ class Response:
     original in-process exception for delegating facade wrappers to
     re-raise — it never crosses the wire (the codec strips it; clients see
     only the structured :class:`ErrorInfo`).
+
+    ``resilience`` is the retry metadata of a request that survived
+    faults: JSON-native keys such as ``attempts`` (total dispatch
+    attempts beyond the fan-out), ``failed_entities`` (positions degraded
+    past the retry budget), ``stale`` / ``stale_version`` (payload served
+    from a previous generation's cache) — empty on the clean path.  A
+    ``degraded`` response carries *both* a usable payload and an
+    ``error`` explaining what is missing or stale.
     """
 
     request_type: str
@@ -261,14 +297,24 @@ class Response:
     cached: bool = False
     error: ErrorInfo | None = None
     exception: BaseException | None = None
+    resilience: dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
 
+    @property
+    def degraded(self) -> bool:
+        return self.status == STATUS_DEGRADED
+
     def result(self) -> Any:
-        """The payload, re-raising the original error on failure."""
-        if self.ok:
+        """The payload, re-raising the original error on failure.
+
+        Degraded responses *return* their (partial or stale) payload —
+        the graceful-degradation contract is "an imperfect answer beats
+        a 500"; callers that need perfection check :attr:`status`.
+        """
+        if self.ok or self.degraded:
             return self.payload
         if self.exception is not None:
             raise self.exception

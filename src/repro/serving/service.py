@@ -23,6 +23,17 @@ structured error response (the original exception rides along in-process
 only, so the legacy delegating wrappers can re-raise it).  Every request
 lands in per-type counters and bounded latency histograms surfaced by
 :meth:`stats`.
+
+Graceful degradation (``resilient=True``, the default): shard failures
+retry under the pool's :class:`RetryPolicy` on healthy replicas, and a
+shard that stays down past its budget *degrades* the response instead of
+failing it — the envelope comes back ``status="degraded"`` with the
+healthy shards' results in place, ``None`` holes for the failed
+entities, and the underlying error attached.  A fully-failed cacheable
+request falls back to the newest previous-generation answer
+(serve-stale-on-error, :meth:`QueryCache.get_stale`) before surfacing an
+error.  Per-shard circuit breakers fail persistent offenders fast;
+:meth:`health` aggregates breaker and fleet state for ``/healthz``.
 """
 
 from __future__ import annotations
@@ -39,8 +50,10 @@ from repro.serving.cache import QueryCache
 from repro.serving.protocol import error_response
 from repro.serving.requests import (
     ERROR_INTERNAL,
+    ERROR_UNAVAILABLE,
     ERROR_UNSUPPORTED_TYPE,
     REQUEST_TYPES,
+    STATUS_DEGRADED,
     STATUS_OK,
     AnnotateRequest,
     FactRankRequest,
@@ -52,12 +65,46 @@ from repro.serving.requests import (
     SimilarityRequest,
     VerifyRequest,
     WalkRequest,
+    ErrorInfo,
     response_class,
+)
+from repro.serving.resilience import (
+    OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+    ShardResultError,
+    error_fields,
 )
 from repro.serving.router import DEFAULT_NUM_SHARDS, ShardRouter
 from repro.serving.worker import WORKER_MODES, WorkerConfig, WorkerPool
 
 FULL_TIER = "full"
+
+
+class PartialResultError(Exception):
+    """Some shards failed past their retry budget; the rest answered.
+
+    Raised by the scatter/gather path and caught by :meth:`serve`, which
+    turns it into a ``degraded`` envelope: ``payload`` holds the merged
+    results with ``None`` holes at the failed entities' positions, and
+    ``cause`` is the first shard's terminal exception.
+    """
+
+    def __init__(
+        self,
+        payload: list,
+        failed_positions: list[int],
+        cause: BaseException,
+        attempts: int,
+    ) -> None:
+        super().__init__(
+            f"{len(failed_positions)} of {len(payload)} entities unavailable: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.payload = payload
+        self.failed_positions = failed_positions
+        self.cause = cause
+        self.attempts = attempts
 
 
 class ServingService:
@@ -76,13 +123,28 @@ class ServingService:
         batch_max_delay_s: float = 0.005,
         worker_config: WorkerConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        resilient: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        stale_capacity: int = 256,
     ) -> None:
         if mode not in WORKER_MODES:
             raise ValueError(f"mode must be one of {WORKER_MODES}, got {mode!r}")
         self.tier = tier
         self.num_shards = num_shards
         self.metrics = metrics or MetricsRegistry("serving")
-        self._cache = QueryCache(cache_capacity, metrics=self.metrics)
+        # resilient=False is the bare dispatch: no retries, no degradation,
+        # no stale fallback — the control arm the overhead benchmark
+        # measures the resilience layer's fault-free cost against.
+        self.resilient = resilient
+        self.retry_policy = retry_policy or (
+            RetryPolicy() if resilient else RetryPolicy(max_attempts=1)
+        )
+        self._cache = QueryCache(
+            cache_capacity,
+            metrics=self.metrics,
+            stale_capacity=stale_capacity if resilient else 0,
+        )
+        self._shard_breakers: dict[int, CircuitBreaker] = {}
         self._pool: WorkerPool | None = None
         self._router: ShardRouter | None = None
         self._worker_config = worker_config
@@ -105,6 +167,7 @@ class ServingService:
             mode=self._mode,
             config=self._worker_config,
             metrics=self.metrics,
+            retry_policy=self.retry_policy,
         )
         previous, self._pool = self._pool, pool
         dictionary = pool.local_state.dictionary
@@ -190,6 +253,8 @@ class ServingService:
                 timings=timings,
             )
         wire_type = type(request).wire_type
+        resilience: dict[str, float] = {}
+        cacheable = False
         # Everything after type dispatch sits under one except: even a
         # hostile request object (mistyped fields that defeat hashing in
         # the cache probe — the wire codec rejects those, but serve() is
@@ -213,10 +278,67 @@ class ServingService:
             with self.metrics.hist_timed("serve.latency"), self.metrics.hist_timed(
                 f"serve.latency.{type_name}"
             ):
-                payload = self._execute(request, pool, router, timings)
+                payload = self._execute(request, pool, router, timings, resilience)
             if cacheable:
                 self._cache.put(version, request, payload)
+        except PartialResultError as exc:
+            # Graceful degradation: the healthy shards' answers go out with
+            # None holes at the failed entities, plus the terminal error —
+            # a partial answer beats a 500 for a read-only KG lookup.
+            self.metrics.incr("serve.degraded")
+            self.metrics.incr(f"serve.degraded.{type_name}")
+            timings["total_ms"] = _ms_since(started)
+            retryable, exception_type = error_fields(exc.cause)
+            return response_class(wire_type)(
+                request_type=wire_type,
+                status=STATUS_DEGRADED,
+                store_version=version,
+                payload=exc.payload,
+                timings=timings,
+                error=ErrorInfo(
+                    code=ERROR_UNAVAILABLE,
+                    message=str(exc),
+                    retryable=retryable,
+                    exception_type=exception_type,
+                ),
+                resilience={
+                    **resilience,
+                    "attempts": float(exc.attempts),
+                    "failed_entities": float(len(exc.failed_positions)),
+                },
+                exception=exc.cause,
+            )
         except Exception as exc:
+            if self.resilient and cacheable:
+                # Serve-stale-on-error: fresh compute is gone past its
+                # budget, but a previous generation answered this exact
+                # request — degraded beats unavailable.
+                stale = self._cache.get_stale(request)
+                if stale is not None:
+                    stale_version, stale_payload = stale
+                    self.metrics.incr("serve.stale_served")
+                    timings["total_ms"] = _ms_since(started)
+                    retryable, exception_type = error_fields(exc)
+                    return response_class(wire_type)(
+                        request_type=wire_type,
+                        status=STATUS_DEGRADED,
+                        store_version=version,
+                        payload=stale_payload,
+                        timings=timings,
+                        cached=True,
+                        error=ErrorInfo(
+                            code=ERROR_UNAVAILABLE,
+                            message=f"{type(exc).__name__}: {exc}",
+                            retryable=retryable,
+                            exception_type=exception_type,
+                        ),
+                        resilience={
+                            **resilience,
+                            "stale": True,
+                            "stale_version": float(stale_version),
+                        },
+                        exception=exc,
+                    )
             self.metrics.incr("serve.errors")
             self.metrics.incr(f"serve.errors.{type_name}")
             timings["total_ms"] = _ms_since(started)
@@ -235,6 +357,7 @@ class ServingService:
             store_version=version,
             payload=payload,
             timings=timings,
+            resilience=resilience,
         )
 
     def _execute(
@@ -243,16 +366,31 @@ class ServingService:
         pool: WorkerPool,
         router: ShardRouter,
         timings: dict[str, float],
+        resilience: dict[str, float],
     ) -> list:
         """Compute one request's payload under its dispatch policy."""
         if isinstance(request, AnnotateRequest):
             return self._execute_annotate(request, pool, timings)
         if type(request).splittable:
-            return self._execute_split(request, pool, router, timings)
+            return self._execute_split(request, pool, router, timings, resilience)
         compute_started = time.perf_counter()
-        payload = pool.run(request)
+        if self.resilient:
+            payload, attempts = pool.run_resilient(request)
+            if attempts > 1:
+                resilience["attempts"] = float(attempts)
+        else:
+            payload = pool.submit(request).result()
         timings["compute_ms"] = _ms_since(compute_started)
         return payload
+
+    def _shard_breaker(self, shard: int) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding ``shard``."""
+        breaker = self._shard_breakers.get(shard)
+        if breaker is None:
+            breaker = self._shard_breakers.setdefault(
+                shard, CircuitBreaker(f"shard:{shard}")
+            )
+        return breaker
 
     def _execute_split(
         self,
@@ -260,30 +398,128 @@ class ServingService:
         pool: WorkerPool,
         router: ShardRouter,
         timings: dict[str, float],
+        resilience: dict[str, float],
     ) -> list:
         """Scatter a splittable request over shards, gather in order.
 
         (version, pool, router) were captured by :meth:`serve`, so a
         generation swap mid-request can't split the fan-out across two
         snapshots or cache an old-fleet result under the new version.
+
+        Under ``resilient`` dispatch each shard resolves through the
+        pool's retry loop behind its own circuit breaker; shards that
+        stay down past the budget raise :class:`PartialResultError` with
+        the healthy results merged in place (the degraded envelope).
         """
         scatter_started = time.perf_counter()
         parts = router.scatter_request(request)
         timings["scatter_ms"] = _ms_since(scatter_started)
         self.metrics.incr("serve.shard_fanout", len(parts))
         compute_started = time.perf_counter()
-        futures = [
-            (positions, pool.submit(shard_request))
-            for positions, shard_request in parts
-        ]
-        shard_results = [
-            (positions, future.result()) for positions, future in futures
-        ]
+        if not self.resilient:
+            futures = [
+                (positions, pool.submit(shard_request))
+                for positions, shard_request in parts
+            ]
+            shard_results = [
+                (positions, future.result()) for positions, future in futures
+            ]
+            timings["compute_ms"] = _ms_since(compute_started)
+            gather_started = time.perf_counter()
+            merged = ShardRouter.gather(len(request.entities), shard_results)
+            timings["gather_ms"] = _ms_since(gather_started)
+            return merged
+        # Resilient fan-out.  Submit everything up front (breaker-gated:
+        # a tripped shard fails fast instead of queueing doomed work),
+        # then resolve each shard under the retry budget.
+        pending: list[tuple[list[int], Request, CircuitBreaker, object]] = []
+        for positions, shard_request in parts:
+            shard = router.shard_of(shard_request.entities[0])
+            breaker = self._shard_breaker(shard)
+            try:
+                breaker.check()
+                entry = pool.submit(shard_request)
+            except Exception as exc:  # CircuitOpenError, or a failed submit
+                entry = exc
+            pending.append((positions, shard_request, breaker, entry))
+        shard_results: list[tuple[list[int], list]] = []
+        failed: list[tuple[list[int], BaseException]] = []
+        attempts_total = 0
+        for positions, shard_request, breaker, entry in pending:
+            if isinstance(entry, BaseException):
+                failed.append((positions, entry))
+                continue
+            try:
+                result, attempts = self._resolve_shard(
+                    pool, shard_request, entry, breaker
+                )
+            except Exception as exc:
+                failed.append((positions, exc))
+                continue
+            attempts_total += attempts
+            shard_results.append((positions, result))
         timings["compute_ms"] = _ms_since(compute_started)
+        if attempts_total > len(shard_results):
+            resilience["attempts"] = float(attempts_total)
         gather_started = time.perf_counter()
-        merged = ShardRouter.gather(len(request.entities), shard_results)
+        if not failed:
+            merged = ShardRouter.gather(len(request.entities), shard_results)
+            timings["gather_ms"] = _ms_since(gather_started)
+            return merged
+        if not shard_results:
+            # Nothing answered: a plain error (serve() may still find a
+            # stale previous-generation result for it).
+            raise failed[0][1]
+        merged = [None] * len(request.entities)
+        for positions, results in shard_results:
+            for position, result in zip(positions, results):
+                merged[position] = result
+        failed_positions = sorted(
+            position for positions, _ in failed for position in positions
+        )
         timings["gather_ms"] = _ms_since(gather_started)
-        return merged
+        raise PartialResultError(
+            merged, failed_positions, failed[0][1], attempts_total
+        )
+
+    def _resolve_shard(
+        self,
+        pool: WorkerPool,
+        shard_request: Request,
+        future,
+        breaker: CircuitBreaker,
+    ) -> tuple[list, int]:
+        """One shard's result under retry + breaker + length validation.
+
+        The pool's retry loop already covers crashes and transient
+        errors; this wrapper additionally validates the *shape* of a
+        nominally-successful result — a corrupt (truncated) shard
+        response is retryable too, because a healthy replica answers
+        correctly.  Outcomes feed the shard's breaker either way.
+        """
+        policy = pool.retry_policy
+        expected = len(shard_request.entities)
+        attempts = 0
+        while True:
+            try:
+                result, waited = pool.resolve(shard_request, future)
+            except Exception:
+                breaker.record_failure()
+                raise
+            attempts += waited
+            if len(result) == expected:
+                breaker.record_success()
+                return result, attempts
+            self.metrics.incr("serve.shard_corrupt")
+            breaker.record_failure()
+            error = ShardResultError(
+                f"shard returned {len(result)} results for {expected} entities"
+            )
+            if attempts >= policy.max_attempts:
+                raise error
+            time.sleep(policy.backoff_s(attempts, key=repr(shard_request)))
+            breaker.check()
+            future = pool.submit(shard_request)
 
     def _execute_annotate(
         self, request: AnnotateRequest, pool: WorkerPool, timings: dict[str, float]
@@ -437,6 +673,33 @@ class ServingService:
 
     # -- observability ---------------------------------------------------------
 
+    def health(self) -> dict[str, object]:
+        """Liveness/readiness snapshot for the gateway's ``/healthz``.
+
+        ``healthy`` goes false when every circuit breaker is open — the
+        whole fleet is failing and callers should route elsewhere — or
+        when no worker is alive.  Individual open breakers (one bad
+        shard) keep the service healthy-but-degraded.
+        """
+        pool = self._pool
+        assert pool is not None
+        breakers: dict[str, str] = {"pool": pool.breaker.state}
+        for shard, breaker in sorted(self._shard_breakers.items()):
+            breakers[f"shard:{shard}"] = breaker.state
+        all_open = all(state == OPEN for state in breakers.values())
+        live = pool.live_workers()
+        healthy = live > 0 and not all_open
+        return {
+            "healthy": healthy,
+            "status": "ok" if healthy else "unhealthy",
+            "store_version": self.store_version,
+            "mode": pool.mode,
+            "workers": pool.num_workers,
+            "live_workers": live,
+            "respawns": int(pool.stats().get("pool.executor_respawns", 0.0)),
+            "breakers": breakers,
+        }
+
     def stats(self) -> dict[str, float | str]:
         """Requests, latency, hit rates and fleet shape, flattened.
 
@@ -447,6 +710,17 @@ class ServingService:
         """
         out: dict[str, float | str] = dict(self.metrics.snapshot())
         assert self._pool is not None
+        # Pool-computed gauges (live workers, respawns, breaker state) —
+        # the raw counters already share this registry.
+        out.update(
+            (key, value)
+            for key, value in self._pool.stats().items()
+            if key.startswith("pool.")
+        )
+        for shard, breaker in sorted(self._shard_breakers.items()):
+            snap = breaker.snapshot()
+            out[f"serve.breaker.shard{shard}.state"] = snap["state"]
+            out[f"serve.breaker.shard{shard}.transitions"] = snap["transitions"]
         latency = self.metrics.histograms.get("serve.latency")
         out["serve.p50_s"] = latency.quantile(0.50) if latency is not None else 0.0
         out["serve.p95_s"] = latency.quantile(0.95) if latency is not None else 0.0

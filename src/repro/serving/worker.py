@@ -39,6 +39,8 @@ from pathlib import Path
 
 from repro.common.metrics import MetricsRegistry
 from repro.common.rng import stable_hash
+from repro.serving import faults
+from repro.serving.resilience import CircuitBreaker, RetryPolicy, is_retryable
 from repro.serving.requests import (
     AnnotateRequest,
     FactRankRequest,
@@ -206,7 +208,22 @@ class WorkerState:
     # -- request execution ---------------------------------------------------
 
     def execute(self, request: Request) -> list:
-        """Answer one request; results are per-entity (or per-text) lists."""
+        """Answer one request; results are per-entity (or per-text) lists.
+
+        The two ``fault_point`` hooks bracket the dispatch: the first can
+        kill/stall/flake the worker *before* any compute (a crash mid
+        request), the second can corrupt the *result* on its way out (a
+        truncated response).  Both are a no-op unless a chaos plan is
+        armed.
+        """
+        wire_type = getattr(type(request), "wire_type", "")
+        faults.fault_point(faults.SITE_WORKER_EXECUTE, request_type=wire_type)
+        result = self._dispatch(request)
+        return faults.fault_point(
+            faults.SITE_WORKER_RESULT, result, request_type=wire_type
+        )
+
+    def _dispatch(self, request: Request) -> list:
         if isinstance(request, WalkRequest):
             return self._walks(request)
         if isinstance(request, NeighborhoodRequest):
@@ -316,6 +333,13 @@ class InlineExecutor:
             future.set_exception(exc)
         return future
 
+    def respawn(self) -> bool:
+        """Nothing to respawn: the caller's thread cannot die under us."""
+        return False
+
+    def live_workers(self) -> int:
+        return 1
+
     def close(self) -> None:
         pass
 
@@ -325,12 +349,20 @@ class ThreadExecutor:
 
     def __init__(self, state: WorkerState, num_workers: int) -> None:
         self.state = state
+        self.num_workers = num_workers
         self._pool = ThreadPoolExecutor(
             max_workers=num_workers, thread_name_prefix="kg-serve"
         )
 
     def submit(self, request: Request) -> Future:
         return self._pool.submit(self.state.execute, request)
+
+    def respawn(self) -> bool:
+        """Thread pools survive task exceptions; no replacement needed."""
+        return False
+
+    def live_workers(self) -> int:
+        return self.num_workers
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -339,8 +371,21 @@ class ThreadExecutor:
 _PROCESS_STATE: WorkerState | None = None
 
 
-def _process_initializer(bundle_dir: str, config: WorkerConfig) -> None:
+def _process_initializer(
+    bundle_dir: str,
+    config: WorkerConfig,
+    plan: "faults.FaultPlan | None" = None,
+    incarnation: int = 1,
+) -> None:
     global _PROCESS_STATE
+    # Crashes in a subprocess worker must be real process deaths (the pool
+    # then reports BrokenProcessPool, exactly like a segfault would).
+    faults.mark_worker_process()
+    if plan is not None:
+        # Re-arm under this incarnation's salt: a replacement replica draws
+        # a different (still deterministic) injection schedule, so one
+        # scheduled crash can't wedge every respawn forever.
+        faults.arm(plan.reseeded(incarnation))
     _PROCESS_STATE = WorkerState(bundle_dir, config)
 
 
@@ -350,19 +395,77 @@ def _process_execute(request: Request) -> list:
 
 
 class ProcessExecutor:
-    """N subprocesses, each mapping the same bundle (shared page cache)."""
+    """N subprocesses, each mapping the same bundle (shared page cache).
+
+    The executor is *respawnable*: when a child dies (a real crash, an
+    OOM kill, or an injected ``os._exit``) the stdlib pool marks itself
+    broken and refuses further work — so supervision swaps in a fresh
+    pool built from the same pinned ``WorkerConfig`` over the same
+    immutable bundle.  Replacement replicas are byte-identical to the
+    ones they replace, which is what keeps retried answers identical to
+    never-failed ones.
+    """
 
     def __init__(
         self, bundle_dir: Path, num_workers: int, config: WorkerConfig
     ) -> None:
-        self._pool = ProcessPoolExecutor(
-            max_workers=num_workers,
+        self.bundle_dir = Path(bundle_dir)
+        self.num_workers = num_workers
+        self.config = config
+        self.respawns = 0
+        self._incarnation = 0
+        self._lock = threading.Lock()
+        self._pool = self._spawn()
+
+    def _spawn(self) -> ProcessPoolExecutor:
+        self._incarnation += 1
+        return ProcessPoolExecutor(
+            max_workers=self.num_workers,
             initializer=_process_initializer,
-            initargs=(str(bundle_dir), config),
+            initargs=(
+                str(self.bundle_dir),
+                self.config,
+                faults.active_plan(),
+                self._incarnation,
+            ),
         )
 
     def submit(self, request: Request) -> Future:
-        return self._pool.submit(_process_execute, request)
+        try:
+            return self._pool.submit(_process_execute, request)
+        except RuntimeError:
+            # A BrokenProcessPool (or a racing shutdown) rejects at submit
+            # time; heal once and re-dispatch — the caller's retry budget
+            # covers anything beyond that.
+            self.respawn()
+            return self._pool.submit(_process_execute, request)
+
+    def respawn(self) -> bool:
+        """Replace a broken pool with a fresh fleet; ``True`` if we did.
+
+        Lock-guarded and checked: concurrent failures from one dead child
+        must heal the pool once, not stampede N replacements.
+        """
+        with self._lock:
+            if not getattr(self._pool, "_broken", False):
+                return False
+            dead = self._pool
+            self._pool = self._spawn()
+            self.respawns += 1
+        dead.shutdown(wait=False, cancel_futures=True)
+        return True
+
+    def live_workers(self) -> int:
+        """Children currently alive (0 while a broken pool awaits respawn)."""
+        with self._lock:
+            if getattr(self._pool, "_broken", False):
+                return 0
+            processes = getattr(self._pool, "_processes", None)
+        if not processes:
+            # Stdlib spawns children lazily on first submit; an idle fresh
+            # pool still counts as its full configured width.
+            return self.num_workers
+        return sum(1 for proc in processes.values() if proc.is_alive())
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -381,6 +484,16 @@ class WorkerPool:
     Request counts and a bounded latency histogram are tracked in
     ``metrics`` (``pool.requests``, ``pool.requests.<Type>``,
     ``pool.latency``); :meth:`stats` flattens them for the facade.
+
+    Supervision: :meth:`resolve` waits on a future under ``retry_policy``
+    — a retryable failure (worker crash, broken pool, transient I/O)
+    heals the executor (:meth:`ProcessExecutor.respawn`) and re-dispatches
+    until the budget runs out, while the pool-level :class:`CircuitBreaker`
+    trips after sustained failure so callers stop hammering a dead fleet.
+    Retries are safe because every request is a pure read over an
+    immutable snapshot generation, and replacement replicas rebuild from
+    the same pinned ``WorkerConfig`` — a retried answer is byte-identical
+    to a never-failed one.
     """
 
     def __init__(
@@ -391,6 +504,8 @@ class WorkerPool:
         mode: str = "inline",
         config: WorkerConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if mode not in WORKER_MODES:
             raise ValueError(f"mode must be one of {WORKER_MODES}, got {mode!r}")
@@ -400,6 +515,8 @@ class WorkerPool:
         self.num_workers = num_workers
         self.mode = mode
         self.config = config or WorkerConfig()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker("pool")
         self.metrics = metrics or MetricsRegistry("worker-pool")
         self.local_state = WorkerState(self.bundle_dir, self.config)
         if mode == "inline":
@@ -425,6 +542,10 @@ class WorkerPool:
         """Dispatch one request; the future resolves to its result list."""
         if self._closed:
             raise RuntimeError("worker pool is closed")
+        faults.fault_point(
+            faults.SITE_POOL_SUBMIT,
+            request_type=getattr(type(request), "wire_type", ""),
+        )
         self.metrics.incr("pool.requests")
         self.metrics.incr(f"pool.requests.{type(request).__name__}")
         start = time.perf_counter()
@@ -434,20 +555,88 @@ class WorkerPool:
         )
         return future
 
+    def resolve(self, request: Request, future: Future) -> tuple[list, int]:
+        """Wait on ``future``, retrying under the policy; ``(result, attempts)``.
+
+        Each failed attempt records into the breaker and heals the
+        executor; past the budget (or on a non-retryable error) the last
+        exception propagates to the caller's degradation path.  Waiting
+        through :meth:`resolve` rather than ``future.result()`` is what
+        turns a worker death into a retry instead of a client-visible 500.
+        """
+        policy = self.retry_policy
+        key = repr(request)
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                result = future.result()
+            except BaseException as exc:
+                self.metrics.incr("pool.failures")
+                self.breaker.record_failure()
+                self._supervise()
+                if attempts >= policy.max_attempts or not is_retryable(exc):
+                    raise
+                self.metrics.incr("pool.retries")
+                time.sleep(policy.backoff_s(attempts, key=key))
+                # Re-check the breaker before re-dispatching: sustained
+                # failure must stop burning retries on a dead fleet.
+                self.breaker.check()
+                future = self.submit(request)
+                continue
+            self.breaker.record_success()
+            return result, attempts
+
+    def run_resilient(self, request: Request) -> tuple[list, int]:
+        """Breaker-gated dispatch-and-wait; ``(result, attempts)``."""
+        self.breaker.check()
+        return self.resolve(request, self.submit(request))
+
+    def _supervise(self) -> None:
+        """Heal the executor after a failure (respawn dead process fleets).
+
+        A successful respawn also resets the pool breaker: a broken pool
+        fails every in-flight future at once (one fault, N recorded
+        failures), and that burst must not open the breaker against the
+        fresh fleet that just replaced it.
+        """
+        if self._executor.respawn():
+            self.metrics.incr("pool.respawns")
+            self.breaker.reset()
+
     def run(self, request: Request) -> list:
-        """Dispatch and wait."""
-        return self.submit(request).result()
+        """Dispatch and wait (retrying under the policy)."""
+        result, _ = self.run_resilient(request)
+        return result
 
     def map(self, requests: list[Request]) -> list[list]:
-        """Dispatch many requests concurrently, results in request order."""
-        futures = [self.submit(request) for request in requests]
-        return [future.result() for future in futures]
+        """Dispatch many requests concurrently, results in request order.
 
-    def stats(self) -> dict[str, float]:
-        """Flat metrics snapshot plus pool shape."""
-        out = self.metrics.snapshot()
+        Each future resolves through the retry loop, so one crashed
+        worker mid-fan-out costs a resubmit, not the whole map.
+        """
+        futures = [self.submit(request) for request in requests]
+        return [
+            self.resolve(request, future)[0]
+            for request, future in zip(requests, futures)
+        ]
+
+    def live_workers(self) -> int:
+        """Workers currently able to take requests."""
+        return self._executor.live_workers()
+
+    def stats(self) -> dict[str, float | str]:
+        """Flat metrics snapshot plus pool shape and breaker state."""
+        out: dict[str, float | str] = dict(self.metrics.snapshot())
         out["pool.workers"] = float(self.num_workers)
         out["pool.store_version"] = float(self.store_version)
+        out["pool.live_workers"] = float(self.live_workers())
+        out["pool.executor_respawns"] = float(
+            getattr(self._executor, "respawns", 0)
+        )
+        breaker = self.breaker.snapshot()
+        out["pool.breaker.state"] = breaker["state"]
+        out["pool.breaker.transitions"] = float(breaker["transitions"])
         return out
 
     def close(self) -> None:
