@@ -18,8 +18,10 @@ Usage:
 * ``python benchmarks/check_regressions.py --fresh /tmp/fresh.jsonl``
   Compare a fresh run (``BENCH_RESULTS=/tmp/fresh.jsonl python -m pytest
   benchmarks``) against the committed baseline.  Stages missing from the
-  fresh file are skipped; stages missing from the baseline are new and
-  pass by definition.
+  baseline are new and pass by definition; a baseline stage *missing from
+  the fresh run* fails the check — a silently deleted benchmark is a
+  coverage regression, not a pass (``--allow-missing`` overrides when a
+  stage was intentionally retired).
 
 When a speedup legitimately shifts a baseline (a faster implementation
 lands), re-run the benchmarks at scale=1.0 so fresh rows are appended to
@@ -130,6 +132,12 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         help="slowdown factor that fails the check (default: 2.0)",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="tolerate baseline stages absent from the fresh run "
+        "(use when a benchmark was intentionally retired)",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -162,10 +170,28 @@ def main(argv: list[str] | None = None) -> int:
         if slowdown > args.threshold:
             regressions.append(" / ".join(key))
 
+    missing = (
+        sorted(key for key in baseline if key not in fresh)
+        if args.fresh is not None
+        else []
+    )
+    for key in missing:
+        marker = "missing" if args.allow_missing else "MISSING"
+        print(f"{marker:>10}  {' / '.join(key):<60} (no fresh row)")
+
     print(
         f"\n{compared} stage(s) compared against {args.baseline}"
         + ("" if args.fresh is None else f" (fresh: {args.fresh})")
     )
+    if missing and not args.allow_missing:
+        print(
+            f"{len(missing)} baseline stage(s) disappeared from the fresh run "
+            "(pass --allow-missing if intentionally retired):",
+            file=sys.stderr,
+        )
+        for key in missing:
+            print(f"  - {' / '.join(key)}", file=sys.stderr)
+        return 1
     if regressions:
         print(
             f"{len(regressions)} stage(s) slower than {args.threshold}x baseline:",

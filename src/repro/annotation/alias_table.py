@@ -283,3 +283,78 @@ def load_alias_state(
     if not isinstance(state, dict) or "exact" not in state:
         raise StoreError(f"corrupt alias snapshot state in {directory}")
     return state, int(manifest["store_version"]), manifest.get("extra", {})
+
+
+def apply_alias_updates(state: dict, updates: dict) -> dict:
+    """Apply one delta generation's key updates to a :meth:`AliasTable.state`.
+
+    ``updates`` carries fully recomputed entry lists per touched key —
+    ``{"updated": {key: entries}, "added": {key: entries}, "removed":
+    [keys]}`` — produced by the generation publisher replaying
+    :meth:`AliasTable.refresh`'s accumulation for exactly the keys a
+    changed entity record touches.  Updated keys replace their entries in
+    place (preserving ``_exact``'s insertion order, which fixes fuzzy
+    scoring's float-accumulation order); added keys append, matching where
+    a full refresh would put keys introduced by newly catalogued entities;
+    removed keys drop out of every derived structure (first-char buckets,
+    trigram memos, the word trie).  ``max_key_tokens`` only ever grows —
+    it bounds the mention detector's n-gram window, so a loose upper bound
+    after removals stays correct.
+
+    The state dict is modified in place and returned.
+    """
+    exact = state["exact"]
+    by_first = state["by_first_char"]
+    key_grams = state["key_grams"]
+    trie = state["trie"]
+    max_key_tokens = int(state["max_key_tokens"])
+
+    def insert(key: str, entries: list) -> None:
+        exact[key] = [(entity, prior, flag) for entity, prior, flag in entries]
+        bucket = by_first.setdefault(key[0], [])
+        if key not in bucket:
+            bucket.append(key)
+        key_grams[key] = dict(char_ngrams(key))
+        words = key.split(" ")
+        node = trie
+        for word in words:
+            node = node.setdefault(word, {})
+        node[TRIE_KEY] = True
+
+    for key, entries in updates.get("updated", {}).items():
+        if key in exact:
+            exact[key] = [(entity, prior, flag) for entity, prior, flag in entries]
+        else:
+            insert(key, entries)
+            max_key_tokens = max(max_key_tokens, len(key.split(" ")))
+    for key, entries in updates.get("added", {}).items():
+        insert(key, entries)
+        max_key_tokens = max(max_key_tokens, len(key.split(" ")))
+    for key in updates.get("removed", ()):
+        if key not in exact:
+            continue
+        del exact[key]
+        bucket = by_first.get(key[0])
+        if bucket is not None:
+            if key in bucket:
+                bucket.remove(key)
+            if not bucket:
+                del by_first[key[0]]
+        key_grams.pop(key, None)
+        words = key.split(" ")
+        path = [trie]
+        for word in words:
+            node = path[-1].get(word)
+            if node is None:
+                path = []
+                break
+            path.append(node)
+        if path:
+            path[-1].pop(TRIE_KEY, None)
+            for depth in range(len(words), 0, -1):
+                if path[depth]:
+                    break
+                path[depth - 1].pop(words[depth - 1], None)
+
+    state["max_key_tokens"] = max_key_tokens
+    return state

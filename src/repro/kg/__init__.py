@@ -1,6 +1,12 @@
 """Knowledge-graph substrate: store, ontology, engine, views, construction."""
 
 from repro.kg.adjacency import AdjacencyIndex, CSRAdjacency, build_csr
+from repro.kg.deltas import (
+    DeltaOverlay,
+    GenerationInfo,
+    GenerationPublisher,
+    published_version,
+)
 from repro.kg.encoding import Dictionary
 from repro.kg.generator import (
     SyntheticKG,
@@ -24,9 +30,12 @@ from repro.kg.views import (
 __all__ = [
     "AdjacencyIndex",
     "CSRAdjacency",
+    "DeltaOverlay",
     "Dictionary",
     "EntityRecord",
     "Fact",
+    "GenerationInfo",
+    "GenerationPublisher",
     "GraphEngine",
     "LiteralType",
     "ObjectKind",
@@ -46,6 +55,7 @@ __all__ = [
     "literal_fact",
     "load_store",
     "materialize",
+    "published_version",
     "save_store",
     "static_knowledge_asset_view",
 ]

@@ -374,7 +374,35 @@ def load_snapshot(
     mmap: bool = True,
     verify: bool = True,
 ) -> KGSnapshot:
-    """Load a bundle written by :func:`save_snapshot`.
+    """Load a bundle written by :func:`save_snapshot` — chained or plain.
+
+    A bundle carrying a ``chain.json`` (written by
+    :class:`~repro.kg.deltas.GenerationPublisher`) loads through the delta
+    machinery: the base plus every delta overlay merge into one snapshot
+    stamped at the chain's tip version.  Plain bundles load directly.
+    Either way the returned :class:`KGSnapshot` honours the same contract,
+    so callers (workers, serving, tools) need no chain awareness.
+    """
+    from repro.kg.deltas import CHAIN_NAME, load_chain_snapshot
+
+    directory = Path(directory)
+    if (directory / CHAIN_NAME).exists():
+        return load_chain_snapshot(
+            directory, defer_facts=defer_facts, mmap=mmap, verify=verify
+        )
+    return load_plain_snapshot(
+        directory, defer_facts=defer_facts, mmap=mmap, verify=verify
+    )
+
+
+def load_plain_snapshot(
+    directory: str | Path,
+    *,
+    defer_facts: bool = True,
+    mmap: bool = True,
+    verify: bool = True,
+) -> KGSnapshot:
+    """Load a single (chain-free) bundle directory.
 
     Cold start is an mmap, not a rebuild: physical arrays map read-only,
     the fact log replays lazily (``defer_facts=False`` forces an eager

@@ -68,6 +68,20 @@ class ODKEReport:
         default_factory=dict
     )
 
+    @property
+    def changed_fact_keys(self) -> list[tuple[str, str, str]]:
+        """(s, p, o) keys this run's fusion touched in the store.
+
+        What a :class:`~repro.kg.deltas.GenerationPublisher` records per
+        run: fusion only ever upserts, so the fused facts' keys cover
+        every store mutation.  Keys the resolver ultimately rejected are
+        harmless — the publisher reads the store's end state per key, so
+        an untouched key contributes nothing to the delta.
+        """
+        if self.fusion is None:
+            return []
+        return [fact.key for fact in self.fusion.facts]
+
 
 class ODKEPipeline:
     """Wires retrieval, extraction, corroboration and fusion together."""

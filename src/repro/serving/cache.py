@@ -55,6 +55,10 @@ class QueryCache:
         # request -> (store_version, value): the newest demoted result per
         # request, kept for serve-stale-on-error (0 capacity disables it).
         self._stale = MemoryKVStore(capacity=max(stale_capacity, 1))
+        # The generation this cache currently accepts live writes for;
+        # None until the first adopt_version.  Writes tagged with any
+        # other version demote straight to the stale store — see put().
+        self._adopted_version: int | None = None
 
     def get(self, version: int, request: Hashable) -> Any:
         """The cached result, or ``None`` on a miss.
@@ -68,8 +72,29 @@ class QueryCache:
         return value
 
     def put(self, version: int, request: Hashable, value: Any) -> None:
-        """Insert a result, evicting the least-recently-used past capacity."""
+        """Insert a result, evicting the least-recently-used past capacity.
+
+        A write tagged with a generation other than the adopted one — an
+        in-flight request that lost a race with :meth:`adopt_version` —
+        never lands in the live store: it demotes straight to the stale
+        store (newest generation per request wins), closing the window in
+        which a straggling old-generation write could be re-read by a
+        request that captured the old version before the swap.
+        """
+        adopted = self._adopted_version
+        if adopted is not None and version != adopted:
+            self.metrics.incr("cache.swap_races")
+            self._demote(version, request, value)
+            return
         self._store.put((version, request), value)
+
+    def _demote(self, version: int, request: Hashable, value: Any) -> None:
+        """Move one entry into the stale store if it is the newest there."""
+        if self.stale_capacity == 0:
+            return
+        existing = self._stale.get(request, _SENTINEL)
+        if existing is _SENTINEL or existing[0] < version:
+            self._stale.put(request, (version, value))
 
     def warm(self, version: int, entries: Iterable[tuple[Hashable, Any]]) -> int:
         """Pre-populate the cache with computed ``(request, result)`` pairs.
@@ -86,7 +111,7 @@ class QueryCache:
             admission = getattr(request, "cacheable", None)
             if callable(admission) and not admission():
                 continue
-            self._store.put((version, request), value)
+            self.put(version, request, value)
             admitted += 1
         if admitted:
             self.metrics.incr("cache.warmed", admitted)
@@ -114,27 +139,33 @@ class QueryCache:
 
         Called when the service adopts a new snapshot generation — stale
         generations must free their memory immediately, not linger until
-        LRU pressure pushes them out.  (The purge is not atomic against
-        concurrent puts; a straggling old-generation write afterwards is
-        unreachable by key and ages out of the LRU.)
+        LRU pressure pushes them out.
+
+        The adopted version is published *before* the purge sweeps, so a
+        put racing this call either lands before a sweep (and is swept)
+        or observes the new version and self-demotes (:meth:`put`); a
+        second sweep after the first closes the remaining interleaving.
+        Either way no old-generation entry survives in the live store.
 
         Dropped entries are *demoted*, not lost: the newest result per
         request moves into the bounded stale store for
         serve-stale-on-error (:meth:`get_stale`).
         """
-        stale = [key for key in self._store.keys() if key[0] != version]
-        for key in stale:
-            if self.stale_capacity > 0:
-                entry_version = key[0]
-                existing = self._stale.get(key[1], _SENTINEL)
-                if existing is _SENTINEL or existing[0] < entry_version:
-                    value = self._store.get(key, _SENTINEL)
-                    if value is not _SENTINEL:
-                        self._stale.put(key[1], (entry_version, value))
-            self._store.delete(key)
-        if stale:
-            self.metrics.incr("cache.invalidated", len(stale))
-        return len(stale)
+        self._adopted_version = version
+        dropped = 0
+        for _sweep in range(2):
+            stale = [key for key in self._store.keys() if key[0] != version]
+            for key in stale:
+                value = self._store.get(key, _SENTINEL)
+                if value is not _SENTINEL:
+                    self._demote(key[0], key[1], value)
+                self._store.delete(key)
+            dropped += len(stale)
+            if not stale:
+                break
+        if dropped:
+            self.metrics.incr("cache.invalidated", dropped)
+        return dropped
 
     def clear(self) -> None:
         """Drop everything, stale entries included (counters are preserved)."""

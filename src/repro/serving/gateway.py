@@ -493,10 +493,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--deadline-s", type=float, default=None, help="per-request deadline (seconds)"
     )
+    parser.add_argument(
+        "--watch-interval-s",
+        type=float,
+        default=None,
+        help="poll the bundle for new published generations every N seconds "
+        "and hot-swap onto them (live growth; off by default)",
+    )
     args = parser.parse_args(argv)
     with ServingService(
         args.bundle_dir, mode=args.mode, num_workers=args.workers
     ) as service:
+        watcher = None
+        if args.watch_interval_s is not None:
+            from repro.serving.growth import GenerationWatcher
+
+            watcher = GenerationWatcher(
+                service, args.bundle_dir, interval_s=args.watch_interval_s
+            ).start()
         try:
             asyncio.run(
                 run_http_gateway(
@@ -510,6 +524,9 @@ def main(argv: list[str] | None = None) -> int:
             )
         except KeyboardInterrupt:
             pass
+        finally:
+            if watcher is not None:
+                watcher.stop()
     return 0
 
 

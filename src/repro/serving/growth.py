@@ -1,0 +1,109 @@
+"""Serving-side live growth: follow a bundle's generation chain.
+
+The read half of the continuous-growth loop: a
+:class:`~repro.kg.deltas.GenerationPublisher` appends delta generations to
+a bundle on the construction side; a :class:`GenerationWatcher` polls the
+bundle's published tip (one small JSON read) and hot-swaps the serving
+fleet onto new generations via ``ServingService.adopt_generation`` — which
+already gives zero dropped requests (new workers spin up before the old
+pool closes, in-flight requests keep their captured pool).
+
+Staleness is bounded by ``publish cadence + poll interval``: a generation
+published at time T is serving by T + interval (plus the adoption itself,
+which is mmap-cheap).  Adoption failures are contained — the watcher
+counts them and keeps serving the previous generation, never crashing the
+serving process over a bad publish.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.kg.deltas import published_version
+
+if TYPE_CHECKING:
+    from repro.serving.service import ServingService
+
+__all__ = ["GenerationWatcher", "published_version"]
+
+
+class GenerationWatcher:
+    """Daemon thread that adopts new bundle generations as they publish.
+
+    >>> watcher = GenerationWatcher(service, bundle_dir, interval_s=0.5)
+    >>> watcher.start()
+    ...
+    >>> watcher.stop()
+
+    ``on_swap`` (if given) is called as ``on_swap(store_version)`` after
+    each successful adoption — test hooks and gateways log from it.
+    """
+
+    def __init__(
+        self,
+        service: "ServingService",
+        bundle_dir: str | Path,
+        *,
+        interval_s: float = 1.0,
+        on_swap: Callable[[int], None] | None = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.service = service
+        self.bundle_dir = Path(bundle_dir)
+        self.interval_s = interval_s
+        self.on_swap = on_swap
+        self.swaps = 0
+        self.errors = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def poll_once(self) -> int | None:
+        """Adopt the bundle tip if it moved; the new version, else ``None``.
+
+        Never raises: a failed read or adoption increments :attr:`errors`
+        and leaves the service on its current generation.
+        """
+        try:
+            tip = published_version(self.bundle_dir)
+            if tip is None or tip == self.service.store_version:
+                return None
+            version = self.service.adopt_generation(self.bundle_dir)
+        except Exception:
+            self.errors += 1
+            self.service.metrics.incr("growth.watch_errors")
+            return None
+        self.swaps += 1
+        self.service.metrics.incr("growth.swaps")
+        if self.on_swap is not None:
+            self.on_swap(version)
+        return version
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.poll_once()
+
+    def start(self) -> "GenerationWatcher":
+        """Start polling in a daemon thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="generation-watcher", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the polling thread and wait for it to exit."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "GenerationWatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

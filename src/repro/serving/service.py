@@ -147,6 +147,11 @@ class ServingService:
         self._shard_breakers: dict[int, CircuitBreaker] = {}
         self._pool: WorkerPool | None = None
         self._router: ShardRouter | None = None
+        # Bumped on every generation swap; serve() captures it up front
+        # and skips its cache write when a swap happened mid-request, so
+        # a result whose batched sub-work may have computed on the new
+        # fleet is never cached under the old version (see _adopt).
+        self._swap_epoch = 0
         self._worker_config = worker_config
         self._mode = mode
         self._num_workers = num_workers
@@ -170,6 +175,7 @@ class ServingService:
             retry_policy=self.retry_policy,
         )
         previous, self._pool = self._pool, pool
+        self._swap_epoch += 1
         dictionary = pool.local_state.dictionary
         self._router = ShardRouter(
             self.num_shards,
@@ -225,7 +231,7 @@ class ServingService:
 
     # -- the uniform dispatch --------------------------------------------------
 
-    def serve(self, request: Request) -> Response:
+    def serve(self, request: Request, *, _swap_retries: int = 2) -> Response:
         """Answer any request with a typed response envelope.
 
         The single entry point every transport calls (legacy facade
@@ -233,9 +239,15 @@ class ServingService:
         for request-level failures — the envelope carries a structured
         error instead (with the original exception attached in-process
         for delegating wrappers).
+
+        Generation swaps drop zero requests: a request whose captured
+        pool was shut down mid-flight by ``adopt_generation`` re-dispatches
+        against the new generation (``_swap_retries`` bounds pathological
+        back-to-back swaps) instead of surfacing the race as an error.
         """
         started = time.perf_counter()
         timings: dict[str, float] = {}
+        epoch = self._swap_epoch
         pool, router = self._pool, self._router
         assert pool is not None and router is not None
         version = pool.store_version
@@ -280,8 +292,22 @@ class ServingService:
             ):
                 payload = self._execute(request, pool, router, timings, resilience)
             if cacheable:
-                self._cache.put(version, request, payload)
+                if epoch == self._swap_epoch:
+                    self._cache.put(version, request, payload)
+                else:
+                    # A generation swap landed mid-request: parts of this
+                    # result (e.g. a micro-batched annotate flush, which
+                    # reads the live pool) may have computed on the new
+                    # fleet.  Skipping the write is always safe; the cache
+                    # itself also refuses cross-generation writes.
+                    self.metrics.incr("serve.swap_races")
         except PartialResultError as exc:
+            if pool is not self._pool and _swap_retries > 0:
+                # The failure happened across a generation swap (the old
+                # pool may have shut down under us): re-dispatch on the
+                # new generation rather than degrade a healthy fleet.
+                self.metrics.incr("serve.swap_retries")
+                return self.serve(request, _swap_retries=_swap_retries - 1)
             # Graceful degradation: the healthy shards' answers go out with
             # None holes at the failed entities, plus the terminal error —
             # a partial answer beats a 500 for a read-only KG lookup.
@@ -309,6 +335,12 @@ class ServingService:
                 exception=exc.cause,
             )
         except Exception as exc:
+            if pool is not self._pool and _swap_retries > 0:
+                # Lost the race with adopt_generation outright — the old
+                # pool is gone.  Zero dropped requests: retry on the new
+                # generation instead of answering unavailable.
+                self.metrics.incr("serve.swap_retries")
+                return self.serve(request, _swap_retries=_swap_retries - 1)
             if self.resilient and cacheable:
                 # Serve-stale-on-error: fresh compute is gone past its
                 # budget, but a previous generation answered this exact
