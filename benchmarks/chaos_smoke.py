@@ -23,8 +23,10 @@ import json
 import os
 import sys
 import tempfile
+import time
 from pathlib import Path
 
+from repro.common.metrics import MetricsRegistry
 from repro.kg.generator import SyntheticKGConfig, generate_kg
 from repro.kg.persistence import save_snapshot
 from repro.serving.faults import (
@@ -35,8 +37,10 @@ from repro.serving.faults import (
 )
 from repro.serving.gateway import AsyncGateway, GatewayHTTPServer
 from repro.serving.protocol import decode_response, encode_request, encode_response
-from repro.serving.resilience import RetryPolicy
+from repro.serving.requests import WalkRequest
+from repro.serving.resilience import CircuitBreaker, CircuitOpenError, RetryPolicy
 from repro.serving.service import ServingService
+from repro.serving.worker import WorkerPool
 
 # Run as a script (CI) the benchmarks directory itself is on sys.path;
 # under pytest the package import works.
@@ -114,6 +118,71 @@ async def smoke(service: ServingService, reference: dict[str, bytes]) -> list[st
     return failures
 
 
+def observability_counters_phase(bundle: Path) -> list[str]:
+    """Drive a process-mode pool under deterministic chaos and assert the
+    resilience *observability* surface moved: ``pool.retries``,
+    ``pool.respawns`` and ``breaker.transitions`` must all be non-zero.
+
+    A crash-only plan at rate 0.5 (never 1.0: the child's injection
+    budget resets per respawn, so a certain-crash plan livelocks) plus a
+    hair-trigger breaker makes every leg of the story fire within a few
+    requests: crash -> failure recorded -> breaker opens -> supervisor
+    respawns (and resets the breaker) -> retry succeeds.
+    """
+    failures: list[str] = []
+    metrics = MetricsRegistry("chaos-observability")
+    breaker = CircuitBreaker(
+        "pool",
+        min_volume=1,
+        failure_threshold=0.01,
+        open_duration_s=0.01,
+        metrics=metrics,
+    )
+    plan = FaultPlan(
+        (FaultSpec(SITE_WORKER_EXECUTE, "crash", rate=0.5),), seed=13
+    )
+    with armed(plan):
+        with WorkerPool(
+            bundle,
+            mode="process",
+            num_workers=1,
+            metrics=metrics,
+            breaker=breaker,
+            retry_policy=RETRY_POLICY,
+        ) as pool:
+            state = pool.local_state
+            entities = sorted(state.snapshot.store.entity_ids())[:8]
+            answered = 0
+            for seed in range(12):
+                request = WalkRequest(entities=tuple(entities[:4]), seed=seed)
+                try:
+                    pool.run(request)
+                    answered += 1
+                except CircuitOpenError:
+                    time.sleep(0.02)  # cooldown elapses; next call probes
+                except Exception as exc:
+                    failures.append(
+                        f"chaos pool request {seed}: {type(exc).__name__}: {exc}"
+                    )
+    counters = dict(metrics.counters)
+    if answered == 0:
+        failures.append("chaos pool: no request ever completed")
+    for counter in ("pool.retries", "pool.respawns", "breaker.transitions"):
+        if counters.get(counter, 0) < 1:
+            failures.append(
+                f"chaos pool: expected {counter} >= 1, got {counters.get(counter, 0)} "
+                f"(counters={ {k: v for k, v in sorted(counters.items())} })"
+            )
+    if not failures:
+        print(
+            f"  ok  observability counters  retries={counters['pool.retries']} "
+            f"respawns={counters['pool.respawns']} "
+            f"breaker_transitions={counters['breaker.transitions']} "
+            f"answered={answered}/12"
+        )
+    return failures
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
         bundle = Path(tmp) / "bundle"
@@ -141,6 +210,7 @@ def main() -> int:
                 stats = service.stats()
         if PLAN.injections() == 0:
             failures.append("fault plan injected nothing — smoke is vacuous")
+        failures.extend(observability_counters_phase(bundle))
     if failures:
         print("\nFAILURES:", file=sys.stderr)
         for failure in failures:

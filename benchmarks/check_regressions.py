@@ -70,6 +70,39 @@ LOWER_IS_BETTER = (
 HIGHER_IS_BETTER = ("docs_per_s", "scored_per_s", "triples_per_s", "qps", "queries_per_s")
 
 
+def budget_violations(rows: list[dict]) -> list[str]:
+    """Rows carrying an ``overhead_budget`` promise an *absolute* bound.
+
+    Unlike the relative baseline comparison, these bounds re-apply to
+    every run of this script — committed baseline and fresh runs alike.
+    A row whose ``overhead_vs_*`` field exceeds its own budget fails the
+    check (the F-obs armed row gates tracing overhead ≤5% this way).
+    """
+    violations: list[str] = []
+    for row in rows:
+        budget = row.get("overhead_budget")
+        if budget is None:
+            continue
+        overheads = {
+            key: float(value)
+            for key, value in row.items()
+            if key.startswith("overhead_vs_")
+        }
+        if not overheads:
+            violations.append(
+                f"{' / '.join(stage_key(row))}: overhead_budget={budget} "
+                "but no overhead_vs_* field to check"
+            )
+            continue
+        for key, value in sorted(overheads.items()):
+            if value > float(budget):
+                violations.append(
+                    f"{' / '.join(stage_key(row))}: {key}={value:g} "
+                    f"exceeds budget {float(budget):g}"
+                )
+    return violations
+
+
 def load_rows(path: Path) -> list[dict]:
     rows = []
     for line_no, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
@@ -143,7 +176,11 @@ def main(argv: list[str] | None = None) -> int:
     if not args.baseline.exists():
         print(f"baseline not found: {args.baseline}", file=sys.stderr)
         return 1
-    baseline = latest_metrics(load_rows(args.baseline))
+    baseline_rows = load_rows(args.baseline)
+    budget_failures = budget_violations(baseline_rows)
+    if args.fresh is not None:
+        budget_failures += budget_violations(load_rows(args.fresh))
+    baseline = latest_metrics(baseline_rows)
     if not baseline:
         print(f"no timed stages found in {args.baseline}", file=sys.stderr)
         return 1
@@ -200,7 +237,15 @@ def main(argv: list[str] | None = None) -> int:
         for key in regressions:
             print(f"  - {key}", file=sys.stderr)
         return 1
-    print("no regressions beyond threshold")
+    if budget_failures:
+        print(
+            f"{len(budget_failures)} row(s) exceed their overhead budget:",
+            file=sys.stderr,
+        )
+        for failure in budget_failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("no regressions beyond threshold; all overhead budgets honoured")
     return 0
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import re
 import sys
 import tempfile
 from pathlib import Path
@@ -58,6 +59,74 @@ async def http_post(host: str, port: int, path: str, body: bytes) -> tuple[str, 
     writer.close()
     head, _, payload = raw.partition(b"\r\n\r\n")
     return head.split(b"\r\n")[0].decode("latin-1"), payload
+
+
+async def http_get(host: str, port: int, path: str) -> tuple[str, str, bytes]:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    lines = head.split(b"\r\n")
+    return lines[0].decode("latin-1"), head.decode("latin-1"), payload
+
+
+# Every Prometheus series the serving stack promises after one request of
+# each type has been answered (README "Observability" catalogues these).
+EXPECTED_METRIC_SERIES = (
+    "kg_gateway_requests_total",
+    "kg_serve_requests_total",
+    "kg_serve_requests_by_type_total",
+    "kg_serve_responses_by_status_total",
+    "kg_pool_requests_total",
+    "kg_pool_requests_by_type_total",
+    "kg_serve_latency_seconds_bucket",
+    "kg_serve_latency_seconds_sum",
+    "kg_serve_latency_seconds_count",
+    "kg_serve_store_version",
+    "kg_serve_cache_entries",
+    "kg_serve_workers",
+    "kg_breaker_state",
+)
+
+SAMPLE_LINE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*'          # metric name
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'  # first label
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'  # more labels
+    r" [0-9.eE+-]+$"                    # value
+)
+
+
+def check_metrics_text(text: str, request_names: list[str]) -> list[str]:
+    """Parse a /metrics body; returns failure strings (empty = healthy)."""
+    failures: list[str] = []
+    seen: set[str] = set()
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "summary", "histogram"
+            ):
+                failures.append(f"/metrics: malformed TYPE line {line!r}")
+            continue
+        if line.startswith("#"):
+            failures.append(f"/metrics: unexpected comment line {line!r}")
+            continue
+        if SAMPLE_LINE.match(line.replace("+Inf", "999")) is None:
+            failures.append(f"/metrics: unparseable sample line {line!r}")
+            continue
+        seen.add(line.split("{")[0].split(" ")[0])
+    for series in EXPECTED_METRIC_SERIES:
+        if series not in seen:
+            failures.append(f"/metrics: expected series {series} missing")
+    for name in request_names:
+        wanted = f'kg_serve_requests_by_type_total{{type="{name}"}}'
+        if not any(line.startswith(wanted) for line in text.splitlines()):
+            failures.append(f"/metrics: no per-type sample for {name}")
+    return failures
 
 
 def build_requests(service: ServingService) -> list:
@@ -114,6 +183,26 @@ async def smoke(service: ServingService) -> list[str]:
                 failures.append(f"{name}: envelope missing payload/timings")
                 continue
             print(f"  ok  {name:<22} total_ms={response.timings['total_ms']:.2f}")
+
+        # After all eight types answered, the /metrics scrape must be
+        # parseable Prometheus text carrying every promised series.
+        request_names = [type(r).__name__ for r in build_requests(service)]
+        status, head, body = await http_get(host, port, "/metrics")
+        if status != "HTTP/1.1 200 OK":
+            failures.append(f"/metrics: {status}")
+        elif "text/plain" not in head:
+            failures.append(f"/metrics: wrong content type in {head!r}")
+        else:
+            metric_failures = check_metrics_text(body.decode("utf-8"), request_names)
+            failures.extend(metric_failures)
+            if not metric_failures:
+                sample_count = sum(
+                    1
+                    for line in body.decode("utf-8").splitlines()
+                    if line and not line.startswith("#")
+                )
+                print(f"  ok  /metrics               {sample_count} samples, "
+                      f"all expected series present")
 
         for label, payload, want_code in (
             ("malformed JSON", b"{nope", "bad_request"),

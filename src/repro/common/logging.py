@@ -1,0 +1,116 @@
+"""Structured JSON logging with trace correlation.
+
+One JSON object per line on a configurable stream (stderr by default):
+
+    {"ts": "2026-08-08T12:00:00.123456+00:00", "level": "info",
+     "logger": "serving.gateway", "event": "server.started",
+     "trace_id": "1f3-2a", "span_id": "1f3-2b", "host": "...", ...}
+
+``trace_id``/``span_id`` are attached automatically whenever a span (or
+remotely-seeded trace context) is current, which is what lets an
+operator walk from a slow log line to the matching trace in
+``GET /debug/traces`` and down to the offending span.
+
+This replaces the bare ``print`` calls in ``serving/`` and
+``odke/live.py``; it is deliberately tiny (no handlers, no formatters,
+no stdlib ``logging`` interop) because every consumer here wants exactly
+one thing: machine-parseable lines that a log shipper can ingest.
+Logging below the configured level is a single integer compare.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+import sys
+import threading
+from typing import Any, TextIO
+
+__all__ = ["Logger", "configure", "get_logger", "set_level"]
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_lock = threading.Lock()
+_stream: TextIO | None = None  # None -> sys.stderr at emit time
+_level = _LEVELS.get(os.environ.get("KG_LOG_LEVEL", "info").lower(), 20)
+_loggers: dict[str, "Logger"] = {}
+
+
+def configure(*, stream: TextIO | None = None, level: str | None = None) -> None:
+    """Redirect log output and/or change the global level.
+
+    ``stream=None`` restores the default (``sys.stderr`` resolved at
+    emit time, so pytest capsys and test redirections keep working).
+    """
+    global _stream
+    _stream = stream
+    if level is not None:
+        set_level(level)
+
+
+def set_level(level: str) -> None:
+    global _level
+    try:
+        _level = _LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(f"unknown log level {level!r}; expected one of {sorted(_LEVELS)}")
+
+
+class Logger:
+    """A named emitter of structured log lines."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def debug(self, event: str, **fields: Any) -> None:
+        if _level <= 10:
+            self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        if _level <= 20:
+            self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        if _level <= 30:
+            self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        if _level <= 40:
+            self._emit("error", event, fields)
+
+    def _emit(self, level: str, event: str, fields: dict[str, Any]) -> None:
+        record: dict[str, Any] = {
+            "ts": _dt.datetime.now(_dt.timezone.utc).isoformat(),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        # Import here keeps logging importable with zero serving deps;
+        # the call is one global None check when tracing is disarmed.
+        from repro.common import tracing
+
+        context = tracing.current_context()
+        if context is not None:
+            record["trace_id"] = context.trace_id
+            record["span_id"] = context.span_id
+        record.update(fields)
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        stream = _stream if _stream is not None else sys.stderr
+        with _lock:
+            try:
+                stream.write(line + "\n")
+            except ValueError:
+                # Stream closed under us (interpreter teardown, test
+                # stream torn down) — logging must never crash the app.
+                pass
+
+
+def get_logger(name: str) -> Logger:
+    """The (cached) logger for ``name``."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers.setdefault(name, Logger(name))
+    return logger

@@ -122,6 +122,21 @@ class LatencyHistogram:
             "max_s": self.max if self.count else 0.0,
         }
 
+    def to_prometheus_buckets(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, Prometheus semantics.
+
+        Each entry counts every sample ``<= upper_bound`` (not just the
+        bucket's own), and the list always ends with ``(inf, count)`` —
+        exactly the ``le`` label series a ``*_bucket`` family wants.
+        """
+        out: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            out.append((bound, cumulative))
+        out.append((float("inf"), self.count))
+        return out
+
 
 @dataclass
 class MetricsRegistry:
@@ -238,6 +253,92 @@ class MetricsRegistry:
                 for stat, value in histogram.to_dict().items():
                     out[f"hist.{key}.{stat}"] = value
             return out
+
+
+def _mangle(name: str) -> str:
+    """A metric name reduced to the Prometheus charset ``[a-zA-Z0-9_]``."""
+    return "".join(ch if ch.isascii() and (ch.isalnum() or ch == "_") else "_" for ch in name)
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    *,
+    prefix: str = "kg",
+    families: dict[str, tuple[str, str]] | None = None,
+    extra_gauges: dict[str, float] | None = None,
+) -> str:
+    """The registry as Prometheus text exposition format (0.0.4).
+
+    Dotted metric names become underscore-mangled, ``prefix``-ed series:
+    counters gain ``_total``, timers render as summaries
+    (``_count``/``_sum``), histograms as cumulative ``_bucket{le=...}``
+    series via :meth:`LatencyHistogram.to_prometheus_buckets`.
+
+    ``families`` maps a counter-key prefix to ``(family_name,
+    label_name)``: every counter under that prefix folds into one
+    labeled family instead of minting a metric name per dynamic suffix —
+    e.g. ``{"serve.requests.": ("serve_requests_by_type", "type")}``
+    turns ``serve.requests.WalkRequest`` into
+    ``kg_serve_requests_by_type_total{type="WalkRequest"}``.
+
+    ``extra_gauges`` lets callers surface point-in-time values that live
+    outside the registry (store version, cache hit counts, breaker
+    state) without first copying them in.
+    """
+    families = families or {}
+    lines: list[str] = []
+    with registry._lock:
+        plain: dict[str, int] = {}
+        grouped: dict[tuple[str, str], list[tuple[str, int]]] = {}
+        for key in sorted(registry.counters):
+            value = registry.counters[key]
+            for family_prefix, family in families.items():
+                if key.startswith(family_prefix) and len(key) > len(family_prefix):
+                    grouped.setdefault(family, []).append(
+                        (key[len(family_prefix):], value)
+                    )
+                    break
+            else:
+                plain[key] = value
+        for key, value in plain.items():
+            name = f"{prefix}_{_mangle(key)}_total"
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {value}")
+        for (family_name, label), members in sorted(grouped.items()):
+            name = f"{prefix}_{_mangle(family_name)}_total"
+            lines.append(f"# TYPE {name} counter")
+            for label_value, value in members:
+                lines.append(f'{name}{{{label}="{label_value}"}} {value}')
+        gauges = dict(registry.gauges)
+        if extra_gauges:
+            gauges.update(extra_gauges)
+        for key in sorted(gauges):
+            name = f"{prefix}_{_mangle(key)}"
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(float(gauges[key]))}")
+        for key in sorted(registry.timings):
+            samples = registry.timings[key]
+            name = f"{prefix}_{_mangle(key)}_seconds"
+            lines.append(f"# TYPE {name} summary")
+            lines.append(f"{name}_count {len(samples)}")
+            lines.append(f"{name}_sum {_format_value(float(sum(samples)))}")
+        for key in sorted(registry.histograms):
+            histogram = registry.histograms[key]
+            name = f"{prefix}_{_mangle(key)}_seconds"
+            lines.append(f"# TYPE {name} histogram")
+            for bound, cumulative in histogram.to_prometheus_buckets():
+                lines.append(f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}')
+            lines.append(f"{name}_sum {_format_value(histogram.total)}")
+            lines.append(f"{name}_count {histogram.count}")
+    return "\n".join(lines) + "\n"
 
 
 def _quantile(ordered: list[float], q: float) -> float:

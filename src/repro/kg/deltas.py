@@ -56,7 +56,9 @@ from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 
+from repro.common import tracing
 from repro.common.errors import StoreError
+from repro.common.logging import get_logger
 from repro.common.serialization import read_jsonl, write_jsonl
 from repro.common.snapshot_io import (
     FORMAT_VERSION,
@@ -87,6 +89,8 @@ CHAIN_NAME = "chain.json"
 DELTAS_DIR = "deltas"
 BASES_DIR = "bases"
 DELTA_KIND = "delta"
+
+_log = get_logger("kg.deltas")
 
 # Fault-injection sites (consulted through repro.serving.faults when armed).
 # The ordering of the two publish-side hooks is the crash-safety contract:
@@ -911,7 +915,15 @@ class GenerationPublisher:
         pending set is preserved and the chain untouched — retryable.
         """
         with self._lock:
-            return self._publish_locked()
+            with tracing.span(
+                "publisher.publish", bundle=str(self.bundle_dir)
+            ) as span:
+                info = self._publish_locked()
+                if info is not None and span.recording:
+                    span.set_attribute("seq", info.seq)
+                    span.set_attribute("store_version", info.store_version)
+                    span.set_attribute("chain_length", info.chain_length)
+                return info
 
     def _publish_locked(self) -> GenerationInfo | None:
         store = self.store
@@ -1060,9 +1072,22 @@ class GenerationPublisher:
             self.metrics.observe(
                 "publisher.publish_s", time.perf_counter() - started
             )
+        _log.info(
+            "generation.published",
+            bundle=str(self.bundle_dir),
+            seq=seq,
+            store_version=version,
+            parent_version=parent,
+            chain_length=self.chain_length,
+            facts=len(facts),
+            removed=len(removed),
+        )
         compacted = False
         if self.compact_every and len(chain["deltas"]) >= self.compact_every:
-            self._compact_locked()
+            with tracing.span(
+                "publisher.compact", bundle=str(self.bundle_dir)
+            ):
+                self._compact_locked()
             compacted = True
         return GenerationInfo(
             seq=seq,
@@ -1170,7 +1195,10 @@ class GenerationPublisher:
     def compact(self) -> GenerationInfo:
         """Fold the chain into a fresh base (publishes pending changes too)."""
         with self._lock:
-            return self._compact_locked()
+            with tracing.span(
+                "publisher.compact", bundle=str(self.bundle_dir)
+            ):
+                return self._compact_locked()
 
     def _compact_locked(self) -> GenerationInfo:
         from repro.kg.graph_engine import GraphEngine
@@ -1203,6 +1231,12 @@ class GenerationPublisher:
             self.metrics.observe(
                 "publisher.compact_s", time.perf_counter() - started
             )
+        _log.info(
+            "generation.compacted",
+            bundle=str(self.bundle_dir),
+            store_version=version,
+            base=base_rel,
+        )
         return GenerationInfo(
             seq=int(chain["next_seq"]) - 1,
             store_version=version,

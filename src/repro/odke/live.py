@@ -16,9 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.common.logging import get_logger
 from repro.kg.deltas import GenerationInfo, GenerationPublisher
 from repro.odke.gaps import ExtractionTarget
 from repro.odke.pipeline import ODKEPipeline, ODKEReport
+
+_log = get_logger("odke.live")
 
 
 @dataclass
@@ -67,6 +70,12 @@ class GrowthDriver:
         self.publisher.record(keys=report.changed_fact_keys)
         self.steps += 1
         self._since_publish += 1
+        _log.debug(
+            "growth.step",
+            step=self.steps,
+            targets=len(targets),
+            changed_keys=len(report.changed_fact_keys),
+        )
         generation = None
         if self._since_publish >= self.publish_every:
             generation = self._publish()
@@ -79,6 +88,14 @@ class GrowthDriver:
     def _publish(self) -> GenerationInfo | None:
         generation = self.publisher.publish()
         self._since_publish = 0
-        if generation is not None and self.on_generation is not None:
-            self.on_generation(generation)
+        if generation is not None:
+            _log.info(
+                "growth.published",
+                step=self.steps,
+                seq=generation.seq,
+                store_version=generation.store_version,
+                compacted=generation.compacted,
+            )
+            if self.on_generation is not None:
+                self.on_generation(generation)
         return generation

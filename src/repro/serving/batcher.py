@@ -27,6 +27,7 @@ import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future
 
+from repro.common import tracing
 from repro.common.metrics import MetricsRegistry
 
 # flush_fn: texts -> one result per text (order-aligned).
@@ -134,12 +135,15 @@ class MicroBatcher:
         # coalesced downstream scoring call takes.
         self.metrics.incr("batcher.flushes")
         started = time.perf_counter()
-        try:
-            results = self.flush_fn(texts)
-        except BaseException as exc:
-            self.metrics.hist("batcher.flush_latency", time.perf_counter() - started)
-            self._isolate_poisoned(batch, exc)
-            return len(batch)
+        with tracing.span("batcher.flush", texts=len(texts)):
+            try:
+                results = self.flush_fn(texts)
+            except BaseException as exc:
+                self.metrics.hist(
+                    "batcher.flush_latency", time.perf_counter() - started
+                )
+                self._isolate_poisoned(batch, exc)
+                return len(batch)
         self.metrics.hist("batcher.flush_latency", time.perf_counter() - started)
         if len(results) != len(batch):
             error = RuntimeError(

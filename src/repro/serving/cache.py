@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Iterable
 
+from repro.common import tracing
 from repro.common.kvstore import MemoryKVStore
 from repro.common.metrics import MetricsRegistry
 
@@ -132,6 +133,7 @@ class QueryCache:
             self.metrics.incr("cache.stale_misses")
             return None
         self.metrics.incr("cache.stale_hits")
+        tracing.event("cache.stale_hit", store_version=entry[0])
         return entry
 
     def adopt_version(self, version: int) -> int:
@@ -165,6 +167,9 @@ class QueryCache:
                 break
         if dropped:
             self.metrics.incr("cache.invalidated", dropped)
+            tracing.event(
+                "cache.invalidated", store_version=version, dropped=dropped
+            )
         return dropped
 
     def clear(self) -> None:

@@ -47,17 +47,21 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextvars
 import json
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import AsyncIterator, Iterable, Sequence
 
+from repro.common import tracing
+from repro.common.logging import get_logger
 from repro.common.metrics import MetricsRegistry
 from repro.serving import faults
 from repro.serving.protocol import (
     ProtocolError,
     encode_response,
-    decode_request,
+    decode_request_with_context,
     error_response,
 )
 from repro.serving.requests import (
@@ -98,6 +102,16 @@ _HTTP_REASONS = {
 }
 
 MAX_REQUEST_BYTES = 8 * 1024 * 1024
+
+# /debug/traces response size caps (the tracer's ring may hold more).
+DEBUG_TRACES_RECENT = 32
+DEBUG_TRACES_SLOWEST = 16
+
+_log = get_logger("serving.gateway")
+
+
+def _ms_since(started: float) -> float:
+    return (time.perf_counter() - started) * 1000.0
 
 
 class AsyncGateway:
@@ -159,7 +173,28 @@ class AsyncGateway:
     ) -> Response:
         """One request through admission control; never raises for
         request-level failures — rejection, shedding, deadline and worker
-        errors all come back as envelopes."""
+        errors all come back as envelopes.
+
+        Under an armed tracer this opens the trace's *root* span
+        (``gateway.request``); everything downstream — admission events,
+        service stages, shard fan-out, subprocess worker spans — parents
+        under it, and the trace completes when the envelope goes out.
+        """
+        if tracing.active() is None:
+            return await self._serve_async_impl(request, deadline_s)
+        with tracing.span(
+            "gateway.request", request_type=type(request).__name__
+        ) as span:
+            response = await self._serve_async_impl(request, deadline_s)
+            span.set_attribute("status", response.status)
+            if span.recording and not response.trace_id:
+                response.trace_id = span.trace_id
+            return response
+
+    async def _serve_async_impl(
+        self, request: Request, deadline_s: float | None
+    ) -> Response:
+        started = time.perf_counter()
         wire_type = getattr(type(request), "wire_type", "unknown")
         try:
             # The front-door chaos hook: an injected stall or flake at
@@ -168,20 +203,24 @@ class AsyncGateway:
             faults.fault_point(faults.SITE_GATEWAY_ADMIT, request_type=wire_type)
         except Exception as exc:
             self.metrics.incr("gateway.admit_faults")
+            tracing.event("gateway.admit_fault", error=type(exc).__name__)
             return error_response(
                 wire_type,
                 self.service.store_version,
                 ERROR_OVERLOADED,
                 f"admission failure: {type(exc).__name__}: {exc}",
+                timings={"total_ms": _ms_since(started)},
                 exception=exc,
             )
         if self._pending >= self.max_pending:
             self.metrics.incr("gateway.rejected")
+            tracing.event("gateway.rejected", pending=self._pending)
             return error_response(
                 wire_type,
                 self.service.store_version,
                 ERROR_OVERLOADED,
                 f"admission queue full ({self.max_pending} pending)",
+                timings={"total_ms": _ms_since(started)},
             )
         if (
             self._pending >= self._shed_threshold
@@ -192,21 +231,25 @@ class AsyncGateway:
             # the shed threshold and the hard limit stays reserved for
             # expensive compute (annotation, ranking, verification).
             self.metrics.incr("gateway.shed")
+            tracing.event("gateway.shed", pending=self._pending)
             return error_response(
                 wire_type,
                 self.service.store_version,
                 ERROR_OVERLOADED,
                 f"shedding cheap-to-recompute {wire_type!r} requests "
                 f"({self._pending}/{self.max_pending} pending)",
+                timings={"total_ms": _ms_since(started)},
             )
-        return await self._admitted(request, deadline_s)
+        return await self._admitted(request, deadline_s, started=started)
 
     async def _admitted(
-        self, request: Request, deadline_s: float | None
+        self, request: Request, deadline_s: float | None, *, started: float | None = None
     ) -> Response:
         """The post-admission path (streaming batches enter here directly:
         a pull-based caller self-throttles, so queue-full rejection would
         be backpressure against ourselves)."""
+        if started is None:
+            started = time.perf_counter()
         deadline = deadline_s if deadline_s is not None else self.default_deadline_s
         self._pending += 1
         self.metrics.incr("gateway.requests")
@@ -216,13 +259,28 @@ class AsyncGateway:
             # queued for a slot must still decrement the pending count
             # (it is instance state and would otherwise inflate forever,
             # eventually rejecting everything as overloaded).
+            queue_started = time.perf_counter()
             await semaphore.acquire()
+            if tracing.active() is not None:
+                tracing.event(
+                    "gateway.admitted",
+                    queue_ms=(time.perf_counter() - queue_started) * 1000.0,
+                )
             deferred_release = False
             try:
                 loop = asyncio.get_running_loop()
-                future = loop.run_in_executor(
-                    self._executor, self.service.serve, request
-                )
+                if tracing.active() is not None:
+                    # Executor threads do not inherit this task's
+                    # contextvars; carry the gateway span across so the
+                    # service's spans join the same trace.
+                    context = contextvars.copy_context()
+                    future = loop.run_in_executor(
+                        self._executor, context.run, self.service.serve, request
+                    )
+                else:
+                    future = loop.run_in_executor(
+                        self._executor, self.service.serve, request
+                    )
                 if deadline is None:
                     return await future
                 try:
@@ -238,11 +296,13 @@ class AsyncGateway:
                     deferred_release = True
                     future.add_done_callback(lambda _f: semaphore.release())
                     self.metrics.incr("gateway.deadline_exceeded")
+                    tracing.event("gateway.deadline_exceeded", deadline_s=deadline)
                     return error_response(
                         getattr(type(request), "wire_type", "unknown"),
                         self.service.store_version,
                         ERROR_DEADLINE_EXCEEDED,
                         f"request exceeded its {deadline:g}s deadline",
+                        timings={"total_ms": _ms_since(started)},
                     )
             finally:
                 if not deferred_release:
@@ -351,8 +411,11 @@ class GatewayHTTPServer:
             status, body = await self._respond(reader)
         except Exception as exc:  # the handler must never take the loop down
             status, body = 500, self._error_body(ERROR_INTERNAL, type(exc).__name__)
+        content_type = "application/json"
+        if isinstance(body, tuple):
+            body, content_type = body
         try:
-            writer.write(_http_response(status, body))
+            writer.write(_http_response(status, body, content_type))
             await writer.drain()
         except ConnectionError:
             pass
@@ -374,7 +437,11 @@ class GatewayHTTPServer:
             )
         )
 
-    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, bytes | tuple[bytes, str]]:
+        # The body element is either plain JSON bytes or a (bytes,
+        # content-type) pair for non-JSON routes (/metrics).
         try:
             request_line = await reader.readline()
         except (ConnectionError, asyncio.LimitOverrunError):
@@ -416,11 +483,36 @@ class GatewayHTTPServer:
             return 200, json.dumps(
                 self.gateway.service.stats(), sort_keys=True, default=str
             ).encode("utf-8")
+        if path == "/metrics" and method == "GET":
+            # Prometheus text exposition (format 0.0.4) of the shared
+            # registry: gateway admission, serve, pool, cache, batcher
+            # and breaker series in one scrape.
+            return 200, (
+                self.gateway.service.prometheus_metrics().encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path == "/debug/traces" and method == "GET":
+            tracer = tracing.active()
+            if tracer is None:
+                payload = {
+                    "armed": False,
+                    "recent": [],
+                    "slowest": [],
+                    "counters": {},
+                }
+            else:
+                payload = {
+                    "armed": True,
+                    "recent": tracer.recent(DEBUG_TRACES_RECENT),
+                    "slowest": tracer.slowest(DEBUG_TRACES_SLOWEST),
+                    "counters": tracer.counters(),
+                }
+            return 200, json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
         if path == "/v1/query":
             if method != "POST":
                 return 405, self._error_body(ERROR_BAD_REQUEST, "use POST /v1/query")
             try:
-                request = decode_request(body)
+                request, trace_ctx = decode_request_with_context(body)
             except ProtocolError as exc:
                 # Malformed/unsupported input: a structured envelope, not
                 # a traceback and not a dropped connection.
@@ -431,7 +523,13 @@ class GatewayHTTPServer:
                     exc.message,
                 )
                 return _HTTP_STATUS_BY_CODE.get(exc.code, 400), encode_response(response)
-            response = await self.gateway.serve_async(request)
+            if trace_ctx is not None and tracing.active() is not None:
+                # The client shipped its own trace context: this server's
+                # spans join the caller's distributed trace.
+                with tracing.seeded(trace_ctx):
+                    response = await self.gateway.serve_async(request)
+            else:
+                response = await self.gateway.serve_async(request)
             http_status = 200
             if not response.ok and response.error is not None:
                 http_status = _HTTP_STATUS_BY_CODE.get(response.error.code, 500)
@@ -439,11 +537,13 @@ class GatewayHTTPServer:
         return 404, self._error_body(ERROR_BAD_REQUEST, f"no such route: {method} {path}")
 
 
-def _http_response(status: int, body: bytes) -> bytes:
+def _http_response(
+    status: int, body: bytes, content_type: str = "application/json"
+) -> bytes:
     reason = _HTTP_REASONS.get(status, "Error")
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: close\r\n\r\n"
     )
@@ -470,8 +570,14 @@ async def run_http_gateway(
     )
     server = GatewayHTTPServer(gateway, host=host, port=port)
     bound_host, bound_port = await server.start()
-    print(f"serving KG bundle (store_version={service.store_version}) "
-          f"on http://{bound_host}:{bound_port}")
+    _log.info(
+        "server.started",
+        host=bound_host,
+        port=bound_port,
+        url=f"http://{bound_host}:{bound_port}",
+        store_version=service.store_version,
+        tracing_armed=tracing.active() is not None,
+    )
     try:
         await server.serve_forever()
     finally:
@@ -500,7 +606,34 @@ def main(argv: list[str] | None = None) -> int:
         help="poll the bundle for new published generations every N seconds "
         "and hot-swap onto them (live growth; off by default)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="arm the in-process tracer: every request builds a span tree, "
+        "served at GET /debug/traces (recent + slowest)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --trace, head-sample 1 in N requests (default 1 = trace "
+        "everything; production deployments wanting <1%% overhead on "
+        "sub-millisecond queries should sample, e.g. N=8)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="structured-log level (default: info, or $KG_LOG_LEVEL)",
+    )
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        from repro.common.logging import set_level
+
+        set_level(args.log_level)
+    if args.trace:
+        tracing.arm(tracing.Tracer(sample_every=args.trace_sample))
     with ServingService(
         args.bundle_dir, mode=args.mode, num_workers=args.workers
     ) as service:

@@ -21,12 +21,16 @@ import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
 
+from repro.common import tracing
+from repro.common.logging import get_logger
 from repro.kg.deltas import published_version
 
 if TYPE_CHECKING:
     from repro.serving.service import ServingService
 
 __all__ = ["GenerationWatcher", "published_version"]
+
+_log = get_logger("serving.growth")
 
 
 class GenerationWatcher:
@@ -70,13 +74,28 @@ class GenerationWatcher:
             tip = published_version(self.bundle_dir)
             if tip is None or tip == self.service.store_version:
                 return None
-            version = self.service.adopt_generation(self.bundle_dir)
-        except Exception:
+            previous = self.service.store_version
+            with tracing.span(
+                "growth.swap", bundle=str(self.bundle_dir), tip=tip
+            ):
+                version = self.service.adopt_generation(self.bundle_dir)
+        except Exception as exc:
             self.errors += 1
             self.service.metrics.incr("growth.watch_errors")
+            _log.warning(
+                "generation.watch_error",
+                bundle=str(self.bundle_dir),
+                error=f"{type(exc).__name__}: {exc}",
+            )
             return None
         self.swaps += 1
         self.service.metrics.incr("growth.swaps")
+        _log.info(
+            "generation.swapped",
+            bundle=str(self.bundle_dir),
+            from_version=previous,
+            store_version=version,
+        )
         if self.on_swap is not None:
             self.on_swap(version)
         return version

@@ -40,6 +40,7 @@ import dataclasses
 import json
 from typing import Any
 
+from repro.common import tracing
 from repro.serving.requests import (
     ERROR_BAD_REQUEST,
     ERROR_UNSUPPORTED_TYPE,
@@ -73,25 +74,46 @@ class ProtocolError(ValueError):
 # -- request codec -------------------------------------------------------------
 
 
-def encode_request(request: Request) -> bytes:
-    """Serialise ``request`` into a protocol envelope (UTF-8 JSON bytes)."""
+def encode_request(request: Request, *, trace: "tracing.TraceContext | None" = None) -> bytes:
+    """Serialise ``request`` into a protocol envelope (UTF-8 JSON bytes).
+
+    ``trace`` embeds the caller's trace context as an optional ``trace``
+    envelope field.  The field is additive: servers and clients that
+    predate it ignore unknown top-level envelope keys, so traced and
+    untraced peers interoperate freely.
+    """
     wire_type = getattr(type(request), "wire_type", None)
     if wire_type not in REQUESTS_BY_WIRE_TYPE:
         raise ProtocolError(
             ERROR_UNSUPPORTED_TYPE,
             f"unknown request type: {type(request).__name__}",
         )
-    envelope = {
+    envelope: dict[str, Any] = {
         "protocol": PROTOCOL_VERSION,
         "type": wire_type,
         "body": dataclasses.asdict(request),
     }
+    if trace is not None:
+        envelope["trace"] = trace.to_wire()
     return json.dumps(envelope, sort_keys=True).encode("utf-8")
 
 
 def decode_request(data: bytes | str) -> Request:
     """Parse a request envelope; raises :class:`ProtocolError` on bad input."""
+    request, _ = decode_request_with_context(data)
+    return request
+
+
+def decode_request_with_context(
+    data: bytes | str,
+) -> "tuple[Request, tracing.TraceContext | None]":
+    """Like :func:`decode_request`, also extracting the ``trace`` field.
+
+    A missing or malformed ``trace`` field yields ``None`` — trace
+    context is advisory and must never fail the request carrying it.
+    """
     envelope = _parse_envelope(data)
+    context = tracing.TraceContext.from_wire(envelope.get("trace"))
     wire_type = envelope.get("type")
     # The isinstance gate runs before the dict probe: a non-string (and
     # possibly unhashable) type field must reject cleanly, not TypeError.
@@ -111,7 +133,7 @@ def decode_request(data: bytes | str) -> Request:
             f"unknown field(s) for {wire_type!r} request: {sorted(unknown)}",
         )
     try:
-        return request_cls(**_coerce_body(body))
+        return request_cls(**_coerce_body(body)), context
     except (TypeError, ValueError) as exc:
         raise ProtocolError(
             ERROR_BAD_REQUEST, f"invalid {wire_type!r} request: {exc}"
@@ -342,6 +364,10 @@ def encode_response(response: Response) -> bytes:
     }
     if response.resilience:
         envelope["resilience"] = response.resilience
+    # Only traced responses carry the id: untraced wire bytes stay
+    # identical to pre-tracing builds (the byte-parity contract).
+    if response.trace_id:
+        envelope["trace_id"] = response.trace_id
     # Degraded envelopes carry BOTH: the usable (partial/stale) payload
     # and the structured error explaining what degraded.
     if response.status in (STATUS_OK, STATUS_DEGRADED):
@@ -396,6 +422,7 @@ def decode_response(data: bytes | str) -> Response:
         cached=bool(envelope.get("cached", False)),
         error=error,
         resilience={str(k): v for k, v in resilience.items()},
+        trace_id=str(envelope.get("trace_id", "")),
     )
 
 

@@ -268,6 +268,24 @@ class ErrorInfo:
     exception_type: str = ""
 
 
+#: The stable ``Response.timings`` key vocabulary.  Every value is
+#: wall-clock milliseconds measured by the server:
+#:
+#: - ``total_ms`` — end-to-end time inside ``KGService.serve`` (or, for
+#:   gateway-minted rejection envelopes, inside the gateway).  Present on
+#:   **every** response: ok, degraded, cached, stale and error alike.
+#: - ``cache_ms`` — cache key build + lookup (cacheable requests only).
+#: - ``scatter_ms`` — request split + per-shard dispatch (split path).
+#: - ``compute_ms`` — worker execution: the whole fan-out window on the
+#:   split path, the single dispatch otherwise.
+#: - ``gather_ms`` — merging per-shard partials (split path only).
+#:
+#: Stages that did not run are absent, never zero-filled.  When tracing
+#: is armed each stage's span carries the *same* measurement in its
+#: ``stage_ms`` attribute, so traces reconcile with envelopes exactly.
+TIMING_KEYS = ("total_ms", "cache_ms", "scatter_ms", "compute_ms", "gather_ms")
+
+
 @dataclass
 class Response:
     """The uniform answer envelope every transport speaks.
@@ -275,10 +293,16 @@ class Response:
     ``payload`` is the per-request-type result (``None`` on error);
     ``timings`` carries per-stage wall-clock milliseconds (``total_ms``
     always; ``cache_ms``/``scatter_ms``/``compute_ms``/``gather_ms`` as
-    the stages run); ``cached`` marks cache hits.  ``exception`` keeps the
+    the stages run — see :data:`TIMING_KEYS` for the stable vocabulary);
+    ``cached`` marks cache hits.  ``exception`` keeps the
     original in-process exception for delegating facade wrappers to
     re-raise — it never crosses the wire (the codec strips it; clients see
     only the structured :class:`ErrorInfo`).
+
+    ``trace_id`` is set only when the request was served under an armed
+    tracer — it names the server-side trace in ``GET /debug/traces``.
+    Untraced responses leave it empty and the codec omits it, keeping
+    wire bytes identical to pre-tracing builds.
 
     ``resilience`` is the retry metadata of a request that survived
     faults: JSON-native keys such as ``attempts`` (total dispatch
@@ -298,6 +322,7 @@ class Response:
     error: ErrorInfo | None = None
     exception: BaseException | None = None
     resilience: dict[str, Any] = field(default_factory=dict)
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:

@@ -27,10 +27,14 @@ from collections import deque
 from collections.abc import Callable
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
-from typing import Any, TypeVar
+from typing import TYPE_CHECKING, Any, TypeVar
 
+from repro.common import tracing
 from repro.common.rng import stable_hash
 from repro.serving.faults import InjectedCrash
+
+if TYPE_CHECKING:
+    from repro.common.metrics import MetricsRegistry
 
 T = TypeVar("T")
 
@@ -182,6 +186,7 @@ class CircuitBreaker:
         open_duration_s: float = 1.0,
         half_open_probes: int = 1,
         clock: Callable[[], float] = time.monotonic,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if not 0.0 < failure_threshold <= 1.0:
             raise ValueError(
@@ -206,6 +211,9 @@ class CircuitBreaker:
         self._probes_in_flight = 0
         self._transitions: dict[str, int] = {}
         self._lock = threading.Lock()
+        # Optional observability sink: every state transition counts into
+        # this registry (and onto the current trace span, when armed).
+        self.metrics = metrics
 
     @property
     def state(self) -> str:
@@ -334,3 +342,11 @@ class CircuitBreaker:
             edge = f"{self._state}->{state}"
             self._transitions[edge] = self._transitions.get(edge, 0) + 1
             self._state = state
+            # The metrics registry lock is a leaf (its methods call back
+            # into nothing), so incrementing under self._lock is safe.
+            if self.metrics is not None:
+                self.metrics.incr("breaker.transitions")
+                self.metrics.incr(f"breaker.transitions.{edge}")
+            tracing.event(
+                "breaker.transition", breaker=self.name, to=state, edge=edge
+            )

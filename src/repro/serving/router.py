@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+from repro.common import tracing
 from repro.common.rng import stable_hash
 from repro.serving.requests import Request, sub_request
 
@@ -97,10 +98,17 @@ class ShardRouter:
             raise TypeError(
                 f"request type {type(request).__name__} is not splittable"
             )
-        return [
+        parts = [
             (positions, sub_request(request, members))
             for _shard, positions, members in self.scatter(request.entities)
         ]
+        tracing.event(
+            "router.scatter",
+            entities=len(request.entities),
+            shards=len(parts),
+            num_shards=self.num_shards,
+        )
+        return parts
 
     @staticmethod
     def gather(

@@ -39,11 +39,13 @@ error.  Per-shard circuit breakers fail persistent offenders fast;
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.annotation.mention import EntityLink
-from repro.common.metrics import MetricsRegistry
+from repro.common import tracing
+from repro.common.metrics import MetricsRegistry, render_prometheus
 from repro.kg.query_logs import QueryLogEntry
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import QueryCache
@@ -244,7 +246,28 @@ class ServingService:
         pool was shut down mid-flight by ``adopt_generation`` re-dispatches
         against the new generation (``_swap_retries`` bounds pathological
         back-to-back swaps) instead of surfacing the race as an error.
+
+        Under an armed tracer the whole dispatch (including swap
+        retries) runs inside one ``serve.request`` span and the envelope
+        carries the trace id; disarmed, the only extra cost here is one
+        ``None`` check.
         """
+        if tracing.active() is None:
+            response = self._serve_impl(request, _swap_retries)
+            self.metrics.incr(f"serve.status.{response.status}")
+            return response
+        with tracing.span(
+            "serve.request", request_type=type(request).__name__
+        ) as span:
+            response = self._serve_impl(request, _swap_retries)
+            self.metrics.incr(f"serve.status.{response.status}")
+            span.set_attribute("status", response.status)
+            span.set_attribute("cached", response.cached)
+            if span.recording:
+                response.trace_id = span.trace_id
+            return response
+
+    def _serve_impl(self, request: Request, _swap_retries: int) -> Response:
         started = time.perf_counter()
         timings: dict[str, float] = {}
         epoch = self._swap_epoch
@@ -274,9 +297,9 @@ class ServingService:
         try:
             cacheable = request.cacheable()
             if cacheable:
-                cache_started = time.perf_counter()
-                cached = self._cache.get(version, request)
-                timings["cache_ms"] = _ms_since(cache_started)
+                with _stage(timings, "cache_ms", "serve.cache") as cache_span:
+                    cached = self._cache.get(version, request)
+                    cache_span.set_attribute("hit", cached is not None)
                 if cached is not None:
                     timings["total_ms"] = _ms_since(started)
                     return response_class(wire_type)(
@@ -307,7 +330,7 @@ class ServingService:
                 # pool may have shut down under us): re-dispatch on the
                 # new generation rather than degrade a healthy fleet.
                 self.metrics.incr("serve.swap_retries")
-                return self.serve(request, _swap_retries=_swap_retries - 1)
+                return self._serve_impl(request, _swap_retries - 1)
             # Graceful degradation: the healthy shards' answers go out with
             # None holes at the failed entities, plus the terminal error —
             # a partial answer beats a 500 for a read-only KG lookup.
@@ -340,7 +363,7 @@ class ServingService:
                 # pool is gone.  Zero dropped requests: retry on the new
                 # generation instead of answering unavailable.
                 self.metrics.incr("serve.swap_retries")
-                return self.serve(request, _swap_retries=_swap_retries - 1)
+                return self._serve_impl(request, _swap_retries - 1)
             if self.resilient and cacheable:
                 # Serve-stale-on-error: fresh compute is gone past its
                 # budget, but a previous generation answered this exact
@@ -405,14 +428,13 @@ class ServingService:
             return self._execute_annotate(request, pool, timings)
         if type(request).splittable:
             return self._execute_split(request, pool, router, timings, resilience)
-        compute_started = time.perf_counter()
-        if self.resilient:
-            payload, attempts = pool.run_resilient(request)
-            if attempts > 1:
-                resilience["attempts"] = float(attempts)
-        else:
-            payload = pool.submit(request).result()
-        timings["compute_ms"] = _ms_since(compute_started)
+        with _stage(timings, "compute_ms", "serve.compute"):
+            if self.resilient:
+                payload, attempts = pool.run_resilient(request)
+                if attempts > 1:
+                    resilience["attempts"] = float(attempts)
+            else:
+                payload = pool.submit(request).result()
         return payload
 
     def _shard_breaker(self, shard: int) -> CircuitBreaker:
@@ -420,7 +442,7 @@ class ServingService:
         breaker = self._shard_breakers.get(shard)
         if breaker is None:
             breaker = self._shard_breakers.setdefault(
-                shard, CircuitBreaker(f"shard:{shard}")
+                shard, CircuitBreaker(f"shard:{shard}", metrics=self.metrics)
             )
         return breaker
 
@@ -443,61 +465,47 @@ class ServingService:
         stay down past the budget raise :class:`PartialResultError` with
         the healthy results merged in place (the degraded envelope).
         """
-        scatter_started = time.perf_counter()
-        parts = router.scatter_request(request)
-        timings["scatter_ms"] = _ms_since(scatter_started)
+        with _stage(timings, "scatter_ms", "serve.scatter") as scatter_span:
+            parts = router.scatter_request(request)
+            scatter_span.set_attribute("shards", len(parts))
         self.metrics.incr("serve.shard_fanout", len(parts))
-        compute_started = time.perf_counter()
         if not self.resilient:
-            futures = [
-                (positions, pool.submit(shard_request))
-                for positions, shard_request in parts
-            ]
-            shard_results = [
-                (positions, future.result()) for positions, future in futures
-            ]
-            timings["compute_ms"] = _ms_since(compute_started)
-            gather_started = time.perf_counter()
-            merged = ShardRouter.gather(len(request.entities), shard_results)
-            timings["gather_ms"] = _ms_since(gather_started)
+            with _stage(timings, "compute_ms", "serve.compute"):
+                futures = [
+                    (positions, pool.submit(shard_request))
+                    for positions, shard_request in parts
+                ]
+                shard_results = [
+                    (positions, future.result()) for positions, future in futures
+                ]
+            with _stage(timings, "gather_ms", "serve.gather"):
+                merged = ShardRouter.gather(len(request.entities), shard_results)
             return merged
         # Resilient fan-out.  Submit everything up front (breaker-gated:
         # a tripped shard fails fast instead of queueing doomed work),
-        # then resolve each shard under the retry budget.
-        pending: list[tuple[list[int], Request, CircuitBreaker, object]] = []
-        for positions, shard_request in parts:
-            shard = router.shard_of(shard_request.entities[0])
-            breaker = self._shard_breaker(shard)
-            try:
-                breaker.check()
-                entry = pool.submit(shard_request)
-            except Exception as exc:  # CircuitOpenError, or a failed submit
-                entry = exc
-            pending.append((positions, shard_request, breaker, entry))
-        shard_results: list[tuple[list[int], list]] = []
-        failed: list[tuple[list[int], BaseException]] = []
-        attempts_total = 0
-        for positions, shard_request, breaker, entry in pending:
-            if isinstance(entry, BaseException):
-                failed.append((positions, entry))
-                continue
-            try:
-                result, attempts = self._resolve_shard(
-                    pool, shard_request, entry, breaker
-                )
-            except Exception as exc:
-                failed.append((positions, exc))
-                continue
-            attempts_total += attempts
-            shard_results.append((positions, result))
-        timings["compute_ms"] = _ms_since(compute_started)
+        # then resolve each shard under the retry budget.  Each shard
+        # gets its own (non-activated) span, activated piecewise around
+        # its submit and resolve windows so worker spans and retry events
+        # parent under the right shard without the shard spans nesting
+        # into each other.
+        compute_span = tracing.span("serve.compute")
+        compute_started = time.perf_counter()
+        try:
+            shard_results, failed, attempts_total = self._fan_out(
+                parts, pool, router
+            )
+        finally:
+            elapsed = _ms_since(compute_started)
+            timings["compute_ms"] = elapsed
+            compute_span.set_attribute("stage_ms", elapsed)
+            compute_span.finish()
         if attempts_total > len(shard_results):
             resilience["attempts"] = float(attempts_total)
-        gather_started = time.perf_counter()
         if not failed:
-            merged = ShardRouter.gather(len(request.entities), shard_results)
-            timings["gather_ms"] = _ms_since(gather_started)
+            with _stage(timings, "gather_ms", "serve.gather"):
+                merged = ShardRouter.gather(len(request.entities), shard_results)
             return merged
+        gather_started = time.perf_counter()
         if not shard_results:
             # Nothing answered: a plain error (serve() may still find a
             # stale previous-generation result for it).
@@ -513,6 +521,67 @@ class ServingService:
         raise PartialResultError(
             merged, failed_positions, failed[0][1], attempts_total
         )
+
+    def _fan_out(
+        self,
+        parts: list[tuple[list[int], Request]],
+        pool: WorkerPool,
+        router: ShardRouter,
+    ) -> tuple[
+        list[tuple[list[int], list]],
+        list[tuple[list[int], BaseException]],
+        int,
+    ]:
+        """Submit + resolve every shard part; ``(results, failures, attempts)``."""
+        tracer = tracing.active()
+        pending: list[tuple[list[int], Request, CircuitBreaker, object, object]] = []
+        for positions, shard_request in parts:
+            shard = router.shard_of(shard_request.entities[0])
+            breaker = self._shard_breaker(shard)
+            shard_span = (
+                tracer.start_span(
+                    "serve.shard",
+                    {"shard": shard, "entities": len(shard_request.entities)},
+                    activate=False,
+                )
+                if tracer is not None
+                else None
+            )
+            try:
+                with tracing.using(shard_span):
+                    breaker.check()
+                    entry = pool.submit(shard_request)
+            except Exception as exc:  # CircuitOpenError, or a failed submit
+                entry = exc
+                if shard_span is not None:
+                    shard_span.set_attribute("error", type(exc).__name__)
+                    shard_span.finish()
+                    shard_span = None
+            pending.append((positions, shard_request, breaker, entry, shard_span))
+        shard_results: list[tuple[list[int], list]] = []
+        failed: list[tuple[list[int], BaseException]] = []
+        attempts_total = 0
+        for positions, shard_request, breaker, entry, shard_span in pending:
+            if isinstance(entry, BaseException):
+                failed.append((positions, entry))
+                continue
+            try:
+                with tracing.using(shard_span):
+                    result, attempts = self._resolve_shard(
+                        pool, shard_request, entry, breaker
+                    )
+            except Exception as exc:
+                failed.append((positions, exc))
+                if shard_span is not None:
+                    shard_span.set_attribute("error", type(exc).__name__)
+                    shard_span.finish()
+                continue
+            if shard_span is not None:
+                shard_span.set_attribute("attempts", attempts)
+                shard_span.finish()
+            attempts_total += attempts
+            shard_results.append((positions, result))
+        return shard_results, failed, attempts_total
 
     def _resolve_shard(
         self,
@@ -543,6 +612,9 @@ class ServingService:
                 breaker.record_success()
                 return result, attempts
             self.metrics.incr("serve.shard_corrupt")
+            tracing.event(
+                "shard.corrupt", returned=len(result), expected=expected
+            )
             breaker.record_failure()
             error = ShardResultError(
                 f"shard returned {len(result)} results for {expected} entities"
@@ -565,8 +637,9 @@ class ServingService:
         the pool concurrently; each worker scores its chunk as one batch.
         Results come back in input order either way.
         """
-        compute_started = time.perf_counter()
-        try:
+        with _stage(
+            timings, "compute_ms", "serve.compute", texts=len(request.texts)
+        ):
             if not request.texts:
                 return []
             if len(request.texts) == 1:
@@ -589,8 +662,6 @@ class ServingService:
                 ]
             )
             return [links for chunk in chunk_results for links in chunk]
-        finally:
-            timings["compute_ms"] = _ms_since(compute_started)
 
     # -- legacy facade methods (thin delegation over serve()) ------------------
 
@@ -768,6 +839,65 @@ class ServingService:
         out["serve.batch_pending"] = float(self._batcher.pending)
         return out
 
+    # Counter-key prefixes whose dynamic suffixes (request type names,
+    # breaker edges) become one labeled Prometheus family each, instead of
+    # minting a new metric name per suffix.
+    PROMETHEUS_FAMILIES = {
+        "serve.requests.": ("serve_requests_by_type", "type"),
+        "serve.status.": ("serve_responses_by_status", "status"),
+        "serve.errors.": ("serve_errors_by_type", "type"),
+        "serve.degraded.": ("serve_degraded_by_type", "type"),
+        "pool.requests.": ("pool_requests_by_type", "type"),
+        "breaker.transitions.": ("breaker_transitions_by_edge", "edge"),
+    }
+
+    def prometheus_metrics(self) -> str:
+        """This service's registry as Prometheus text exposition.
+
+        The shared registry (serve/pool/cache/batcher/breaker counters
+        and histograms) renders directly; point-in-time state the
+        registry does not hold — cache occupancy and hit counts, fleet
+        width, per-breaker state as one-hot series — rides along as
+        extra gauges.  This is the body of the gateway's ``/metrics``.
+        """
+        assert self._pool is not None
+        extra: dict[str, float] = {
+            "serve.store_version": float(self.store_version),
+            "serve.cache_entries": float(len(self._cache)),
+            "serve.cache_hits": float(self._cache.hits),
+            "serve.cache_misses": float(self._cache.misses),
+            "serve.cache_evictions": float(self._cache.evictions),
+            "serve.workers": float(self._pool.num_workers),
+            "serve.live_workers": float(self._pool.live_workers()),
+            "serve.shards": float(self.num_shards),
+            "serve.batch_pending": float(self._batcher.pending),
+        }
+        tracer = tracing.active()
+        if tracer is not None:
+            for key, value in tracer.counters().items():
+                extra[f"tracing.{key}"] = float(value)
+        body = render_prometheus(
+            self.metrics,
+            families=self.PROMETHEUS_FAMILIES,
+            extra_gauges=extra,
+        )
+        # Breaker state is categorical; expose it one-hot, the idiomatic
+        # Prometheus encoding for state machines.
+        lines = ["# TYPE kg_breaker_state gauge"]
+        breakers: list[tuple[str, CircuitBreaker]] = [("pool", self._pool.breaker)]
+        breakers.extend(
+            (f"shard:{shard}", breaker)
+            for shard, breaker in sorted(self._shard_breakers.items())
+        )
+        for name, breaker in breakers:
+            state = breaker.state
+            for candidate in ("closed", "open", "half_open"):
+                flag = 1 if candidate == state else 0
+                lines.append(
+                    f'kg_breaker_state{{breaker="{name}",state="{candidate}"}} {flag}'
+                )
+        return body + "\n".join(lines) + "\n"
+
 
 def requests_from_query_log(
     entries: Sequence[QueryLogEntry], *, min_count: int = 2, limit: int = 256
@@ -797,6 +927,28 @@ def requests_from_query_log(
 
 def _ms_since(started: float) -> float:
     return (time.perf_counter() - started) * 1000.0
+
+
+@contextmanager
+def _stage(
+    timings: dict[str, float], key: str, span_name: str, **attributes
+) -> Iterator[object]:
+    """One dispatch stage: a ``timings`` entry and (armed) a span, from
+    the *same* measurement.
+
+    The span's ``stage_ms`` attribute is set to the exact value written
+    into ``timings[key]`` — not a second clock read — which is what makes
+    trace/envelope reconciliation an equality, not an approximation.
+    """
+    span_obj = tracing.span(span_name, **attributes)
+    started = time.perf_counter()
+    try:
+        yield span_obj
+    finally:
+        elapsed = _ms_since(started)
+        timings[key] = elapsed
+        span_obj.set_attribute("stage_ms", elapsed)
+        span_obj.finish()
 
 
 def save_and_serve(

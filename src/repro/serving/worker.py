@@ -31,12 +31,14 @@ through all entities, which no partitioning could reproduce.)
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from repro.common import tracing
 from repro.common.metrics import MetricsRegistry
 from repro.common.rng import stable_hash
 from repro.serving import faults
@@ -217,11 +219,12 @@ class WorkerState:
         armed.
         """
         wire_type = getattr(type(request), "wire_type", "")
-        faults.fault_point(faults.SITE_WORKER_EXECUTE, request_type=wire_type)
-        result = self._dispatch(request)
-        return faults.fault_point(
-            faults.SITE_WORKER_RESULT, result, request_type=wire_type
-        )
+        with tracing.span("worker.execute", request_type=wire_type):
+            faults.fault_point(faults.SITE_WORKER_EXECUTE, request_type=wire_type)
+            result = self._dispatch(request)
+            return faults.fault_point(
+                faults.SITE_WORKER_RESULT, result, request_type=wire_type
+            )
 
     def _dispatch(self, request: Request) -> list:
         if isinstance(request, WalkRequest):
@@ -355,6 +358,11 @@ class ThreadExecutor:
         )
 
     def submit(self, request: Request) -> Future:
+        if tracing.active() is not None:
+            # Executor threads do not inherit the caller's contextvars;
+            # carry the current span across so worker spans nest right.
+            context = contextvars.copy_context()
+            return self._pool.submit(context.run, self.state.execute, request)
         return self._pool.submit(self.state.execute, request)
 
     def respawn(self) -> bool:
@@ -389,9 +397,71 @@ def _process_initializer(
     _PROCESS_STATE = WorkerState(bundle_dir, config)
 
 
-def _process_execute(request: Request) -> list:
+_COLLECTOR: tracing.Tracer | None = None
+
+
+class _TracedResult:
+    """A worker result riding home with the spans recorded computing it."""
+
+    __slots__ = ("result", "spans")
+
+    def __init__(self, result: list, spans: list[dict]) -> None:
+        self.result = result
+        self.spans = spans
+
+    def __getstate__(self):
+        return (self.result, self.spans)
+
+    def __setstate__(self, state) -> None:
+        self.result, self.spans = state
+
+
+def _process_execute(request: Request, trace_ctx: "tracing.TraceContext | None" = None) -> list:
     assert _PROCESS_STATE is not None, "worker process used before initialization"
-    return _PROCESS_STATE.execute(request)
+    if trace_ctx is None:
+        return _PROCESS_STATE.execute(request)
+    # The parent shipped its trace position: record this worker's spans
+    # into a local collector and return them alongside the result so the
+    # parent tracer can stitch them into the live trace.
+    global _COLLECTOR
+    collector = _COLLECTOR
+    if collector is None:
+        collector = _COLLECTOR = tracing.arm(tracing.Tracer(ring_capacity=0))
+    try:
+        with tracing.seeded(trace_ctx):
+            result = _PROCESS_STATE.execute(request)
+    except BaseException:
+        # A failed attempt's spans have no future to ride home on; drop
+        # them so they cannot leak into the next request's bundle.
+        collector.drain()
+        raise
+    return _TracedResult(result, collector.drain())
+
+
+def _unwrap_traced(inner: Future) -> Future:
+    """An outer future resolving to the bare result, adopting ridden spans.
+
+    Adoption happens *before* the outer future resolves, so by the time a
+    caller observes the result the worker's spans are already in the
+    parent trace — the request's root span cannot finish first.
+    """
+    outer: Future = Future()
+
+    def _done(finished: Future) -> None:
+        try:
+            value = finished.result()
+        except BaseException as exc:
+            outer.set_exception(exc)
+            return
+        if isinstance(value, _TracedResult):
+            tracer = tracing.active()
+            if tracer is not None and value.spans:
+                tracer.adopt(value.spans)
+            value = value.result
+        outer.set_result(value)
+
+    inner.add_done_callback(_done)
+    return outer
 
 
 class ProcessExecutor:
@@ -431,14 +501,18 @@ class ProcessExecutor:
         )
 
     def submit(self, request: Request) -> Future:
+        trace_ctx = tracing.current_context()
         try:
-            return self._pool.submit(_process_execute, request)
+            inner = self._pool.submit(_process_execute, request, trace_ctx)
         except RuntimeError:
             # A BrokenProcessPool (or a racing shutdown) rejects at submit
             # time; heal once and re-dispatch — the caller's retry budget
             # covers anything beyond that.
             self.respawn()
-            return self._pool.submit(_process_execute, request)
+            inner = self._pool.submit(_process_execute, request, trace_ctx)
+        if trace_ctx is None:
+            return inner
+        return _unwrap_traced(inner)
 
     def respawn(self) -> bool:
         """Replace a broken pool with a fresh fleet; ``True`` if we did.
@@ -516,8 +590,12 @@ class WorkerPool:
         self.mode = mode
         self.config = config or WorkerConfig()
         self.retry_policy = retry_policy or RetryPolicy()
-        self.breaker = breaker or CircuitBreaker("pool")
         self.metrics = metrics or MetricsRegistry("worker-pool")
+        self.breaker = breaker or CircuitBreaker("pool", metrics=self.metrics)
+        if self.breaker.metrics is None:
+            # Caller-supplied breakers still count transitions here unless
+            # they already report somewhere else.
+            self.breaker.metrics = self.metrics
         self.local_state = WorkerState(self.bundle_dir, self.config)
         if mode == "inline":
             self._executor = InlineExecutor(self.local_state)
@@ -578,6 +656,9 @@ class WorkerPool:
                 if attempts >= policy.max_attempts or not is_retryable(exc):
                     raise
                 self.metrics.incr("pool.retries")
+                tracing.event(
+                    "pool.retry", attempt=attempts, error=type(exc).__name__
+                )
                 time.sleep(policy.backoff_s(attempts, key=key))
                 # Re-check the breaker before re-dispatching: sustained
                 # failure must stop burning retries on a dead fleet.
@@ -602,6 +683,7 @@ class WorkerPool:
         """
         if self._executor.respawn():
             self.metrics.incr("pool.respawns")
+            tracing.event("pool.respawn")
             self.breaker.reset()
 
     def run(self, request: Request) -> list:

@@ -1,0 +1,104 @@
+"""Structured-log tests: JSON schema, level gate, trace correlation."""
+
+import io
+import json
+
+import pytest
+
+from repro.common import logging as kglog
+from repro.common import tracing
+
+
+@pytest.fixture()
+def captured():
+    """Redirect log output into a StringIO for the test's duration."""
+    stream = io.StringIO()
+    kglog.configure(stream=stream, level="info")
+    yield stream
+    kglog.configure(stream=None, level="info")
+
+
+def lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestSchema:
+    def test_one_json_object_per_line(self, captured):
+        log = kglog.get_logger("test.schema")
+        log.info("first", a=1)
+        log.warning("second", b="two")
+        first, second = lines(captured)
+        assert first["level"] == "info"
+        assert first["logger"] == "test.schema"
+        assert first["event"] == "first"
+        assert first["a"] == 1
+        assert second["level"] == "warning"
+        assert second["b"] == "two"
+
+    def test_timestamp_is_utc_isoformat(self, captured):
+        kglog.get_logger("test.ts").info("tick")
+        [record] = lines(captured)
+        assert record["ts"].endswith("+00:00")
+
+    def test_non_json_values_stringified(self, captured):
+        kglog.get_logger("test.coerce").info("path", path=object())
+        [record] = lines(captured)
+        assert isinstance(record["path"], str)
+
+    def test_get_logger_is_cached(self):
+        assert kglog.get_logger("same") is kglog.get_logger("same")
+
+
+class TestLevelGate:
+    def test_below_level_is_suppressed(self, captured):
+        log = kglog.get_logger("test.level")
+        log.debug("hidden")
+        log.info("shown")
+        assert [record["event"] for record in lines(captured)] == ["shown"]
+
+    def test_set_level_opens_debug(self, captured):
+        kglog.set_level("debug")
+        try:
+            kglog.get_logger("test.level").debug("now visible")
+        finally:
+            kglog.set_level("info")
+        assert [record["event"] for record in lines(captured)] == ["now visible"]
+
+    def test_error_always_passes_configured_levels(self, captured):
+        kglog.set_level("error")
+        try:
+            log = kglog.get_logger("test.level")
+            log.warning("hidden")
+            log.error("kept")
+        finally:
+            kglog.set_level("info")
+        assert [record["event"] for record in lines(captured)] == ["kept"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            kglog.set_level("verbose")
+
+
+class TestTraceCorrelation:
+    def test_correlation_ids_attached_under_span(self, captured):
+        with tracing.armed():
+            with tracing.span("root") as root:
+                kglog.get_logger("test.trace").info("inside")
+        [record] = lines(captured)
+        assert record["trace_id"] == root.trace_id
+        assert record["span_id"] == root.span_id
+
+    def test_no_ids_without_a_trace(self, captured):
+        kglog.get_logger("test.trace").info("outside")
+        [record] = lines(captured)
+        assert "trace_id" not in record
+        assert "span_id" not in record
+
+    def test_closed_stream_never_raises(self):
+        stream = io.StringIO()
+        kglog.configure(stream=stream)
+        try:
+            stream.close()
+            kglog.get_logger("test.closed").info("dropped")
+        finally:
+            kglog.configure(stream=None)

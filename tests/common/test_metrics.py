@@ -1,10 +1,16 @@
 """Tests for the metrics registry."""
 
+import math
 import threading
 
 import pytest
 
-from repro.common.metrics import LatencyHistogram, MetricsRegistry, _quantile
+from repro.common.metrics import (
+    LatencyHistogram,
+    MetricsRegistry,
+    _quantile,
+    render_prometheus,
+)
 
 
 class TestCounters:
@@ -143,6 +149,48 @@ class TestLatencyHistogram:
         parent.merge(child)
         assert parent.histograms["latency"].count == 2
 
+    def test_merge_empty_into_populated_is_identity(self):
+        a = LatencyHistogram()
+        a.observe(0.01)
+        before = (list(a.counts), a.overflow, a.count, a.total, a.max)
+        a.merge(LatencyHistogram())
+        assert (list(a.counts), a.overflow, a.count, a.total, a.max) == before
+        assert a.min == pytest.approx(0.01)  # empty-side inf min can't win
+
+    def test_merge_overflow_counts(self):
+        a = LatencyHistogram(bounds=(0.01,))
+        b = LatencyHistogram(bounds=(0.01,))
+        a.observe(5.0)
+        b.observe(9.0)
+        b.observe(0.001)
+        a.merge(b)
+        assert a.overflow == 2
+        assert a.count == 3
+        assert a.quantile(0.99) == 9.0
+
+    def test_quantile_single_sample(self):
+        hist = LatencyHistogram(bounds=(0.01, 0.1))
+        hist.observe(0.05)
+        assert hist.quantile(0.5) == 0.1
+        assert hist.quantile(1.0) == 0.1
+
+    def test_merged_from_workers_quantile_matches_single(self):
+        """N worker histograms merged == one histogram fed everything."""
+        workers = [LatencyHistogram() for _ in range(4)]
+        single = LatencyHistogram()
+        samples = [0.0002 * (i + 1) for i in range(40)]
+        for i, value in enumerate(samples):
+            workers[i % 4].observe(value)
+            single.observe(value)
+        fleet = LatencyHistogram()
+        for worker in workers:
+            fleet.merge(worker)
+        assert fleet.count == single.count
+        assert fleet.counts == single.counts
+        assert fleet.total == pytest.approx(single.total)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert fleet.quantile(q) == single.quantile(q)
+
     def test_concurrent_increments_do_not_drop(self):
         metrics = MetricsRegistry()
 
@@ -158,3 +206,101 @@ class TestLatencyHistogram:
             thread.join()
         assert metrics.counters["requests"] == 8000
         assert metrics.histograms["latency"].count == 8000
+
+
+class TestPrometheusBuckets:
+    """Satellite pin: cumulative-count semantics of to_prometheus_buckets."""
+
+    def test_cumulative_counts_and_inf_terminal(self):
+        hist = LatencyHistogram(bounds=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.005, 0.05, 0.5, 7.0):
+            hist.observe(value)
+        buckets = hist.to_prometheus_buckets()
+        # Each entry counts EVERY sample <= bound, not the bucket's own.
+        assert buckets == [(0.01, 2), (0.1, 3), (1.0, 4), (math.inf, 5)]
+
+    def test_empty_histogram(self):
+        buckets = LatencyHistogram(bounds=(0.01,)).to_prometheus_buckets()
+        assert buckets == [(0.01, 0), (math.inf, 0)]
+
+    def test_single_sample(self):
+        hist = LatencyHistogram(bounds=(0.01, 0.1))
+        hist.observe(0.05)
+        assert hist.to_prometheus_buckets() == [(0.01, 0), (0.1, 1), (math.inf, 1)]
+
+    def test_overflow_only_lands_in_inf(self):
+        hist = LatencyHistogram(bounds=(0.01,))
+        hist.observe(99.0)
+        assert hist.to_prometheus_buckets() == [(0.01, 0), (math.inf, 1)]
+
+    def test_counts_are_monotone_nondecreasing(self):
+        hist = LatencyHistogram()
+        for i in range(100):
+            hist.observe(0.00005 * (i + 1) ** 2)
+        buckets = hist.to_prometheus_buckets()
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1] == (math.inf, hist.count)
+
+
+class TestRenderPrometheus:
+    def test_counters_gauges_timers_histograms(self):
+        metrics = MetricsRegistry()
+        metrics.incr("serve.sheds", 3)
+        metrics.gauge("serve.store_version", 12.0)
+        metrics.observe("publisher.publish_s", 0.5)
+        metrics.observe("publisher.publish_s", 1.5)
+        metrics.hist("serve.latency", 0.005)
+        text = render_prometheus(metrics)
+        lines = text.splitlines()
+        assert "# TYPE kg_serve_sheds_total counter" in lines
+        assert "kg_serve_sheds_total 3" in lines
+        assert "kg_serve_store_version 12" in lines
+        assert "kg_publisher_publish_s_seconds_count 2" in lines
+        assert "kg_publisher_publish_s_seconds_sum 2" in lines
+        assert 'kg_serve_latency_seconds_bucket{le="+Inf"} 1' in lines
+        assert "kg_serve_latency_seconds_count 1" in lines
+        assert text.endswith("\n")
+
+    def test_families_fold_dynamic_suffixes_into_labels(self):
+        metrics = MetricsRegistry()
+        metrics.incr("serve.requests.WalkRequest", 2)
+        metrics.incr("serve.requests.KnnRequest")
+        metrics.incr("serve.cache_hits", 5)
+        text = render_prometheus(
+            metrics,
+            families={"serve.requests.": ("serve_requests_by_type", "type")},
+        )
+        lines = text.splitlines()
+        assert 'kg_serve_requests_by_type_total{type="WalkRequest"} 2' in lines
+        assert 'kg_serve_requests_by_type_total{type="KnnRequest"} 1' in lines
+        # The family TYPE line appears exactly once.
+        assert lines.count("# TYPE kg_serve_requests_by_type_total counter") == 1
+        # Non-family counters are untouched.
+        assert "kg_serve_cache_hits_total 5" in lines
+
+    def test_extra_gauges_and_name_mangling(self):
+        metrics = MetricsRegistry()
+        metrics.incr("shard:0.errors")
+        text = render_prometheus(metrics, extra_gauges={"store.version": 3.0})
+        lines = text.splitlines()
+        assert "kg_store_version 3" in lines
+        assert "kg_shard_0_errors_total 1" in lines
+        # Every sample line uses only the Prometheus-legal charset.
+        for line in lines:
+            if line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            assert all(ch.isalnum() or ch == "_" for ch in name), line
+
+    def test_histogram_bucket_counts_are_cumulative_in_text(self):
+        metrics = MetricsRegistry()
+        for value in (0.00005, 0.0002, 0.002, 20.0):
+            metrics.hist("lat", value)
+        text = render_prometheus(metrics)
+        bucket_lines = [
+            line for line in text.splitlines() if "kg_lat_seconds_bucket" in line
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)
+        assert bucket_lines[-1] == 'kg_lat_seconds_bucket{le="+Inf"} 4'
