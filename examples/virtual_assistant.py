@@ -1,107 +1,170 @@
-"""A toy virtual assistant over the platform (the Figure 2 scenarios).
+"""A virtual assistant over the serving gateway (the Figure 2 scenario,
+at production shape).
 
-Answers the four query shapes the paper motivates — fact questions with
-ranking, fact checks, related-entity suggestions, and ambiguous-name
-queries — by composing the platform's services.
+The paper's flagship example: an assistant that answers over **both** the
+big shared knowledge graph and the user's small personal one — contacts,
+calendar entries — without the personal facts ever entering the shared
+graph.  Everything here goes through the real HTTP front door:
 
-Run:  python examples/virtual_assistant.py
+1. boot the gateway over a shared-graph bundle with tenancy enabled;
+2. create a tenant and sync personal records from two devices
+   (last-writer-wins, DP-noised counts in the telemetry);
+3. ask fused questions — personal neighbors at hop 1, shared knowledge
+   reachable *through* a personal link at hop 2;
+4. delete a contact (right to be forgotten) and watch the answer change;
+5. verify the shared graph never saw any of it.
+
+Run:  PYTHONPATH=src python examples/virtual_assistant.py
 """
 
-from repro.common import ids
-from repro.core import KnowledgePlatform
-from repro.embeddings.trainer import TrainConfig
+from __future__ import annotations
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+from repro.kg.generator import SyntheticKGConfig, generate_kg
+from repro.kg.persistence import save_snapshot
+from repro.serving.gateway import AsyncGateway, GatewayHTTPServer
+from repro.serving.protocol import decode_response, encode_request
+from repro.serving.requests import (
+    NeighborhoodRequest,
+    PersonalRecord,
+    TenantDeleteRequest,
+    TenantSyncRequest,
+)
+from repro.serving.service import ServingService
+
+TENANT = "demo-user"
 
 
-class Assistant:
-    """Minimal query router over platform services."""
+class AssistantClient:
+    """A thin HTTP client: one tenant's assistant talking to the gateway."""
 
-    def __init__(self, platform: KnowledgePlatform) -> None:
-        self.platform = platform
-        self.store = platform.store
-        self.ranker = platform.fact_ranker()
-        self.verifier = platform.fact_verifier()
-        self.related = platform.related_entities("traversal")
-        self.annotator = platform.annotator("full")
+    def __init__(self, host: str, port: int, tenant: str) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
 
-    def _link(self, text: str) -> str | None:
-        links = self.annotator.annotate(text)
-        return links[0].entity if links else None
-
-    def occupation_of(self, query: str) -> str:
-        entity = self._link(query)
-        if entity is None:
-            return "I don't know who that is."
-        ranked = self.ranker.rank(entity, ids.predicate_id("occupation"))
-        if not ranked:
-            return "No occupation on record."
-        names = [self.store.entity(r.obj).name for r in ranked]
-        primary, *rest = names
-        answer = f"{self.store.entity(entity).name} is primarily a {primary}"
-        if rest:
-            answer += f" (also: {', '.join(rest)})"
-        return answer + "."
-
-    def check_fact(self, query: str, occupation_name: str) -> str:
-        entity = self._link(query)
-        if entity is None:
-            return "I don't know who that is."
-        occupation = next(
-            (r.entity for r in self.store.entities()
-             if r.name == occupation_name and "type:occupation" in r.types),
-            None,
+    async def _post(self, body: bytes) -> bytes:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        writer.write(
+            (
+                "POST /v1/query HTTP/1.1\r\nHost: assistant\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode()
+            + body
         )
-        if occupation is None:
-            return f"I don't know the occupation '{occupation_name}'."
-        verdict = self.verifier.verify(
-            entity, ids.predicate_id("occupation"), occupation
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        _head, _, payload = raw.partition(b"\r\n\r\n")
+        return payload
+
+    async def ask(self, request, *, personal: bool = True):
+        tenant = self.tenant if personal else None
+        response = decode_response(
+            await self._post(encode_request(request, tenant=tenant))
         )
-        return ("Correct." if verdict.plausible else "That looks wrong.") + (
-            f" (margin {verdict.margin:+.2f})"
+        if not response.ok:
+            raise RuntimeError(f"{type(request).__name__} failed: {response.error}")
+        return response.payload
+
+    async def sync(self, records: tuple[PersonalRecord, ...]):
+        """One device->server sync round; returns the server's payload."""
+        return await self.ask(TenantSyncRequest(records=records, epsilon=1.0))
+
+    async def forget(self, source: str, record_id: str, sequence: int):
+        return await self.ask(
+            TenantDeleteRequest(source=source, record_id=record_id, sequence=sequence)
         )
 
-    def similar_to(self, query: str) -> str:
-        entity = self._link(query)
-        if entity is None:
-            return "I don't know who that is."
-        suggestions = self.related.related(entity, k=3)
-        names = [self.store.entity(s.entity).name for s in suggestions]
-        return f"People also look at: {', '.join(names)}." if names else "Nobody similar."
+
+def contact(record_id: str, name: str, linked_entity: str, seq: int = 1):
+    first, _, last = name.partition(" ")
+    return PersonalRecord(
+        record_id=record_id,
+        source="contacts",
+        fields=(
+            ("first_name", first),
+            ("last_name", last or "…"),
+            ("linked_entity", linked_entity),
+        ),
+        sequence=seq,
+    )
+
+
+async def run(bundle: Path, tenants_dir: Path) -> None:
+    kg = generate_kg(SyntheticKGConfig(seed=7, scale=0.2))
+    save_snapshot(kg.store, bundle, embeddings=False)
+    service = ServingService(
+        bundle, mode="inline", num_shards=2, tenants_dir=tenants_dir
+    )
+    gateway = AsyncGateway(service, max_concurrency=4, max_pending=64)
+    server = GatewayHTTPServer(gateway)
+    host, port = await server.start()
+    print(f"gateway up on http://{host}:{port} (store_version={service.store_version})\n")
+
+    # Two public figures from the shared graph become personal contacts.
+    celebs = sorted(kg.store.entity_ids())[:2]
+    names = {e: kg.store.entity(e).name for e in celebs}
+    assistant = AssistantClient(host, port, TENANT)
+
+    # -- sync personal records from the user's phone ---------------------
+    phone = (
+        contact("c-anna", f"Anna {names[celebs[0]].split()[-1]}", celebs[0]),
+        contact("c-ben", "Ben Meyer", celebs[1]),
+    )
+    payload = await assistant.sync(phone)
+    people = {p["name"]: p["entity"] for p in payload["people"]}
+    print(f"phone synced {len(phone)} contacts -> tenant v{payload['tenant_version']}")
+    print(f"  fused people: {sorted(people)}")
+    print(f"  DP-noised record count (telemetry): {payload['dp_record_count']:.1f}")
+
+    # A second device syncs later and learns everything the phone knew.
+    laptop = await assistant.sync(())
+    print(f"laptop joined: received {len(laptop['records'])} records from the server\n")
+
+    # -- fused answers: personal links at hop 1 --------------------------
+    anna_name = next(n for n in people if n.startswith("Anna"))
+    anna = people[anna_name]
+    hood = await assistant.ask(NeighborhoodRequest(entities=(anna,), hops=1))
+    assert celebs[0] in hood[0], "personal link missing from fused answer"
+    print(f"Q: Who is {anna_name} connected to?")
+    print(f"A: {names[celebs[0]]} (via the contacts link) — {len(hood[0])} facts\n")
+
+    # ... and shared knowledge reachable *through* that link at hop 2.
+    hood2 = await assistant.ask(NeighborhoodRequest(entities=(anna,), hops=2))
+    shared_reached = [n for n in hood2[0] if n in kg.store.entity_ids() and n != celebs[0]]
+    assert shared_reached, "hop 2 never reached the shared graph"
+    print("Q: What does the shared graph know about Anna's circle?")
+    print(
+        f"A: {len(shared_reached)} shared entities reachable through one "
+        f"personal link, e.g. {kg.store.entity(shared_reached[0]).name}\n"
+    )
+
+    # -- right to be forgotten -------------------------------------------
+    await assistant.forget("contacts", "c-ben", sequence=2)
+    after = await assistant.sync(())
+    assert all(r["record_id"] != "c-ben" for r in after["records"])
+    assert ["contacts", "c-ben", 2] in after["tombstones"]
+    print("'Ben Meyer' deleted: the record is gone and every device will learn it")
+
+    # -- and the shared graph saw none of it -----------------------------
+    shared = await assistant.ask(
+        NeighborhoodRequest(entities=(anna,), hops=1), personal=False
+    )
+    assert shared[0] == [], "personal person leaked into the shared graph"
+    print("shared graph asked about Anna: knows nothing — personal facts stay personal")
+
+    await server.stop()
+    gateway.close()
+    service.close()
 
 
 def main() -> None:
-    platform, kg = KnowledgePlatform.from_synthetic(scale=0.5, seed=7)
-    platform.train_embeddings(TrainConfig(model="complex", dim=32, epochs=20, seed=1))
-    assistant = Assistant(platform)
-
-    # Pick a multi-occupation celebrity and an ambiguous name from the world.
-    person = max(
-        (p for p, order in kg.truth.occupation_order.items() if len(order) >= 2),
-        key=lambda p: kg.store.entity(p).popularity,
-    )
-    name = kg.store.entity(person).name
-    ambiguous_name, members = next(iter(kg.truth.ambiguous_names.items()))
-
-    print(f"Q: What is the occupation of {name}?")
-    print("A:", assistant.occupation_of(f"{name} occupation"))
-
-    true_occ = kg.store.entity(kg.truth.occupation_order[person][0]).name
-    print(f"\nQ: Is {name} a {true_occ}?")
-    print("A:", assistant.check_fact(f"{name}", true_occ))
-
-    print(f"\nQ: Who is similar to {name}?")
-    print("A:", assistant.similar_to(f"{name} news"))
-
-    # Ambiguity: same surface, different contexts (the Michael Jordan case).
-    contexts = {
-        members[0]: "game stats points team",
-        members[1]: "research students university lecture",
-    }
-    print(f"\nThe name '{ambiguous_name}' is shared by {len(members)} entities:")
-    for entity, context in contexts.items():
-        links = assistant.annotator.annotate(f"{ambiguous_name} {context}")
-        resolved = links[0].entity if links else None
-        label = kg.store.entity(resolved).description if resolved else "(no link)"
-        print(f"  '{ambiguous_name} {context.split()[0]} …' → {label}")
+    with tempfile.TemporaryDirectory(prefix="assistant-") as tmp:
+        asyncio.run(run(Path(tmp) / "bundle", Path(tmp) / "tenants"))
 
 
 if __name__ == "__main__":

@@ -790,6 +790,11 @@ class GenerationPublisher:
         self._lock = threading.Lock()
         self._pending_keys: dict[tuple[str, str, str], None] = {}
         self._pending_entities: dict[str, None] = {}
+        # Background compaction (scheduled off the publish path): at most
+        # one in-flight thread; its failure parks here and re-raises on
+        # the next publish()/compact()/join_compaction() call.
+        self._compact_thread: threading.Thread | None = None
+        self._compact_error: BaseException | None = None
 
         chain = read_chain(self.bundle_dir)
         if chain is None and not (self.bundle_dir / SNAPSHOT_MANIFEST).exists():
@@ -914,6 +919,7 @@ class GenerationPublisher:
         when nothing changed since the last publish.  On any failure the
         pending set is preserved and the chain untouched — retryable.
         """
+        self._raise_compact_error()
         with self._lock:
             with tracing.span(
                 "publisher.publish", bundle=str(self.bundle_dir)
@@ -1084,10 +1090,13 @@ class GenerationPublisher:
         )
         compacted = False
         if self.compact_every and len(chain["deltas"]) >= self.compact_every:
-            with tracing.span(
-                "publisher.compact", bundle=str(self.bundle_dir)
-            ):
-                self._compact_locked()
+            # Compaction (a full CSR rebuild + base snapshot) runs on a
+            # background thread so the publish path stays ~ms: the caller
+            # gets its generation back immediately and the fold happens
+            # under the publisher lock as soon as this publish releases
+            # it.  ``compacted`` in the returned info therefore means
+            # *scheduled*; join_compaction() observes completion.
+            self._schedule_compaction_locked()
             compacted = True
         return GenerationInfo(
             seq=seq,
@@ -1192,8 +1201,69 @@ class GenerationPublisher:
 
     # -- compaction -------------------------------------------------------
 
+    def _raise_compact_error(self) -> None:
+        """Surface a background compaction failure on the calling thread."""
+        error = self._compact_error
+        if error is not None:
+            self._compact_error = None
+            raise error
+
+    def _schedule_compaction_locked(self) -> None:
+        """Start (at most one) background compaction thread.
+
+        Called with the publisher lock held: the thread blocks on the
+        lock until the scheduling publish commits, then folds the entire
+        chain as it stands *then* — so a still-pending thread also covers
+        any generations published in between, and re-scheduling is a
+        no-op while one is in flight.
+        """
+        if self._compact_thread is not None and self._compact_thread.is_alive():
+            return
+
+        def run() -> None:
+            try:
+                with self._lock:
+                    if not self._chain["deltas"]:
+                        return  # someone compacted inline in the meantime
+                    with tracing.span(
+                        "publisher.compact", bundle=str(self.bundle_dir)
+                    ):
+                        self._compact_locked()
+            except BaseException as exc:  # parked for the next caller
+                self._compact_error = exc
+
+        thread = threading.Thread(
+            target=run, name=f"compact-{self.bundle_dir.name}", daemon=True
+        )
+        self._compact_thread = thread
+        if self.metrics is not None:
+            self.metrics.incr("publisher.compactions_scheduled")
+        thread.start()
+
+    def join_compaction(self, timeout: float | None = None) -> bool:
+        """Wait for any in-flight background compaction to finish.
+
+        Returns ``True`` once no compaction is running (including when
+        none was scheduled); ``False`` if ``timeout`` elapsed first.
+        Re-raises the compaction's exception, if it failed — the same
+        error the next :meth:`publish`/:meth:`compact` would surface.
+        """
+        thread = self._compact_thread
+        if thread is not None:
+            thread.join(timeout)
+            if thread.is_alive():
+                return False
+            self._compact_thread = None
+        self._raise_compact_error()
+        return True
+
     def compact(self) -> GenerationInfo:
-        """Fold the chain into a fresh base (publishes pending changes too)."""
+        """Fold the chain into a fresh base (publishes pending changes too).
+
+        Synchronous: drains any in-flight background compaction first,
+        then folds whatever remains inline on the calling thread.
+        """
+        self.join_compaction()
         with self._lock:
             with tracing.span(
                 "publisher.compact", bundle=str(self.bundle_dir)

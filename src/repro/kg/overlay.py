@@ -1,0 +1,170 @@
+"""Tenant overlay graphs: a personal KG spliced over the shared bundle.
+
+The delta machinery in :mod:`repro.kg.deltas` chains generations of *one*
+store: every :class:`DeltaPayload`'s base is the previous generation of the
+same graph.  This module generalises the base away from "prior generation"
+to "shared open-domain bundle" — the Saga shape (Ilyas et al., 2022) where
+thousands of per-user personal graphs layer over a single immutable
+snapshot.  A tenant overlay is one synthetic in-memory delta built from a
+personal :class:`TripleStore`, merged through the existing
+:class:`DeltaOverlay` splice so every read-side invariant (append-only id
+space, string-sorted rows, tip-stamped versions) holds by construction:
+
+* the shared base CSR is referenced, never copied or mutated — every
+  resident tenant shares one mmap;
+* personal nodes take ids past ``base.num_nodes``, so a shared-bundle
+  generation swap (which only ever *appends* to the dictionary) leaves
+  overlay row contents meaningful — the overlay is simply rebuilt against
+  the new base and personal facts land on the same strings;
+* the collapsed snapshot is stamped at the personal store's version, so a
+  :class:`~repro.kg.graph_engine.GraphEngine` over the (frozen) personal
+  store adopts it and never silently rebuilds a shared-graph-free CSR.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import StoreError
+from repro.kg.adjacency import CSRAdjacency
+from repro.kg.deltas import DeltaOverlay, DeltaPayload
+from repro.kg.graph_engine import GraphEngine
+from repro.kg.store import TripleStore
+from repro.kg.triple import ObjectKind
+
+OVERLAY_DIRECTORY = Path("<tenant-overlay>")
+
+
+def overlay_payload(base: CSRAdjacency, personal: TripleStore) -> DeltaPayload:
+    """One synthetic delta layering ``personal``'s facts over ``base``.
+
+    Mirrors :func:`~repro.kg.adjacency.build_csr` edge semantics exactly
+    (entity facts edge both ways, every fact edges object->subject,
+    self-loops drop from rows but still count toward entity-edge degrees),
+    so a walk over the collapsed overlay visits the same neighbor sets a
+    from-scratch build of shared+personal would.  Strings absent from the
+    base dictionary append in sorted order — deterministic, so two builds
+    of the same (base, personal) pair are byte-identical.
+    """
+    entity_kind = ObjectKind.ENTITY
+    additions: dict[str, set[str]] = {}
+    degree_add: dict[str, int] = {}
+    nodes: set[str] = set(personal.entity_ids())
+    for fact in personal.scan():
+        subject, obj = fact.subject, fact.obj
+        nodes.add(subject)
+        nodes.add(obj)
+        if fact.obj_kind is entity_kind:
+            if subject != obj:
+                additions.setdefault(subject, set()).add(obj)
+                additions.setdefault(obj, set()).add(subject)
+            degree_add[subject] = degree_add.get(subject, 0) + 1
+            degree_add[obj] = degree_add.get(obj, 0) + 1
+        if subject != obj:
+            additions.setdefault(obj, set()).add(subject)
+
+    base_dictionary = base.dictionary
+    base_n = base.num_nodes
+    new_strings = sorted(n for n in nodes if base_dictionary.get(n) is None)
+    extra_id_of = {string: base_n + i for i, string in enumerate(new_strings)}
+
+    def node_id(string: str) -> int:
+        known = base_dictionary.get(string)
+        return extra_id_of[string] if known is None else known
+
+    base_strings = base_dictionary._strings_view()
+    changed: list[tuple[int, str]] = sorted((node_id(n), n) for n in nodes)
+    changed_nodes = np.asarray([nid for nid, _ in changed], dtype=np.int64)
+    rows: list[np.ndarray] = []
+    degrees: list[int] = []
+    for nid, node in changed:
+        combined = set(additions.get(node, ()))
+        degree = degree_add.get(node, 0)
+        if nid < base_n:
+            combined.update(base_strings[i] for i in base.neighbors_of(nid))
+            degree += int(base.entity_edge_degrees[nid])
+        rows.append(
+            np.asarray([node_id(n) for n in sorted(combined)], dtype=np.int32)
+        )
+        degrees.append(degree)
+
+    row_offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    if rows:
+        np.cumsum([len(row) for row in rows], out=row_offsets[1:])
+    row_indices = (
+        np.concatenate(rows).astype(np.int32) if rows else np.empty(0, dtype=np.int32)
+    )
+
+    predicate_counts = dict(base.predicate_counts)
+    for predicate, count in personal.predicate_counts().items():
+        predicate_counts[predicate] = predicate_counts.get(predicate, 0) + count
+
+    return DeltaPayload(
+        directory=OVERLAY_DIRECTORY,
+        seq=1,
+        store_version=personal.version,
+        parent_version=base.built_version,
+        new_strings=new_strings,
+        changed_nodes=changed_nodes,
+        row_offsets=row_offsets,
+        row_indices=row_indices,
+        changed_degrees=np.asarray(degrees, dtype=np.int64),
+        ctx_entities=[],
+        ctx_matrix=np.zeros((0, 0), dtype=np.float64),
+        alias_updates={},
+        predicate_counts=predicate_counts,
+        removed=[],
+        extra={"overlay": True},
+    )
+
+
+def collapse_overlay(base: CSRAdjacency, personal: TripleStore) -> CSRAdjacency:
+    """The merged shared+personal CSR, stamped at ``personal.version``."""
+    return DeltaOverlay(base, [overlay_payload(base, personal)]).collapse()
+
+
+class TenantOverlay:
+    """One tenant's merged read view: shared base + frozen personal store.
+
+    The personal store must not mutate while the overlay lives — writes go
+    through the tenant's durable record store, which derives a *new*
+    personal store and a new overlay (the same adopt-or-rebuild contract
+    every physical layer in this repo follows).  ``engine()`` raises rather
+    than degrade: a version drift would otherwise silently rebuild a CSR
+    from the personal store alone, answering without the shared graph.
+    """
+
+    def __init__(self, base: CSRAdjacency, personal: TripleStore) -> None:
+        self.base = base
+        self.personal = personal
+        self.personal_version = personal.version
+        self.snapshot = collapse_overlay(base, personal)
+        self._engine: GraphEngine | None = None
+
+    @property
+    def base_version(self) -> int:
+        return self.base.built_version
+
+    @property
+    def num_personal_nodes(self) -> int:
+        return self.snapshot.num_nodes - self.base.num_nodes
+
+    def engine(self) -> GraphEngine:
+        """A :class:`GraphEngine` serving the merged view (cached)."""
+        if self._engine is None:
+            if self.personal.version != self.personal_version:
+                raise StoreError(
+                    f"tenant personal store moved ({self.personal_version} -> "
+                    f"{self.personal.version}) under a live overlay; rebuild it"
+                )
+            engine = GraphEngine(self.personal)
+            if not engine.adopt_snapshot(self.snapshot):
+                raise StoreError(
+                    "tenant overlay snapshot rejected by the personal store "
+                    f"(built {self.snapshot.built_version}, store "
+                    f"{self.personal.version})"
+                )
+            self._engine = engine
+        return self._engine

@@ -19,7 +19,7 @@ from repro.ondevice.incremental import (
     IncrementalPipelineConfig,
     PipelineResult,
 )
-from repro.ondevice.records import ALL_SOURCES, SourceRecord
+from repro.ondevice.records import ALL_SOURCES, SourceRecord, record_lww_key
 
 # Named profiles roughly ordered by capability.
 PROFILES = {
@@ -62,6 +62,11 @@ class Device:
     sync_preferences: dict[str, bool] = field(
         default_factory=lambda: {source: True for source in ALL_SOURCES}
     )
+    # source name -> record id -> deletion sequence.  Tombstones are
+    # retained indefinitely (never garbage-collected) so a device that
+    # syncs in late still learns about deletions instead of resurrecting
+    # the record from its stale copy.
+    tombstones: dict[str, dict[str, int]] = field(default_factory=dict)
     result: PipelineResult | None = None
 
     def local_records(self) -> list[SourceRecord]:
@@ -76,17 +81,77 @@ class Device:
         return {record.record_id for record in self.records.get(source, [])}
 
     def add_records(self, source: str, new_records: list[SourceRecord]) -> int:
-        """Merge records into a source (dedup by id); returns adds."""
-        existing = self.record_ids(source)
-        bucket = self.records.setdefault(source, [])
-        added = 0
+        """Merge records into a source; returns records added or replaced.
+
+        Last-writer-wins by :func:`record_lww_key`: an incoming record
+        lands only when it strictly beats the existing copy (dedup by id
+        is the degenerate case — identical records are no-ops).  A
+        retained tombstone with ``sequence >=`` the record's suppresses
+        the write (delete wins ties); a strictly newer write resurrects
+        the record and clears the tombstone.
+        """
+        by_id = {r.record_id: r for r in self.records.get(source, [])}
+        tombs = self.tombstones.get(source, {})
+        changed = 0
         for record in new_records:
-            if record.record_id not in existing:
-                bucket.append(record)
-                existing.add(record.record_id)
-                added += 1
-        bucket.sort(key=lambda record: record.record_id)
-        return added
+            tomb = tombs.get(record.record_id)
+            if tomb is not None:
+                if tomb >= record.sequence:
+                    continue
+                del tombs[record.record_id]
+            existing = by_id.get(record.record_id)
+            if existing is not None and record_lww_key(existing) >= record_lww_key(record):
+                continue
+            by_id[record.record_id] = record
+            changed += 1
+        self.records[source] = sorted(by_id.values(), key=lambda r: r.record_id)
+        return changed
+
+    def delete_record(self, source: str, record_id: str, sequence: int | None = None) -> bool:
+        """Tombstone one record; True when a local copy was removed.
+
+        ``sequence`` defaults to the deleted record's own sequence, so a
+        plain delete always wins against replays of the copy it deleted.
+        A delete older than the local record loses (the write stays).
+        """
+        by_id = {r.record_id: r for r in self.records.get(source, [])}
+        existing = by_id.get(record_id)
+        seq = sequence if sequence is not None else (existing.sequence if existing else 0)
+        if existing is not None and seq < existing.sequence:
+            return False
+        tombs = self.tombstones.setdefault(source, {})
+        tombs[record_id] = max(seq, tombs.get(record_id, seq))
+        if existing is None:
+            return False
+        del by_id[record_id]
+        self.records[source] = sorted(by_id.values(), key=lambda r: r.record_id)
+        return True
+
+    def apply_tombstones(self, source: str, incoming: dict[str, int]) -> int:
+        """Adopt remote tombstones; returns tombstones newly learned/raised.
+
+        A tombstone older than the local record loses entirely (the local
+        write flows back out and resurrects the record on the deleting
+        device); otherwise it is retained and any local copy at or below
+        its sequence is dropped.
+        """
+        tombs = self.tombstones.setdefault(source, {})
+        by_id = {r.record_id: r for r in self.records.get(source, [])}
+        raised = 0
+        for record_id, seq in incoming.items():
+            current = tombs.get(record_id)
+            if current is not None and current >= seq:
+                continue
+            existing = by_id.get(record_id)
+            if existing is not None and existing.sequence > seq:
+                continue
+            tombs[record_id] = seq
+            raised += 1
+            if existing is not None:
+                del by_id[record_id]
+        if raised:
+            self.records[source] = sorted(by_id.values(), key=lambda r: r.record_id)
+        return raised
 
     def build_kg(self, pipeline_config: IncrementalPipelineConfig | None = None) -> PipelineResult:
         """(Re)construct the personal KG from current records.

@@ -9,6 +9,7 @@ ground-truth person ids ride along for evaluation only.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -94,3 +95,15 @@ class SourceRecord:
             true_person=payload.get("true_person", ""),
             sequence=payload.get("sequence", 0),
         )
+
+
+def record_lww_key(record: SourceRecord) -> tuple[int, str]:
+    """Total order for last-writer-wins merges of the same record id.
+
+    ``sequence`` decides; canonical-JSON content breaks ties so two
+    devices holding *different* same-sequence writes converge on the same
+    winner regardless of exchange order (instead of each keeping its own).
+    An incoming record replaces an existing one only when its key is
+    strictly greater — re-adding an identical record is a no-op.
+    """
+    return (record.sequence, json.dumps(record.to_dict(), sort_keys=True))

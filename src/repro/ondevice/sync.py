@@ -27,6 +27,7 @@ from repro.ondevice.incremental import (
     IncrementalPipelineConfig,
     PipelineResult,
 )
+from repro.ondevice.records import record_lww_key
 
 
 @dataclass
@@ -35,9 +36,15 @@ class SyncRoundReport:
 
     transfers: int = 0
     records_moved: int = 0
+    tombstones_moved: int = 0
     bytes_moved: int = 0
     # (from_device, to_device, source) -> records in that transfer
     detail: dict[tuple[str, str, str], int] = field(default_factory=dict)
+
+    @property
+    def converged(self) -> bool:
+        """True when the round changed no state anywhere."""
+        return self.records_moved == 0 and self.tombstones_moved == 0
 
 
 def _record_bytes(records: list) -> int:
@@ -58,7 +65,10 @@ class SyncCoordinator:
 
         A source flows from A to B only when *both* devices have the
         source enabled in their preferences (the paper's per-source
-        opt-in).
+        opt-in).  Tombstones travel first so a record deleted on the
+        sender is not re-offered to (or resurrected on) the receiver in
+        the same round; records ship only when they would actually win
+        the receiver's last-writer-wins merge.
         """
         report = SyncRoundReport()
         for sender in self.devices:
@@ -68,27 +78,43 @@ class SyncCoordinator:
                 for source, enabled in sender.sync_preferences.items():
                     if not enabled or not receiver.sync_preferences.get(source, False):
                         continue
+                    sender_tombs = sender.tombstones.get(source, {})
+                    tombstones_moved = (
+                        receiver.apply_tombstones(source, sender_tombs)
+                        if sender_tombs
+                        else 0
+                    )
+                    receiver_keys = {
+                        record.record_id: record_lww_key(record)
+                        for record in receiver.records.get(source, [])
+                    }
+                    receiver_tombs = receiver.tombstones.get(source, {})
                     outgoing = [
                         record
                         for record in sender.records.get(source, [])
-                        if record.record_id not in receiver.record_ids(source)
+                        if receiver_tombs.get(record.record_id, -1) < record.sequence
+                        and (
+                            record.record_id not in receiver_keys
+                            or receiver_keys[record.record_id] < record_lww_key(record)
+                        )
                     ]
-                    if not outgoing:
+                    if not outgoing and not tombstones_moved:
                         continue
-                    added = receiver.add_records(source, outgoing)
+                    added = receiver.add_records(source, outgoing) if outgoing else 0
                     report.transfers += 1
                     report.records_moved += added
+                    report.tombstones_moved += tombstones_moved
                     report.bytes_moved += _record_bytes(outgoing)
                     report.detail[(sender.device_id, receiver.device_id, source)] = added
         return report
 
     def sync_until_stable(self, max_rounds: int = 8) -> list[SyncRoundReport]:
-        """Rounds until no records move (raises if not converged)."""
+        """Rounds until no records or tombstones move (raises otherwise)."""
         reports: list[SyncRoundReport] = []
         for _ in range(max_rounds):
             report = self.sync_round()
             reports.append(report)
-            if report.records_moved == 0:
+            if report.converged:
                 return reports
         raise SyncError(f"sync did not converge within {max_rounds} rounds")
 

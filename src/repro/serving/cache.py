@@ -37,7 +37,7 @@ _SENTINEL = object()
 
 
 class QueryCache:
-    """Thread-safe LRU over ``(store_version, request)`` keys."""
+    """Thread-safe LRU over ``(store_version, [tenant,] request)`` keys."""
 
     def __init__(
         self,
@@ -53,26 +53,59 @@ class QueryCache:
         self.stale_capacity = stale_capacity
         self.metrics = metrics or MetricsRegistry("query-cache")
         self._store = MemoryKVStore(capacity=capacity)
-        # request -> (store_version, value): the newest demoted result per
-        # request, kept for serve-stale-on-error (0 capacity disables it).
+        # stale key -> (store_version, value): the newest demoted result
+        # per request, kept for serve-stale-on-error (0 disables it).
         self._stale = MemoryKVStore(capacity=max(stale_capacity, 1))
         # The generation this cache currently accepts live writes for;
         # None until the first adopt_version.  Writes tagged with any
         # other version demote straight to the stale store — see put().
         self._adopted_version: int | None = None
 
-    def get(self, version: int, request: Hashable) -> Any:
+    @staticmethod
+    def _key(version: int, request: Hashable, tenant) -> tuple:
+        # Tenantless keys keep their historical 2-tuple shape (pinned by
+        # tests and by adopt_version's key[0] sweep, which works on both
+        # shapes).  A tenant entry keys on (tenant_id, tenant_version) so
+        # a tenant write invalidates structurally, exactly like a shared
+        # generation swap does — and two tenants can never collide even
+        # on identical requests.
+        if tenant is None:
+            return (version, request)
+        return (version, tuple(tenant), request)
+
+    @staticmethod
+    def _stale_key(request: Hashable, tenant) -> Hashable:
+        # Stale fallbacks ignore versions by design but must never cross
+        # tenants: key by tenant_id only (any version of *your own* past
+        # answer may serve degraded; nobody else's ever can).
+        if tenant is None:
+            return request
+        return (tuple(tenant)[0], request)
+
+    @staticmethod
+    def _family(request: Hashable) -> str:
+        return getattr(type(request), "wire_type", None) or type(request).__name__
+
+    def get(self, version: int, request: Hashable, tenant=None) -> Any:
         """The cached result, or ``None`` on a miss.
 
-        Hit/miss accounting lives in the backing store (one source of
-        truth); read it via :attr:`hits`/:attr:`misses`/:attr:`hit_rate`.
+        ``tenant`` is a ``(tenant_id, tenant_version)`` pair scoping the
+        entry to one tenant overlay generation, or ``None`` for the
+        shared graph.  Aggregate hit/miss accounting lives in the backing
+        store (one source of truth); read it via
+        :attr:`hits`/:attr:`misses`/:attr:`hit_rate`.  Per-request-family
+        counters land in the registry (``cache.hits.<wire_type>`` /
+        ``cache.misses.<wire_type>``) for the /metrics exposition.
         """
-        value = self._store.get((version, request), _SENTINEL)
+        value = self._store.get(self._key(version, request, tenant), _SENTINEL)
+        family = self._family(request)
         if value is _SENTINEL:
+            self.metrics.incr(f"cache.misses.{family}")
             return None
+        self.metrics.incr(f"cache.hits.{family}")
         return value
 
-    def put(self, version: int, request: Hashable, value: Any) -> None:
+    def put(self, version: int, request: Hashable, value: Any, tenant=None) -> None:
         """Insert a result, evicting the least-recently-used past capacity.
 
         A write tagged with a generation other than the adopted one — an
@@ -85,17 +118,18 @@ class QueryCache:
         adopted = self._adopted_version
         if adopted is not None and version != adopted:
             self.metrics.incr("cache.swap_races")
-            self._demote(version, request, value)
+            self._demote(version, request, value, tenant)
             return
-        self._store.put((version, request), value)
+        self._store.put(self._key(version, request, tenant), value)
 
-    def _demote(self, version: int, request: Hashable, value: Any) -> None:
+    def _demote(self, version: int, request: Hashable, value: Any, tenant=None) -> None:
         """Move one entry into the stale store if it is the newest there."""
         if self.stale_capacity == 0:
             return
-        existing = self._stale.get(request, _SENTINEL)
+        key = self._stale_key(request, tenant)
+        existing = self._stale.get(key, _SENTINEL)
         if existing is _SENTINEL or existing[0] < version:
-            self._stale.put(request, (version, value))
+            self._stale.put(key, (version, value))
 
     def warm(self, version: int, entries: Iterable[tuple[Hashable, Any]]) -> int:
         """Pre-populate the cache with computed ``(request, result)`` pairs.
@@ -118,23 +152,43 @@ class QueryCache:
             self.metrics.incr("cache.warmed", admitted)
         return admitted
 
-    def get_stale(self, request: Hashable) -> tuple[int, Any] | None:
+    def get_stale(self, request: Hashable, tenant=None) -> tuple[int, Any] | None:
         """The newest demoted ``(store_version, result)`` for ``request``.
 
         The degradation path's last resort: consulted only after fresh
         compute failed past its retry budget.  Returns ``None`` when no
         previous generation ever answered this request (or stale serving
-        is disabled).
+        is disabled).  Tenant-scoped lookups only ever see the same
+        tenant's demoted answers.
         """
         if self.stale_capacity == 0:
             return None
-        entry = self._stale.get(request, _SENTINEL)
+        family = self._family(request)
+        entry = self._stale.get(self._stale_key(request, tenant), _SENTINEL)
         if entry is _SENTINEL:
             self.metrics.incr("cache.stale_misses")
+            self.metrics.incr(f"cache.stale_misses.{family}")
             return None
         self.metrics.incr("cache.stale_hits")
+        self.metrics.incr(f"cache.stale_hits.{family}")
         tracing.event("cache.stale_hit", store_version=entry[0])
         return entry
+
+    def family_stats(self) -> dict[str, dict[str, int]]:
+        """Per-request-family hit/miss/stale counts, from the registry.
+
+        Shape: ``{wire_type: {"hits": n, "misses": n, "stale_hits": n}}``
+        — the structured twin of the ``cache_*_by_type`` Prometheus
+        families the service exposes.
+        """
+        out: dict[str, dict[str, int]] = {}
+        for kind in ("hits", "misses", "stale_hits", "stale_misses"):
+            prefix = f"cache.{kind}."
+            for key, count in self.metrics.counters.items():
+                if key.startswith(prefix) and len(key) > len(prefix):
+                    family = key[len(prefix) :]
+                    out.setdefault(family, {})[kind] = int(count)
+        return out
 
     def adopt_version(self, version: int) -> int:
         """Drop every entry not built at ``version``; returns count dropped.
@@ -160,7 +214,12 @@ class QueryCache:
             for key in stale:
                 value = self._store.get(key, _SENTINEL)
                 if value is not _SENTINEL:
-                    self._demote(key[0], key[1], value)
+                    # 2-tuple = shared entry, 3-tuple = (version, tenant,
+                    # request) — demote under the matching stale key.
+                    if len(key) == 3:
+                        self._demote(key[0], key[2], value, key[1])
+                    else:
+                        self._demote(key[0], key[1], value)
                 self._store.delete(key)
             dropped += len(stale)
             if not stale:

@@ -48,6 +48,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextvars
+import functools
 import json
 import time
 from collections import deque
@@ -61,7 +62,7 @@ from repro.serving import faults
 from repro.serving.protocol import (
     ProtocolError,
     encode_response,
-    decode_request_with_context,
+    decode_request_envelope,
     error_response,
 )
 from repro.serving.requests import (
@@ -169,11 +170,19 @@ class AsyncGateway:
         return self._semaphore
 
     async def serve_async(
-        self, request: Request, *, deadline_s: float | None = None
+        self,
+        request: Request,
+        *,
+        deadline_s: float | None = None,
+        tenant: str | None = None,
     ) -> Response:
         """One request through admission control; never raises for
         request-level failures — rejection, shedding, deadline and worker
         errors all come back as envelopes.
+
+        ``tenant`` passes through to :meth:`ServingService.serve` —
+        admission control is tenant-blind (one shared budget), routing is
+        not.
 
         Under an armed tracer this opens the trace's *root* span
         (``gateway.request``); everything downstream — admission events,
@@ -181,18 +190,18 @@ class AsyncGateway:
         under it, and the trace completes when the envelope goes out.
         """
         if tracing.active() is None:
-            return await self._serve_async_impl(request, deadline_s)
+            return await self._serve_async_impl(request, deadline_s, tenant)
         with tracing.span(
             "gateway.request", request_type=type(request).__name__
         ) as span:
-            response = await self._serve_async_impl(request, deadline_s)
+            response = await self._serve_async_impl(request, deadline_s, tenant)
             span.set_attribute("status", response.status)
             if span.recording and not response.trace_id:
                 response.trace_id = span.trace_id
             return response
 
     async def _serve_async_impl(
-        self, request: Request, deadline_s: float | None
+        self, request: Request, deadline_s: float | None, tenant: str | None = None
     ) -> Response:
         started = time.perf_counter()
         wire_type = getattr(type(request), "wire_type", "unknown")
@@ -240,10 +249,15 @@ class AsyncGateway:
                 f"({self._pending}/{self.max_pending} pending)",
                 timings={"total_ms": _ms_since(started)},
             )
-        return await self._admitted(request, deadline_s, started=started)
+        return await self._admitted(request, deadline_s, tenant, started=started)
 
     async def _admitted(
-        self, request: Request, deadline_s: float | None, *, started: float | None = None
+        self,
+        request: Request,
+        deadline_s: float | None,
+        tenant: str | None = None,
+        *,
+        started: float | None = None,
     ) -> Response:
         """The post-admission path (streaming batches enter here directly:
         a pull-based caller self-throttles, so queue-full rejection would
@@ -269,18 +283,17 @@ class AsyncGateway:
             deferred_release = False
             try:
                 loop = asyncio.get_running_loop()
+                call = functools.partial(self.service.serve, request, tenant=tenant)
                 if tracing.active() is not None:
                     # Executor threads do not inherit this task's
                     # contextvars; carry the gateway span across so the
                     # service's spans join the same trace.
                     context = contextvars.copy_context()
                     future = loop.run_in_executor(
-                        self._executor, context.run, self.service.serve, request
+                        self._executor, context.run, call
                     )
                 else:
-                    future = loop.run_in_executor(
-                        self._executor, self.service.serve, request
-                    )
+                    future = loop.run_in_executor(self._executor, call)
                 if deadline is None:
                     return await future
                 try:
@@ -512,7 +525,7 @@ class GatewayHTTPServer:
             if method != "POST":
                 return 405, self._error_body(ERROR_BAD_REQUEST, "use POST /v1/query")
             try:
-                request, trace_ctx = decode_request_with_context(body)
+                request, trace_ctx, tenant = decode_request_envelope(body)
             except ProtocolError as exc:
                 # Malformed/unsupported input: a structured envelope, not
                 # a traceback and not a dropped connection.
@@ -527,9 +540,9 @@ class GatewayHTTPServer:
                 # The client shipped its own trace context: this server's
                 # spans join the caller's distributed trace.
                 with tracing.seeded(trace_ctx):
-                    response = await self.gateway.serve_async(request)
+                    response = await self.gateway.serve_async(request, tenant=tenant)
             else:
-                response = await self.gateway.serve_async(request)
+                response = await self.gateway.serve_async(request, tenant=tenant)
             http_status = 200
             if not response.ok and response.error is not None:
                 http_status = _HTTP_STATUS_BY_CODE.get(response.error.code, 500)
@@ -600,6 +613,19 @@ def main(argv: list[str] | None = None) -> int:
         "--deadline-s", type=float, default=None, help="per-request deadline (seconds)"
     )
     parser.add_argument(
+        "--tenants-dir",
+        default=None,
+        help="enable multi-tenant overlay serving: per-tenant bundles live "
+        "under this directory (created on first tenant write)",
+    )
+    parser.add_argument(
+        "--max-resident-tenants",
+        type=int,
+        default=32,
+        help="LRU budget of tenant overlays held in memory (evicted tenants "
+        "cold-attach from disk on their next request)",
+    )
+    parser.add_argument(
         "--watch-interval-s",
         type=float,
         default=None,
@@ -635,7 +661,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace:
         tracing.arm(tracing.Tracer(sample_every=args.trace_sample))
     with ServingService(
-        args.bundle_dir, mode=args.mode, num_workers=args.workers
+        args.bundle_dir,
+        mode=args.mode,
+        num_workers=args.workers,
+        tenants_dir=args.tenants_dir,
+        max_resident_tenants=args.max_resident_tenants,
     ) as service:
         watcher = None
         if args.watch_interval_s is not None:

@@ -50,9 +50,11 @@ from repro.serving.requests import (
     STATUS_OK,
     REQUESTS_BY_WIRE_TYPE,
     ErrorInfo,
+    PersonalRecord,
     Request,
     Response,
     response_class,
+    valid_tenant_id,
 )
 
 PROTOCOL_VERSION = 1
@@ -74,13 +76,22 @@ class ProtocolError(ValueError):
 # -- request codec -------------------------------------------------------------
 
 
-def encode_request(request: Request, *, trace: "tracing.TraceContext | None" = None) -> bytes:
+def encode_request(
+    request: Request,
+    *,
+    trace: "tracing.TraceContext | None" = None,
+    tenant: str | None = None,
+) -> bytes:
     """Serialise ``request`` into a protocol envelope (UTF-8 JSON bytes).
 
     ``trace`` embeds the caller's trace context as an optional ``trace``
     envelope field.  The field is additive: servers and clients that
     predate it ignore unknown top-level envelope keys, so traced and
-    untraced peers interoperate freely.
+    untraced peers interoperate freely.  ``tenant`` scopes the request to
+    one tenant's overlay graph — additive the same way, but validated
+    strictly on both ends: a tenant id changes which graph answers, so a
+    malformed one must fail loudly rather than fall through to the shared
+    graph.
     """
     wire_type = getattr(type(request), "wire_type", None)
     if wire_type not in REQUESTS_BY_WIRE_TYPE:
@@ -95,6 +106,10 @@ def encode_request(request: Request, *, trace: "tracing.TraceContext | None" = N
     }
     if trace is not None:
         envelope["trace"] = trace.to_wire()
+    if tenant is not None:
+        if not valid_tenant_id(tenant):
+            raise ProtocolError(ERROR_BAD_REQUEST, f"invalid tenant id: {tenant!r}")
+        envelope["tenant"] = tenant
     return json.dumps(envelope, sort_keys=True).encode("utf-8")
 
 
@@ -112,8 +127,25 @@ def decode_request_with_context(
     A missing or malformed ``trace`` field yields ``None`` — trace
     context is advisory and must never fail the request carrying it.
     """
+    request, context, _tenant = decode_request_envelope(data)
+    return request, context
+
+
+def decode_request_envelope(
+    data: bytes | str,
+) -> "tuple[Request, tracing.TraceContext | None, str | None]":
+    """Full envelope decode: ``(request, trace_context, tenant)``.
+
+    Unlike trace context, a *present but malformed* ``tenant`` field is a
+    hard ``bad_request``: routing a tenant-scoped request to the shared
+    graph (or to a path-traversal directory name) on a typo would be an
+    isolation failure, not a degraded nicety.
+    """
     envelope = _parse_envelope(data)
     context = tracing.TraceContext.from_wire(envelope.get("trace"))
+    tenant = envelope.get("tenant")
+    if tenant is not None and not valid_tenant_id(tenant):
+        raise ProtocolError(ERROR_BAD_REQUEST, f"invalid tenant id: {tenant!r}")
     wire_type = envelope.get("type")
     # The isinstance gate runs before the dict probe: a non-string (and
     # possibly unhashable) type field must reject cleanly, not TypeError.
@@ -133,7 +165,7 @@ def decode_request_with_context(
             f"unknown field(s) for {wire_type!r} request: {sorted(unknown)}",
         )
     try:
-        return request_cls(**_coerce_body(body)), context
+        return request_cls(**_coerce_body(body)), context, tenant
     except (TypeError, ValueError) as exc:
         raise ProtocolError(
             ERROR_BAD_REQUEST, f"invalid {wire_type!r} request: {exc}"
@@ -176,6 +208,9 @@ _SCALAR_FIELDS: dict[str, type] = {
     "exclude_self": bool,
     "tier": str,
     "predicate": str,
+    "source": str,
+    "record_id": str,
+    "sequence": int,
 }
 
 
@@ -193,6 +228,24 @@ def _coerce_body(body: dict) -> dict:
         coerced["pairs"] = tuple(
             _fixed_str_tuple(item, 2, "pairs") for item in _require_list(coerced["pairs"], "pairs")
         )
+    if "records" in coerced:
+        coerced["records"] = tuple(
+            _personal_record(item)
+            for item in _require_list(coerced["records"], "records")
+        )
+    if "tombstones" in coerced:
+        coerced["tombstones"] = tuple(
+            _tombstone_item(item)
+            for item in _require_list(coerced["tombstones"], "tombstones")
+        )
+    if "epsilon" in coerced:
+        value = coerced["epsilon"]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ProtocolError(
+                ERROR_BAD_REQUEST,
+                f"epsilon must be a number, got {type(value).__name__}",
+            )
+        coerced["epsilon"] = float(value)
     for name, expected in _SCALAR_FIELDS.items():
         if name not in coerced:
             continue
@@ -229,6 +282,50 @@ def _fixed_str_tuple(value: Any, size: int, name: str) -> tuple[str, ...]:
             ERROR_BAD_REQUEST, f"each {name} item must have {size} elements"
         )
     return tuple(items)
+
+
+def _personal_record(item: Any) -> PersonalRecord:
+    """One wire record object back into a hashable :class:`PersonalRecord`.
+
+    Field pairs arrive as ``[key, value]`` arrays (JSON has no tuples) and
+    both sides must be strings — anything richer belongs in the on-device
+    pipeline, not the wire format.
+    """
+    if not isinstance(item, dict):
+        raise ProtocolError(ERROR_BAD_REQUEST, "each record must be an object")
+    record_id = item.get("record_id")
+    source = item.get("source")
+    if not isinstance(record_id, str) or not isinstance(source, str):
+        raise ProtocolError(
+            ERROR_BAD_REQUEST, "record record_id and source must be strings"
+        )
+    sequence = item.get("sequence", 0)
+    if isinstance(sequence, bool) or not isinstance(sequence, int):
+        raise ProtocolError(ERROR_BAD_REQUEST, "record sequence must be int")
+    fields = tuple(
+        _fixed_str_tuple(pair, 2, "record fields")
+        for pair in _require_list(item.get("fields", []), "record fields")
+    )
+    return PersonalRecord(
+        record_id=record_id, source=source, fields=fields, sequence=sequence
+    )
+
+
+def _tombstone_item(item: Any) -> tuple[str, str, int]:
+    """A ``[source, record_id, sequence]`` tombstone triple."""
+    items = _require_list(item, "tombstones")
+    if len(items) != 3:
+        raise ProtocolError(
+            ERROR_BAD_REQUEST, "each tombstones item must have 3 elements"
+        )
+    source, record_id, sequence = items
+    if not isinstance(source, str) or not isinstance(record_id, str):
+        raise ProtocolError(
+            ERROR_BAD_REQUEST, "tombstone source and record_id must be strings"
+        )
+    if isinstance(sequence, bool) or not isinstance(sequence, int):
+        raise ProtocolError(ERROR_BAD_REQUEST, "tombstone sequence must be int")
+    return (source, record_id, sequence)
 
 
 # -- payload codec -------------------------------------------------------------

@@ -39,11 +39,21 @@ HTTP) speaks.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field, replace
 from typing import Any, ClassVar
 
 DEFAULT_WALK_LENGTH = 8
 DEFAULT_WALKS_PER_ENTITY = 4
+
+# Tenant ids name directories under ``tenants/<id>/`` and label cache keys
+# and metrics — a conservative charset keeps them path- and wire-safe.
+TENANT_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def valid_tenant_id(tenant_id: object) -> bool:
+    """True when ``tenant_id`` is a well-formed tenant identifier."""
+    return isinstance(tenant_id, str) and bool(TENANT_ID_PATTERN.match(tenant_id))
 
 # Status values of a Response envelope.  ``degraded`` is the graceful
 # middle ground: a *usable* payload that is incomplete (failed shards
@@ -211,6 +221,86 @@ class KnnRequest:
         return True
 
 
+# -- the tenant request family -------------------------------------------------
+#
+# The on-device sync protocol (ondevice/sync.py) exposed through the
+# gateway: a device ships its personal records (and tombstones) to its
+# tenant's server-side store and gets back what it is missing.  These are
+# *writes* against per-tenant state — never dispatched to the shared
+# worker fleet, never cached, never shed (losing a sync costs the client
+# a full re-send).
+
+
+@dataclass(frozen=True)
+class PersonalRecord:
+    """One source record on the wire — the tenant-family payload unit.
+
+    The hashable twin of :class:`repro.ondevice.records.SourceRecord`:
+    ``fields`` is a sorted tuple of ``(key, value)`` pairs instead of a
+    dict so requests stay frozen/hashable (the cache-key contract every
+    request type honours).  ``sequence`` is the last-writer-wins clock.
+    """
+
+    record_id: str
+    source: str
+    fields: tuple[tuple[str, str], ...] = ()
+    sequence: int = 0
+
+
+@dataclass(frozen=True)
+class TenantUpsertRequest:
+    """Apply ``records`` to the tenant's personal store (last-writer-wins)."""
+
+    wire_type: ClassVar[str] = "tenant_upsert"
+    cheap_to_recompute: ClassVar[bool] = False
+    splittable: ClassVar[bool] = False
+
+    records: tuple[PersonalRecord, ...]
+
+    def cacheable(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class TenantSyncRequest:
+    """One device<->server sync round: merge state, return what's missing.
+
+    ``records``/``tombstones`` are the device's full current state (small
+    by construction — personal KGs are per-user).  The response carries
+    the server records/tombstones that beat the device's, plus the fused
+    people and a DP-noised record count (``epsilon``) so aggregate
+    telemetry never reveals an exact personal-store size — the
+    differential-privacy enrichment stays server-side.
+    """
+
+    wire_type: ClassVar[str] = "tenant_sync"
+    cheap_to_recompute: ClassVar[bool] = False
+    splittable: ClassVar[bool] = False
+
+    records: tuple[PersonalRecord, ...] = ()
+    tombstones: tuple[tuple[str, str, int], ...] = ()
+    epsilon: float = 1.0
+
+    def cacheable(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class TenantDeleteRequest:
+    """Tombstone one record in the tenant's personal store."""
+
+    wire_type: ClassVar[str] = "tenant_delete"
+    cheap_to_recompute: ClassVar[bool] = False
+    splittable: ClassVar[bool] = False
+
+    source: str
+    record_id: str
+    sequence: int = 0
+
+    def cacheable(self) -> bool:
+        return False
+
+
 REQUEST_TYPES: tuple[type, ...] = (
     WalkRequest,
     NeighborhoodRequest,
@@ -220,6 +310,18 @@ REQUEST_TYPES: tuple[type, ...] = (
     VerifyRequest,
     SimilarityRequest,
     KnnRequest,
+    TenantUpsertRequest,
+    TenantSyncRequest,
+    TenantDeleteRequest,
+)
+
+# The tenant-write family: served by the TenantRegistry in the service
+# process, rejected outright by shared-fleet workers (isolation at
+# dispatch — a tenant write can never touch shared state).
+TENANT_REQUEST_TYPES: tuple[type, ...] = (
+    TenantUpsertRequest,
+    TenantSyncRequest,
+    TenantDeleteRequest,
 )
 
 # wire_type tag -> request class (the protocol decode table).
@@ -237,6 +339,9 @@ Request = (
     | VerifyRequest
     | SimilarityRequest
     | KnnRequest
+    | TenantUpsertRequest
+    | TenantSyncRequest
+    | TenantDeleteRequest
 )
 
 
@@ -387,6 +492,19 @@ class KnnResponse(Response):
     """Payload: per entity, :class:`~repro.vector.index.SearchHit`s."""
 
 
+class TenantUpsertResponse(Response):
+    """Payload: ``{"applied", "skipped", "tenant_version"}``."""
+
+
+class TenantSyncResponse(Response):
+    """Payload: server records/tombstones the device is missing, the fused
+    ``people``, the new ``tenant_version`` and a DP-noised record count."""
+
+
+class TenantDeleteResponse(Response):
+    """Payload: ``{"deleted", "tenant_version"}``."""
+
+
 # wire_type tag -> typed response class (the codec's decode table).
 RESPONSES_BY_WIRE_TYPE: dict[str, type[Response]] = {
     "walk": WalkResponse,
@@ -397,6 +515,9 @@ RESPONSES_BY_WIRE_TYPE: dict[str, type[Response]] = {
     "verify": VerifyResponse,
     "similarity": SimilarityResponse,
     "knn": KnnResponse,
+    "tenant_upsert": TenantUpsertResponse,
+    "tenant_sync": TenantSyncResponse,
+    "tenant_delete": TenantDeleteResponse,
 }
 
 

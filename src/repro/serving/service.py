@@ -51,12 +51,14 @@ from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import QueryCache
 from repro.serving.protocol import error_response
 from repro.serving.requests import (
+    ERROR_BAD_REQUEST,
     ERROR_INTERNAL,
     ERROR_UNAVAILABLE,
     ERROR_UNSUPPORTED_TYPE,
     REQUEST_TYPES,
     STATUS_DEGRADED,
     STATUS_OK,
+    TENANT_REQUEST_TYPES,
     AnnotateRequest,
     FactRankRequest,
     KnnRequest,
@@ -65,6 +67,9 @@ from repro.serving.requests import (
     Request,
     Response,
     SimilarityRequest,
+    TenantDeleteRequest,
+    TenantSyncRequest,
+    TenantUpsertRequest,
     VerifyRequest,
     WalkRequest,
     ErrorInfo,
@@ -78,6 +83,7 @@ from repro.serving.resilience import (
     error_fields,
 )
 from repro.serving.router import DEFAULT_NUM_SHARDS, ShardRouter
+from repro.serving.tenancy import TENANT_READ_TYPES, TenantNotFound, TenantRegistry
 from repro.serving.worker import WORKER_MODES, WorkerConfig, WorkerPool
 
 FULL_TIER = "full"
@@ -128,6 +134,8 @@ class ServingService:
         resilient: bool = True,
         retry_policy: RetryPolicy | None = None,
         stale_capacity: int = 256,
+        tenants_dir: str | Path | None = None,
+        max_resident_tenants: int = 32,
     ) -> None:
         if mode not in WORKER_MODES:
             raise ValueError(f"mode must be one of {WORKER_MODES}, got {mode!r}")
@@ -163,6 +171,18 @@ class ServingService:
             max_delay_s=batch_max_delay_s,
             metrics=self.metrics,
         )
+        # Multi-tenant overlays: opt-in via tenants_dir.  The registry
+        # shares this service's metrics registry and is (re)bound to the
+        # live generation's CSR on every adopt.
+        self._tenants: TenantRegistry | None = (
+            TenantRegistry(
+                tenants_dir,
+                max_resident=max_resident_tenants,
+                metrics=self.metrics,
+            )
+            if tenants_dir is not None
+            else None
+        )
         self._adopt(Path(bundle_dir))
 
     # -- lifecycle -----------------------------------------------------------
@@ -185,6 +205,10 @@ class ServingService:
         )
         if previous is not None:
             previous.close()
+        if self._tenants is not None:
+            # Tenant overlays re-collapse lazily against the new base on
+            # their next read; the swap itself stays O(1) per tenant.
+            self._tenants.rebind_base(pool.local_state.engine.snapshot())
         # Structural invalidation: entries from other generations are
         # unreachable by key, and adopt_version frees their memory now.
         dropped = self._cache.adopt_version(pool.store_version)
@@ -222,6 +246,8 @@ class ServingService:
     def close(self) -> None:
         """Drain pending annotation work and stop the workers."""
         self._batcher.flush()
+        if self._tenants is not None:
+            self._tenants.close()
         if self._pool is not None:
             self._pool.close()
 
@@ -233,7 +259,9 @@ class ServingService:
 
     # -- the uniform dispatch --------------------------------------------------
 
-    def serve(self, request: Request, *, _swap_retries: int = 2) -> Response:
+    def serve(
+        self, request: Request, *, tenant: str | None = None, _swap_retries: int = 2
+    ) -> Response:
         """Answer any request with a typed response envelope.
 
         The single entry point every transport calls (legacy facade
@@ -241,6 +269,14 @@ class ServingService:
         for request-level failures — the envelope carries a structured
         error instead (with the original exception attached in-process
         for delegating wrappers).
+
+        ``tenant`` scopes the request to one tenant's overlay graph:
+        walks and neighborhoods answer over shared + personal facts, and
+        the tenant write/sync family applies to that tenant's durable
+        store.  Tenant work never reaches the shared worker fleet — it
+        dispatches to the :class:`TenantRegistry` here, before pool
+        fan-out (isolation is enforced at dispatch, and again by the
+        workers, which reject the family outright).
 
         Generation swaps drop zero requests: a request whose captured
         pool was shut down mid-flight by ``adopt_generation`` re-dispatches
@@ -253,21 +289,25 @@ class ServingService:
         ``None`` check.
         """
         if tracing.active() is None:
-            response = self._serve_impl(request, _swap_retries)
+            response = self._serve_impl(request, _swap_retries, tenant)
             self.metrics.incr(f"serve.status.{response.status}")
             return response
         with tracing.span(
             "serve.request", request_type=type(request).__name__
         ) as span:
-            response = self._serve_impl(request, _swap_retries)
+            response = self._serve_impl(request, _swap_retries, tenant)
             self.metrics.incr(f"serve.status.{response.status}")
             span.set_attribute("status", response.status)
             span.set_attribute("cached", response.cached)
+            if tenant is not None:
+                span.set_attribute("tenant", tenant)
             if span.recording:
                 response.trace_id = span.trace_id
             return response
 
-    def _serve_impl(self, request: Request, _swap_retries: int) -> Response:
+    def _serve_impl(
+        self, request: Request, _swap_retries: int, tenant: str | None = None
+    ) -> Response:
         started = time.perf_counter()
         timings: dict[str, float] = {}
         epoch = self._swap_epoch
@@ -288,6 +328,8 @@ class ServingService:
                 timings=timings,
             )
         wire_type = type(request).wire_type
+        if tenant is not None or isinstance(request, TENANT_REQUEST_TYPES):
+            return self._serve_tenant(request, tenant, started, timings, epoch)
         resilience: dict[str, float] = {}
         cacheable = False
         # Everything after type dispatch sits under one except: even a
@@ -436,6 +478,125 @@ class ServingService:
             else:
                 payload = pool.submit(request).result()
         return payload
+
+    def _serve_tenant(
+        self,
+        request: Request,
+        tenant: str | None,
+        started: float,
+        timings: dict[str, float],
+        epoch: int,
+    ) -> Response:
+        """Dispatch for everything tenant-scoped (reads, writes, syncs).
+
+        Writes ride the tenant's own :class:`GenerationPublisher` (a ~ms
+        delta publish); reads answer over the tenant overlay engine and
+        cache under ``(store_version, (tenant, tenant_version), request)``
+        — a tenant write structurally invalidates that tenant's entries
+        (new ``tenant_version``) without touching anyone else's, and a
+        shared generation swap invalidates everyone's (new
+        ``store_version``), exactly like tenantless entries.
+        """
+        version = self.store_version
+        wire_type = type(request).wire_type
+        type_name = type(request).__name__
+        registry = self._tenants
+
+        def fail(code: str, message: str, exception: BaseException | None = None):
+            self.metrics.incr("serve.errors")
+            self.metrics.incr(f"serve.errors.{type_name}")
+            timings["total_ms"] = _ms_since(started)
+            return error_response(
+                wire_type, version, code, message,
+                timings=timings, exception=exception,
+            )
+
+        if registry is None:
+            return fail(
+                ERROR_UNAVAILABLE,
+                "multi-tenant serving is not enabled (no tenants_dir configured)",
+            )
+        if tenant is None:
+            return fail(
+                ERROR_BAD_REQUEST,
+                f"{type_name} requires a tenant envelope field",
+            )
+        try:
+            if isinstance(request, TENANT_REQUEST_TYPES):
+                with _stage(timings, "compute_ms", "serve.tenant", tenant=tenant):
+                    if isinstance(request, TenantUpsertRequest):
+                        payload = registry.upsert(tenant, request.records)
+                    elif isinstance(request, TenantSyncRequest):
+                        payload = registry.sync(
+                            tenant,
+                            records=request.records,
+                            tombstones=request.tombstones,
+                            epsilon=request.epsilon,
+                        )
+                    elif isinstance(request, TenantDeleteRequest):
+                        payload = registry.delete(
+                            tenant,
+                            request.source,
+                            request.record_id,
+                            request.sequence,
+                        )
+                    else:  # pragma: no cover - family and branch move together
+                        raise TypeError(f"unhandled tenant request: {type_name}")
+                timings["total_ms"] = _ms_since(started)
+                return response_class(wire_type)(
+                    request_type=wire_type,
+                    status=STATUS_OK,
+                    store_version=version,
+                    payload=payload,
+                    timings=timings,
+                )
+            if not isinstance(request, TENANT_READ_TYPES):
+                return fail(
+                    ERROR_BAD_REQUEST,
+                    f"{type_name} cannot be tenant-scoped "
+                    "(only walks and neighborhoods answer over overlays)",
+                )
+            # One registry round-trip: the resident state yields the
+            # tenant_version the cache key needs; the overlay engine is
+            # captured lazily so cache hits never pay for it.
+            state = registry.get(tenant)
+            tenant_key = (tenant, state.version)
+            cacheable = request.cacheable()
+            if cacheable:
+                with _stage(timings, "cache_ms", "serve.cache") as cache_span:
+                    cached = self._cache.get(version, request, tenant=tenant_key)
+                    cache_span.set_attribute("hit", cached is not None)
+                if cached is not None:
+                    timings["total_ms"] = _ms_since(started)
+                    return response_class(wire_type)(
+                        request_type=wire_type,
+                        status=STATUS_OK,
+                        store_version=version,
+                        payload=cached,
+                        timings=timings,
+                        cached=True,
+                    )
+            with self.metrics.hist_timed("serve.latency"), self.metrics.hist_timed(
+                f"serve.latency.{type_name}"
+            ):
+                with _stage(timings, "compute_ms", "serve.tenant", tenant=tenant):
+                    payload = registry.execute_on(
+                        state.engine(registry.base()), request
+                    )
+            if cacheable and epoch == self._swap_epoch:
+                self._cache.put(version, request, payload, tenant=tenant_key)
+        except TenantNotFound as exc:
+            return fail(ERROR_BAD_REQUEST, str(exc), exc)
+        except Exception as exc:
+            return fail(ERROR_INTERNAL, f"{type(exc).__name__}: {exc}", exc)
+        timings["total_ms"] = _ms_since(started)
+        return response_class(wire_type)(
+            request_type=wire_type,
+            status=STATUS_OK,
+            store_version=version,
+            payload=payload,
+            timings=timings,
+        )
 
     def _shard_breaker(self, shard: int) -> CircuitBreaker:
         """The (lazily created) circuit breaker guarding ``shard``."""
@@ -837,7 +998,14 @@ class ServingService:
         out["serve.cache_evictions"] = float(self._cache.evictions)
         out["serve.cache_hit_rate"] = self._cache.hit_rate
         out["serve.batch_pending"] = float(self._batcher.pending)
+        if self._tenants is not None:
+            out["serve.tenants_resident"] = float(self._tenants.resident_count())
+            out["serve.tenants_evictions"] = float(self._tenants.evictions)
         return out
+
+    def cache_family_stats(self) -> dict[str, dict[str, int]]:
+        """Per-request-family cache hit/miss/stale counts (see QueryCache)."""
+        return self._cache.family_stats()
 
     # Counter-key prefixes whose dynamic suffixes (request type names,
     # breaker edges) become one labeled Prometheus family each, instead of
@@ -849,6 +1017,13 @@ class ServingService:
         "serve.degraded.": ("serve_degraded_by_type", "type"),
         "pool.requests.": ("pool_requests_by_type", "type"),
         "breaker.transitions.": ("breaker_transitions_by_edge", "edge"),
+        # Per-request-family cache accounting (QueryCache.get/get_stale).
+        "cache.hits.": ("cache_hits_by_type", "type"),
+        "cache.misses.": ("cache_misses_by_type", "type"),
+        "cache.stale_hits.": ("cache_stale_hits_by_type", "type"),
+        "cache.stale_misses.": ("cache_stale_misses_by_type", "type"),
+        # Tenant registry lifecycle + traffic counters.
+        "tenants.": ("tenant_ops_by_kind", "kind"),
     }
 
     def prometheus_metrics(self) -> str:
@@ -872,6 +1047,8 @@ class ServingService:
             "serve.shards": float(self.num_shards),
             "serve.batch_pending": float(self._batcher.pending),
         }
+        if self._tenants is not None:
+            extra["serve.tenants_resident"] = float(self._tenants.resident_count())
         tracer = tracing.active()
         if tracer is not None:
             for key, value in tracer.counters().items():

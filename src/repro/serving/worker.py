@@ -44,6 +44,7 @@ from repro.common.rng import stable_hash
 from repro.serving import faults
 from repro.serving.resilience import CircuitBreaker, RetryPolicy, is_retryable
 from repro.serving.requests import (
+    TENANT_REQUEST_TYPES,
     AnnotateRequest,
     FactRankRequest,
     KnnRequest,
@@ -227,6 +228,14 @@ class WorkerState:
             )
 
     def _dispatch(self, request: Request) -> list:
+        if isinstance(request, TENANT_REQUEST_TYPES):
+            # Isolation at dispatch: the shared fleet serves only shared
+            # state.  Tenant writes are handled by the TenantRegistry in
+            # the service process and must never reach a worker replica.
+            raise TypeError(
+                f"{type(request).__name__} targets per-tenant state; "
+                "shared workers never serve the tenant request family"
+            )
         if isinstance(request, WalkRequest):
             return self._walks(request)
         if isinstance(request, NeighborhoodRequest):

@@ -218,7 +218,10 @@ class TestDeltaEdgeCases:
         for round_no in range(4):
             publisher.record(keys=_mutate(kg.store, round_no))
             infos.append(publisher.publish())
-        # The third publish crossed the threshold and compacted.
+            # Compaction runs off the publish path; drain it so each
+            # round observes a settled chain.
+            assert publisher.join_compaction(timeout=30.0)
+        # The third publish crossed the threshold and scheduled the fold.
         assert infos[2].compacted
         assert not infos[3].compacted
         assert publisher.chain_length == 1

@@ -125,7 +125,7 @@ class TestServeAsync:
         real_serve = service.serve
         starts: dict[int, float] = {}
 
-        def slow_head_serve(request):
+        def slow_head_serve(request, **kwargs):
             starts[request.seed] = time.perf_counter()
             if request.seed == 0:
                 time.sleep(0.3)
@@ -175,7 +175,7 @@ class TestBackpressure:
         release = threading.Event()
         real_serve = service.serve
 
-        def slow_serve(request):
+        def slow_serve(request, **kwargs):
             release.wait(timeout=5.0)
             return real_serve(request)
 
@@ -223,7 +223,7 @@ class TestDeadline:
     def test_deadline_exceeded_envelope(self, service, seed_entities, monkeypatch):
         real_serve = service.serve
 
-        def slow_serve(request):
+        def slow_serve(request, **kwargs):
             time.sleep(0.3)
             return real_serve(request)
 
@@ -253,7 +253,7 @@ class TestDeadline:
         queued behind it)."""
         real_serve = service.serve
 
-        def sometimes_slow(request):
+        def sometimes_slow(request, **kwargs):
             if request.seed == 0:
                 time.sleep(0.3)
             return real_serve(request)

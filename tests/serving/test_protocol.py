@@ -25,10 +25,17 @@ from repro.serving.requests import (
     KnnRequest,
     KnnResponse,
     NeighborhoodRequest,
+    PersonalRecord,
     RelatedRequest,
     Response,
     ServingError,
     SimilarityRequest,
+    TenantDeleteRequest,
+    TenantDeleteResponse,
+    TenantSyncRequest,
+    TenantSyncResponse,
+    TenantUpsertRequest,
+    TenantUpsertResponse,
     VerifyRequest,
     VerifyResponse,
     WalkRequest,
@@ -48,6 +55,24 @@ EVERY_REQUEST = [
     VerifyRequest(candidates=(("s", "p", "o"), ("s2", "p2", "o2"))),
     SimilarityRequest(pairs=(("a", "b"), ("a", "c"))),
     KnnRequest(entities=("a",), k=7, exclude_self=False),
+    TenantUpsertRequest(
+        records=(
+            PersonalRecord(
+                record_id="c001",
+                source="contacts",
+                fields=(("first_name", "Anna"), ("last_name", "Smith")),
+                sequence=2,
+            ),
+        )
+    ),
+    TenantSyncRequest(
+        records=(
+            PersonalRecord(record_id="m001", source="messages", sequence=1),
+        ),
+        tombstones=(("contacts", "c000", 3),),
+        epsilon=2.5,
+    ),
+    TenantDeleteRequest(source="contacts", record_id="c001", sequence=4),
 ]
 
 
@@ -227,6 +252,33 @@ EVERY_RESPONSE = [
     ),
     ok_response("similarity", [0.5, 0.0, -0.25]),
     ok_response("knn", [[SearchHit(key="a", score=0.75), SearchHit(key="b", score=0.5)]]),
+    # Tenant payloads are JSON-native dicts by construction (the registry
+    # produces them wire-shaped), so they ride the codec's fallback path.
+    ok_response("tenant_upsert", {"applied": 2, "skipped": 1, "tenant_version": 7}),
+    ok_response(
+        "tenant_sync",
+        {
+            "records": [
+                {
+                    "record_id": "c001",
+                    "source": "contacts",
+                    "fields": [["first_name", "Anna"]],
+                    "sequence": 2,
+                }
+            ],
+            "tombstones": [["contacts", "c000", 3]],
+            "people": [
+                {
+                    "entity": "entity:personal/person-0000",
+                    "name": "Anna Smith",
+                    "record_ids": ["c001"],
+                }
+            ],
+            "tenant_version": 7,
+            "dp_record_count": 1.25,
+        },
+    ),
+    ok_response("tenant_delete", {"deleted": True, "tenant_version": 8}),
 ]
 
 EXPECTED_RESPONSE_CLASSES = {
@@ -235,6 +287,9 @@ EXPECTED_RESPONSE_CLASSES = {
     "fact_rank": FactRankResponse,
     "verify": VerifyResponse,
     "knn": KnnResponse,
+    "tenant_upsert": TenantUpsertResponse,
+    "tenant_sync": TenantSyncResponse,
+    "tenant_delete": TenantDeleteResponse,
 }
 
 
