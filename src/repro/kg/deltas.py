@@ -792,7 +792,10 @@ class GenerationPublisher:
         self._pending_entities: dict[str, None] = {}
         # Background compaction (scheduled off the publish path): at most
         # one in-flight thread; its failure parks here and re-raises on
-        # the next publish()/compact()/join_compaction() call.
+        # the next publish()/compact()/join_compaction() call.  A leaf
+        # lock (never held while taking _lock) keeps schedule / join /
+        # error-surfacing atomic against each other.
+        self._compact_lock = threading.Lock()
         self._compact_thread: threading.Thread | None = None
         self._compact_error: BaseException | None = None
 
@@ -1202,10 +1205,16 @@ class GenerationPublisher:
     # -- compaction -------------------------------------------------------
 
     def _raise_compact_error(self) -> None:
-        """Surface a background compaction failure on the calling thread."""
-        error = self._compact_error
-        if error is not None:
+        """Surface a background compaction failure on the calling thread.
+
+        Takes the parked error atomically, so exactly one of several
+        racing callers raises it (the rest proceed) and a freshly parked
+        error can never be dropped by a concurrent read-then-clear.
+        """
+        with self._compact_lock:
+            error = self._compact_error
             self._compact_error = None
+        if error is not None:
             raise error
 
     def _schedule_compaction_locked(self) -> None:
@@ -1217,8 +1226,6 @@ class GenerationPublisher:
         any generations published in between, and re-scheduling is a
         no-op while one is in flight.
         """
-        if self._compact_thread is not None and self._compact_thread.is_alive():
-            return
 
         def run() -> None:
             try:
@@ -1230,15 +1237,21 @@ class GenerationPublisher:
                     ):
                         self._compact_locked()
             except BaseException as exc:  # parked for the next caller
-                self._compact_error = exc
+                with self._compact_lock:
+                    self._compact_error = exc
 
-        thread = threading.Thread(
-            target=run, name=f"compact-{self.bundle_dir.name}", daemon=True
-        )
-        self._compact_thread = thread
+        with self._compact_lock:
+            if self._compact_thread is not None and self._compact_thread.is_alive():
+                return
+            thread = threading.Thread(
+                target=run, name=f"compact-{self.bundle_dir.name}", daemon=True
+            )
+            self._compact_thread = thread
+            # Started while holding the lock so a concurrent join never
+            # sees (and tries to join) a not-yet-started thread.
+            thread.start()
         if self.metrics is not None:
             self.metrics.incr("publisher.compactions_scheduled")
-        thread.start()
 
     def join_compaction(self, timeout: float | None = None) -> bool:
         """Wait for any in-flight background compaction to finish.
@@ -1248,12 +1261,17 @@ class GenerationPublisher:
         Re-raises the compaction's exception, if it failed — the same
         error the next :meth:`publish`/:meth:`compact` would surface.
         """
-        thread = self._compact_thread
+        with self._compact_lock:
+            thread = self._compact_thread
         if thread is not None:
             thread.join(timeout)
             if thread.is_alive():
                 return False
-            self._compact_thread = None
+            with self._compact_lock:
+                # Compare-and-clear: a publish may have scheduled a fresh
+                # thread since we sampled — never clobber its reference.
+                if self._compact_thread is thread:
+                    self._compact_thread = None
         self._raise_compact_error()
         return True
 

@@ -181,10 +181,14 @@ class QueryCache:
         — the structured twin of the ``cache_*_by_type`` Prometheus
         families the service exposes.
         """
+        # snapshot() copies under the registry lock — iterating the live
+        # counters dict would race a first-of-its-family incr() from a
+        # serving thread (dict grows mid-iteration).
+        counters = self.metrics.snapshot()
         out: dict[str, dict[str, int]] = {}
         for kind in ("hits", "misses", "stale_hits", "stale_misses"):
-            prefix = f"cache.{kind}."
-            for key, count in self.metrics.counters.items():
+            prefix = f"counter.cache.{kind}."
+            for key, count in counters.items():
                 if key.startswith(prefix) and len(key) > len(prefix):
                     family = key[len(prefix) :]
                     out.setdefault(family, {})[kind] = int(count)

@@ -556,33 +556,36 @@ class ServingService:
                     f"{type_name} cannot be tenant-scoped "
                     "(only walks and neighborhoods answer over overlays)",
                 )
-            # One registry round-trip: the resident state yields the
-            # tenant_version the cache key needs; the overlay engine is
-            # captured lazily so cache hits never pay for it.
-            state = registry.get(tenant)
-            tenant_key = (tenant, state.version)
-            cacheable = request.cacheable()
-            if cacheable:
-                with _stage(timings, "cache_ms", "serve.cache") as cache_span:
-                    cached = self._cache.get(version, request, tenant=tenant_key)
-                    cache_span.set_attribute("hit", cached is not None)
-                if cached is not None:
-                    timings["total_ms"] = _ms_since(started)
-                    return response_class(wire_type)(
-                        request_type=wire_type,
-                        status=STATUS_OK,
-                        store_version=version,
-                        payload=cached,
-                        timings=timings,
-                        cached=True,
-                    )
-            with self.metrics.hist_timed("serve.latency"), self.metrics.hist_timed(
-                f"serve.latency.{type_name}"
-            ):
-                with _stage(timings, "compute_ms", "serve.tenant", tenant=tenant):
-                    payload = registry.execute_on(
-                        state.engine(registry.base()), request
-                    )
+            # One registry round-trip: the leased state yields the
+            # tenant_version the cache key needs and stays pinned against
+            # eviction for the whole read; the overlay engine is captured
+            # lazily so cache hits never pay for it.
+            with registry.lease(tenant) as state:
+                tenant_key = (tenant, state.version)
+                cacheable = request.cacheable()
+                if cacheable:
+                    with _stage(timings, "cache_ms", "serve.cache") as cache_span:
+                        cached = self._cache.get(version, request, tenant=tenant_key)
+                        cache_span.set_attribute("hit", cached is not None)
+                    if cached is not None:
+                        timings["total_ms"] = _ms_since(started)
+                        return response_class(wire_type)(
+                            request_type=wire_type,
+                            status=STATUS_OK,
+                            store_version=version,
+                            payload=cached,
+                            timings=timings,
+                            cached=True,
+                        )
+                with self.metrics.hist_timed(
+                    "serve.latency"
+                ), self.metrics.hist_timed(f"serve.latency.{type_name}"):
+                    with _stage(
+                        timings, "compute_ms", "serve.tenant", tenant=tenant
+                    ):
+                        payload = registry.execute_on(
+                            state.engine(registry.base()), request
+                        )
             if cacheable and epoch == self._swap_epoch:
                 self._cache.put(version, request, payload, tenant=tenant_key)
         except TenantNotFound as exc:

@@ -36,8 +36,9 @@ import hashlib
 import json
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 from repro.common import ids
 from repro.common.errors import StoreError
@@ -355,14 +356,38 @@ class TenantState:
             join()
 
 
+class _Slot:
+    """Registry bookkeeping for one resident tenant.
+
+    ``state`` is published only once construction succeeded; ``ready``
+    gates concurrent attachers (the build runs outside the registry
+    lock, so one slow cold-attach never stalls other tenants).  ``pins``
+    counts requests currently holding the state: LRU overflow never
+    evicts a pinned slot — it defers to the last release — because
+    evicting mid-request would let the same tenant re-attach and run two
+    publishers over one ``tenants/<id>/`` chain, silently overwriting
+    generation records.
+    """
+
+    __slots__ = ("state", "error", "ready", "pins")
+
+    def __init__(self) -> None:
+        self.state: TenantState | None = None
+        self.error: BaseException | None = None
+        self.ready = threading.Event()
+        self.pins = 0
+
+
 class TenantRegistry:
     """Create/load/evict tenants and serve their overlay engines.
 
     An LRU of at most ``max_resident`` :class:`TenantState`\\ s stays in
     memory; everything else lives on disk under ``tenants/<id>/`` and
     cold-attaches on demand (the bench records that cost).  Eviction is
-    safe at any point — every mutation publishes durably before the
-    request completes.
+    safe at any point: every mutation publishes durably before its
+    request completes, and request paths hold their state via
+    :meth:`lease`, which pins the slot so eviction defers until the
+    request released it — a tenant can never be resident twice.
     """
 
     def __init__(
@@ -385,7 +410,7 @@ class TenantRegistry:
         self.metrics = metrics or MetricsRegistry("tenants")
         self._base = base
         self._lock = threading.RLock()
-        self._resident: OrderedDict[str, TenantState] = OrderedDict()
+        self._resident: OrderedDict[str, _Slot] = OrderedDict()
         self.evictions = 0
 
     # -- shared base -------------------------------------------------------
@@ -428,56 +453,160 @@ class TenantRegistry:
             if (path / SNAPSHOT_MANIFEST).exists()
         )
 
-    def get(self, tenant_id: str, *, create: bool = False) -> TenantState:
-        """The resident state for ``tenant_id``, attaching/creating it.
+    def _acquire(self, tenant_id: str, *, create: bool = False) -> TenantState:
+        """Pin and return the resident state, attaching it if needed.
 
-        Validates the id (path safety), LRU-promotes residents, evicts the
-        least-recent tenant past ``max_resident``.
+        Validates the id (path safety), LRU-promotes residents.  The
+        caller owns one pin and must :meth:`_release` it; cold-attach
+        construction happens outside the registry lock (concurrent
+        attachers of the same tenant wait on the slot's ready event, and
+        other tenants are never stalled by one slow build).
         """
-        with self._lock:
-            # Residents were validated on attach — probe before paying the
-            # id regex, which would otherwise tax every read.
-            state = self._resident.get(tenant_id)
-            if state is not None:
-                self._resident.move_to_end(tenant_id)
-                return state
-            if not valid_tenant_id(tenant_id):
-                raise TenantError(f"invalid tenant id: {tenant_id!r}")
-            directory = self._tenant_dir(tenant_id)
-            on_disk = (directory / SNAPSHOT_MANIFEST).exists()
-            if not on_disk and not create:
-                raise TenantNotFound(f"unknown tenant: {tenant_id}")
+        while True:
+            with self._lock:
+                slot = self._resident.get(tenant_id)
+                if slot is None:
+                    if not valid_tenant_id(tenant_id):
+                        raise TenantError(f"invalid tenant id: {tenant_id!r}")
+                    directory = self._tenant_dir(tenant_id)
+                    on_disk = (directory / SNAPSHOT_MANIFEST).exists()
+                    if not on_disk and not create:
+                        raise TenantNotFound(f"unknown tenant: {tenant_id}")
+                    slot = _Slot()
+                    slot.pins = 1  # the builder's own pin
+                    self._resident[tenant_id] = slot
+                    return self._build(tenant_id, slot, directory, on_disk)
+                if slot.ready.is_set() and slot.state is not None:
+                    slot.pins += 1
+                    self._resident.move_to_end(tenant_id)
+                    return slot.state
+            # Another thread is attaching this tenant: wait outside the
+            # registry lock, then retry — the slot may have errored (its
+            # builder removed it) or been evicted before we re-locked.
+            slot.ready.wait()
+            if slot.error is not None:
+                raise slot.error
+
+    def _build(
+        self, tenant_id: str, slot: _Slot, directory: Path, on_disk: bool
+    ) -> TenantState:
+        """Construct a :class:`TenantState` for a freshly inserted slot.
+
+        Runs without the registry lock — snapshot load and chain replay
+        can be slow, and must not stall every other tenant.
+        """
+        try:
             state = TenantState(
                 tenant_id,
                 directory,
                 compact_every=self.compact_every,
                 verify=self.verify,
             )
+        except BaseException as exc:
+            with self._lock:
+                slot.error = exc
+                if self._resident.get(tenant_id) is slot:
+                    del self._resident[tenant_id]
+            slot.ready.set()
+            raise
+        with self._lock:
+            slot.state = state
+            slot.ready.set()
             self.metrics.incr("tenants.attached" if on_disk else "tenants.created")
-            self._resident[tenant_id] = state
-            while len(self._resident) > self.max_resident:
-                evicted_id, evicted = self._resident.popitem(last=False)
-                evicted.close()
-                self.evictions += 1
-                self.metrics.incr("tenants.evicted")
+            evicted = self._evict_overflow_locked()
             self.metrics.gauge("tenants.resident", float(len(self._resident)))
-            return state
+        self._close_evicted(evicted)
+        return state
+
+    def _release(self, tenant_id: str, state: TenantState) -> None:
+        """Drop one pin; runs any eviction the pin was deferring."""
+        with self._lock:
+            slot = self._resident.get(tenant_id)
+            if slot is not None and slot.state is state:
+                slot.pins -= 1
+            evicted = self._evict_overflow_locked()
+            if evicted:
+                self.metrics.gauge("tenants.resident", float(len(self._resident)))
+        self._close_evicted(evicted)
+
+    def _evict_overflow_locked(self) -> list[TenantState]:
+        """Pop LRU slots past capacity that are ready and unpinned.
+
+        Pinned or still-building slots are skipped — their eviction
+        defers to the last release.  Returns the evicted states for the
+        caller to close *outside* the registry lock (close joins any
+        in-flight compaction, which must not stall other tenants).
+        """
+        evicted: list[TenantState] = []
+        overflow = len(self._resident) - self.max_resident
+        if overflow <= 0:
+            return evicted
+        for tenant_id, slot in list(self._resident.items()):
+            if len(evicted) >= overflow:
+                break
+            if slot.pins > 0 or not slot.ready.is_set() or slot.state is None:
+                continue
+            del self._resident[tenant_id]
+            evicted.append(slot.state)
+            self.evictions += 1
+            self.metrics.incr("tenants.evicted")
+        return evicted
+
+    def _close_evicted(self, evicted: list[TenantState]) -> None:
+        for state in evicted:
+            state.close()
+
+    @contextmanager
+    def lease(
+        self, tenant_id: str, *, create: bool = False
+    ) -> Iterator[TenantState]:
+        """Pin ``tenant_id``'s resident state for the duration of a block.
+
+        The request-path accessor: while leased, the state cannot be
+        evicted, so the same tenant can never be re-attached concurrently
+        — exactly one live :class:`GenerationPublisher` per chain.
+        """
+        state = self._acquire(tenant_id, create=create)
+        try:
+            yield state
+        finally:
+            self._release(tenant_id, state)
+
+    def get(self, tenant_id: str, *, create: bool = False) -> TenantState:
+        """Attach ``tenant_id`` and return its state (an unpinned borrow).
+
+        Safe for inspection and point-in-time reads — an evicted state
+        still answers consistently from its own layers and never touches
+        the durable chain.  Anything that mutates durable state (or must
+        observe one consistent resident across a window) holds
+        :meth:`lease` instead.
+        """
+        state = self._acquire(tenant_id, create=create)
+        self._release(tenant_id, state)
+        return state
 
     def create(self, tenant_id: str) -> TenantState:
         """Create (or attach) ``tenant_id``."""
         return self.get(tenant_id, create=True)
 
     def evict(self, tenant_id: str) -> bool:
-        """Drop a tenant from residency (state stays durable on disk)."""
+        """Drop a tenant from residency (state stays durable on disk).
+
+        Refuses (returns ``False``) while any request holds the state
+        leased — evicting mid-request could double-attach the tenant.
+        """
         with self._lock:
-            state = self._resident.pop(tenant_id, None)
-            if state is None:
+            slot = self._resident.get(tenant_id)
+            if slot is None or slot.pins > 0 or not slot.ready.is_set():
                 return False
-            state.close()
+            del self._resident[tenant_id]
+            state = slot.state
             self.evictions += 1
             self.metrics.incr("tenants.evicted")
             self.metrics.gauge("tenants.resident", float(len(self._resident)))
-            return True
+        if state is not None:
+            state.close()
+        return True
 
     def resident_count(self) -> int:
         with self._lock:
@@ -496,9 +625,9 @@ class TenantRegistry:
         a mix.
         """
         base = self.base()
-        state = self.get(tenant_id)
-        engine = state.engine(base)
-        return engine, base.built_version, state.version
+        with self.lease(tenant_id) as state:
+            engine = state.engine(base)
+            return engine, base.built_version, state.version
 
     def execute_read(self, tenant_id: str, request) -> list:
         """Answer a walk/neighborhood request over the tenant's overlay."""
@@ -538,27 +667,27 @@ class TenantRegistry:
 
     def upsert(self, tenant_id: str, records: Iterable[PersonalRecord]) -> dict[str, Any]:
         """Apply a :class:`TenantUpsertRequest`; returns its payload."""
-        state = self.get(tenant_id, create=True)
-        applied, skipped = state.apply_upserts(
-            to_source_record(record) for record in records
-        )
-        state.publish()
-        self.metrics.incr("tenants.upserts")
-        return {
-            "applied": applied,
-            "skipped": skipped,
-            "tenant_version": state.version,
-        }
+        with self.lease(tenant_id, create=True) as state:
+            applied, skipped = state.apply_upserts(
+                to_source_record(record) for record in records
+            )
+            state.publish()
+            self.metrics.incr("tenants.upserts")
+            return {
+                "applied": applied,
+                "skipped": skipped,
+                "tenant_version": state.version,
+            }
 
     def delete(
         self, tenant_id: str, source: str, record_id: str, sequence: int = 0
     ) -> dict[str, Any]:
         """Apply a :class:`TenantDeleteRequest`; returns its payload."""
-        state = self.get(tenant_id)
-        deleted = state.apply_delete(source, record_id, sequence)
-        state.publish()
-        self.metrics.incr("tenants.deletes")
-        return {"deleted": deleted, "tenant_version": state.version}
+        with self.lease(tenant_id) as state:
+            deleted = state.apply_delete(source, record_id, sequence)
+            state.publish()
+            self.metrics.incr("tenants.deletes")
+            return {"deleted": deleted, "tenant_version": state.version}
 
     def sync(
         self,
@@ -575,7 +704,21 @@ class TenantRegistry:
         device must still learn about old deletions), the fused people
         and a DP-noised record count.
         """
-        state = self.get(tenant_id, create=True)
+        with self.lease(tenant_id, create=True) as state:
+            return self._sync_leased(
+                state, tenant_id, records=records, tombstones=tombstones,
+                epsilon=epsilon,
+            )
+
+    def _sync_leased(
+        self,
+        state: TenantState,
+        tenant_id: str,
+        *,
+        records: Iterable[PersonalRecord],
+        tombstones: Iterable[tuple[str, str, int]],
+        epsilon: float,
+    ) -> dict[str, Any]:
         tombstones = [tuple(t) for t in tombstones]
         incoming = [to_source_record(record) for record in records]
         state.apply_tombstones(tombstones)
@@ -635,9 +778,11 @@ class TenantRegistry:
     def close(self) -> None:
         """Drop every resident tenant (durable state stays on disk)."""
         with self._lock:
-            while self._resident:
-                _tenant_id, state = self._resident.popitem(last=False)
-                state.close()
+            slots = list(self._resident.values())
+            self._resident.clear()
+        for slot in slots:
+            if slot.state is not None:
+                slot.state.close()
 
     def stats(self) -> dict[str, float]:
         """Flat metrics snapshot for the service stats surface."""

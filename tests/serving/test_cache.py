@@ -135,3 +135,29 @@ class TestThreadSafety:
             thread.join()
         assert not errors
         assert len(cache) <= 64
+
+    def test_family_stats_race_with_new_families(self):
+        """A /stats scrape iterating counters must not race the first
+        request of a new family inserting its counter key (pre-fix:
+        RuntimeError: dictionary changed size during iteration)."""
+        cache = QueryCache(capacity=8)
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def scrape() -> None:
+            try:
+                while not stop.is_set():
+                    cache.family_stats()
+            except BaseException as exc:  # propagated to the main thread
+                errors.append(exc)
+
+        thread = threading.Thread(target=scrape)
+        thread.start()
+        try:
+            for i in range(2000):
+                cache.metrics.incr(f"cache.hits.fam{i}")
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors
+        assert cache.family_stats()["fam0"] == {"hits": 1}

@@ -195,6 +195,68 @@ class TestRegistryLifecycle:
             == answer
         )
 
+    def test_lease_pins_against_eviction(self, tmp_path, shared_world):
+        """A leased tenant survives LRU overflow (and explicit evict)
+        until released — eviction mid-request could otherwise re-attach
+        the same tenant and run two publishers over one chain."""
+        _kg, _base, entities = shared_world
+        registry = make_registry(tmp_path, shared_world, max_resident=1)
+        registry.upsert("pinned", [canary_record(0, entities[0])])
+        with registry.lease("pinned") as leased:
+            assert not registry.evict("pinned")
+            # Attaching others overflows the LRU, but the pinned slot
+            # defers its eviction to the release below.
+            registry.upsert("other", [canary_record(1, entities[1])])
+            with registry.lease("pinned") as again:
+                assert again is leased  # still the same resident state
+        # Released: the overflow already trimmed back to max_resident
+        # (the unpinned "other" went instead), and the explicit evict
+        # that was refused above now succeeds.
+        assert registry.resident_count() == 1
+        assert registry.evict("pinned")
+        assert registry.resident_count() == 0
+        assert registry.exists("pinned")  # durable on disk either way
+
+    def test_concurrent_writes_under_tiny_lru_lose_nothing(
+        self, tmp_path, shared_world
+    ):
+        """Writers hammer two tenants through a max_resident=1 registry —
+        constant eviction pressure — and every durable record survives a
+        cold reload (no publisher ever ran concurrently with its twin)."""
+        _kg, _base, entities = shared_world
+        registry = make_registry(tmp_path, shared_world, max_resident=1)
+        per_tenant = 6
+        errors: list = []
+
+        def writer(tenant: str, offset: int) -> None:
+            try:
+                for i in range(per_tenant):
+                    n = offset + i
+                    registry.upsert(
+                        tenant, [canary_record(n, entities[n % len(entities)])]
+                    )
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append((tenant, exc))
+
+        threads = [
+            threading.Thread(target=writer, args=(tenant, offset))
+            for tenant in ("alpha", "beta")
+            for offset in (0, per_tenant)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert not errors, errors[:3]
+        registry.close()
+
+        reloaded = make_registry(tmp_path, shared_world, max_resident=2)
+        for tenant in ("alpha", "beta"):
+            state = reloaded.get(tenant)
+            assert set(state.records) == {
+                ("contacts", f"c{n:03d}") for n in range(2 * per_tenant)
+            }, tenant
+
     def test_invalid_tenant_ids_are_rejected(self, tmp_path, shared_world):
         from repro.serving.tenancy import TenantError
 
